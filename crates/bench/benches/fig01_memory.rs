@@ -1,0 +1,66 @@
+//! Fig. 1 — required memory vs input size for scene labeling, and the
+//! MNIST MLP, against 1 mm² of on-chip SRAM / eDRAM.
+//!
+//! The paper's motivating figure: realistic scene-labeling resolutions
+//! need orders of magnitude more storage than on-chip memory provides,
+//! motivating 3D-stacked DRAM.
+
+use neurocube_bench::header;
+use neurocube_nn::footprint::{self, EDRAM_BYTES_PER_MM2, SRAM_BYTES_PER_MM2};
+use neurocube_nn::workloads;
+
+fn main() {
+    header(
+        "Fig. 1",
+        "required memory vs on-chip capacity (per 1 mm² of SRAM / eDRAM)",
+    );
+    println!(
+        "on-chip capacities: SRAM {:.2} MiB/mm² [11], eDRAM {:.2} MiB/mm² [12]\n",
+        SRAM_BYTES_PER_MM2 as f64 / (1 << 20) as f64,
+        EDRAM_BYTES_PER_MM2 as f64 / (1 << 20) as f64
+    );
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "network / input", "states MiB", "weights MiB", "total MiB", "SRAM mm²", "eDRAM mm²"
+    );
+    let sizes: [(usize, usize); 6] = [
+        (60, 80),
+        (120, 160),
+        (240, 320),
+        (480, 640),
+        (600, 800),
+        (960, 1280),
+    ];
+    for (h, w) in sizes {
+        let net = workloads::scene_labeling(h, w).expect("geometry fits");
+        let fp = footprint::of_network(&net);
+        println!(
+            "{:<26} {:>12.2} {:>12.2} {:>12.2} {:>10.2} {:>10.2}",
+            format!("scene labeling {w}x{h}"),
+            fp.state_bytes as f64 / (1 << 20) as f64,
+            fp.weight_bytes as f64 / (1 << 20) as f64,
+            fp.total_mib(),
+            fp.sram_mm2(),
+            fp.edram_mm2()
+        );
+    }
+    for hidden in [100, 300, 1000] {
+        let net = workloads::mnist_mlp(hidden);
+        let fp = footprint::of_network(&net);
+        println!(
+            "{:<26} {:>12.2} {:>12.2} {:>12.2} {:>10.2} {:>10.2}",
+            format!("MNIST MLP 784-{hidden}-10"),
+            fp.state_bytes as f64 / (1 << 20) as f64,
+            fp.weight_bytes as f64 / (1 << 20) as f64,
+            fp.total_mib(),
+            fp.sram_mm2(),
+            fp.edram_mm2()
+        );
+    }
+    let paper = footprint::of_network(&workloads::scene_labeling_paper());
+    println!(
+        "\nheadline: the paper's 320x240 network needs {:.1} MiB — {}x what 1 mm² of eDRAM holds",
+        paper.total_mib(),
+        (paper.total_bytes() / EDRAM_BYTES_PER_MM2).max(1)
+    );
+}

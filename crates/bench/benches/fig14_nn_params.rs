@@ -1,0 +1,108 @@
+//! Fig. 14 — effect of neural-network parameters on throughput and memory.
+//!
+//! (a)/(b): a 2D convolutional layer with kernel size swept 3..11, without
+//! and with input duplication. The paper's shape: throughput *falls* with
+//! kernel size without duplication (growing lateral halo traffic) and is
+//! *flat* with duplication, whose memory overhead instead grows with the
+//! kernel.
+//!
+//! (c)/(d): a fully connected layer with the hidden width swept, without
+//! and with duplication. The paper's shape: high but *constant* lateral
+//! traffic and roughly constant throughput without duplication; flat
+//! throughput with duplication, with the relative memory overhead of the
+//! duplicated input *shrinking* as the weight matrix grows.
+
+use neurocube::SystemConfig;
+use neurocube_bench::{csv_f, header, run_inference, CsvSink};
+use neurocube_fixed::Activation;
+use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
+
+fn conv_net(kernel: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        Shape::new(1, 128, 128),
+        vec![LayerSpec::conv(16, kernel, Activation::Tanh)],
+    )
+    .expect("geometry fits")
+}
+
+fn fc_net(hidden: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        Shape::flat(2048),
+        vec![LayerSpec::fc(hidden, Activation::Sigmoid)],
+    )
+    .expect("geometry fits")
+}
+
+fn main() {
+    header("Fig. 14(a,b)", "conv layer: kernel-size sweep, 128x128 input, 16 maps");
+    let mut csv = CsvSink::create(
+        "fig14_kernel_sweep",
+        &["kernel", "nodup_gops", "dup_gops", "nodup_lateral", "dup_lateral", "dup_overhead"],
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "kernel", "no-dup GOPs/s", "dup GOPs/s", "no-dup lat%", "dup lat%", "dup mem ovh%"
+    );
+    for kernel in [3usize, 5, 7, 9, 11] {
+        let spec = conv_net(kernel);
+        let nodup = run_inference(SystemConfig::paper(false), &spec, 14);
+        let dup = run_inference(SystemConfig::paper(true), &spec, 14);
+        csv.row(&[
+            kernel.to_string(),
+            csv_f(nodup.throughput_gops()),
+            csv_f(dup.throughput_gops()),
+            csv_f(nodup.lateral_fraction()),
+            csv_f(dup.lateral_fraction()),
+            csv_f(dup.memory_overhead()),
+        ]);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>11.1}% {:>11.1}% {:>11.1}%",
+            format!("{kernel}x{kernel}"),
+            nodup.throughput_gops(),
+            dup.throughput_gops(),
+            100.0 * nodup.lateral_fraction(),
+            100.0 * dup.lateral_fraction(),
+            100.0 * dup.memory_overhead()
+        );
+    }
+
+    header(
+        "Fig. 14(c,d)",
+        "fully connected layer: hidden-width sweep, 2048 inputs",
+    );
+    let mut csv = CsvSink::create(
+        "fig14_hidden_sweep",
+        &["hidden", "nodup_gops", "dup_gops", "nodup_lateral", "dup_lateral", "dup_overhead"],
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "hidden", "no-dup GOPs/s", "dup GOPs/s", "no-dup lat%", "dup lat%", "dup mem ovh%"
+    );
+    for hidden in [512usize, 1024, 2048, 4096] {
+        let spec = fc_net(hidden);
+        let nodup = run_inference(SystemConfig::paper(false), &spec, 14);
+        let dup = run_inference(SystemConfig::paper(true), &spec, 14);
+        csv.row(&[
+            hidden.to_string(),
+            csv_f(nodup.throughput_gops()),
+            csv_f(dup.throughput_gops()),
+            csv_f(nodup.lateral_fraction()),
+            csv_f(dup.lateral_fraction()),
+            csv_f(dup.memory_overhead()),
+        ]);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>11.1}% {:>11.1}% {:>11.1}%",
+            hidden,
+            nodup.throughput_gops(),
+            dup.throughput_gops(),
+            100.0 * nodup.lateral_fraction(),
+            100.0 * dup.lateral_fraction(),
+            100.0 * dup.memory_overhead()
+        );
+    }
+    println!(
+        "\npaper shapes: (a) no-dup conv throughput falls with kernel size; (b) dup conv is flat\n\
+         with overhead growing in k; (c) no-dup FC lateral traffic is high and constant with\n\
+         ~constant throughput; (d) dup FC overhead shrinks as weights dominate."
+    );
+}

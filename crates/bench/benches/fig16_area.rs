@@ -1,0 +1,33 @@
+//! Fig. 16 / §VII "Area analysis" — logic-die floorplan accounting.
+
+use neurocube_bench::header;
+use neurocube_power::area::{FloorplanReport, CORES, LOGIC_DIE_MM2};
+use neurocube_power::table2::ProcessNode;
+
+fn main() {
+    header("Fig. 16", "logic-die floorplan accounting (one core per vault)");
+    for node in [ProcessNode::Cmos28, ProcessNode::FinFet15] {
+        let r = FloorplanReport::new(node);
+        println!("[{}]", node.name());
+        println!(
+            "  PE + router cells: {:.4} mm²  (placed at 70% util: {:.4} mm², {:.0} µm square)",
+            r.pe_router_mm2,
+            r.pe_router_placed_mm2,
+            r.pe_router_side_um()
+        );
+        println!(
+            "  vault controller [24]: {:.4} mm², TSV field (116 @ 4 µm pitch): {:.4} mm²",
+            r.vault_controller_mm2, r.tsv_mm2
+        );
+        println!(
+            "  one core: {:.4} mm²; {CORES} cores: {:.3} mm² = {:.1}% of the {LOGIC_DIE_MM2} mm² logic die -> fits: {}",
+            r.core_mm2(),
+            r.total_mm2(),
+            100.0 * r.die_fraction(),
+            r.fits_logic_die()
+        );
+    }
+    println!(
+        "\npaper: PE+router in 513µm x 513µm at 28 nm; 16 cores fit the 68 mm² HMC logic die."
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 17 — 3D thermal simulation of the Neurocube stack.
+//!
+//! Paper: at 15 nm / 5 GHz the hottest logic-die tile reaches 349 K and the
+//! hottest DRAM tile 344 K — within the HMC 2.0 limits (383 K / 378 K); at
+//! 28 nm the rise is negligible.
+
+use neurocube_bench::header;
+use neurocube_power::table2::ProcessNode;
+use neurocube_power::thermal::{self, DRAM_LIMIT_K, LOGIC_LIMIT_K};
+
+fn main() {
+    header("Fig. 17", "steady-state 3D thermal map of the 5-die stack");
+    for node in [ProcessNode::Cmos28, ProcessNode::FinFet15] {
+        let r = thermal::solve_node(node);
+        println!("[{}] ({} Gauss-Seidel sweeps)", node.name(), r.iterations);
+        println!(
+            "  max logic die: {:.1} K (limit {LOGIC_LIMIT_K} K; paper @15nm: 349 K)",
+            r.max_logic_k()
+        );
+        println!(
+            "  max DRAM die:  {:.1} K (limit {DRAM_LIMIT_K} K; paper @15nm: 344 K)",
+            r.max_dram_k()
+        );
+        println!("  within HMC 2.0 limits: {}", r.within_hmc_limits());
+        // Per-die maxima, logic first.
+        let per_die: Vec<f64> = r
+            .temps_k
+            .iter()
+            .map(|die| die.iter().copied().fold(f64::MIN, f64::max))
+            .collect();
+        println!(
+            "  per-die maxima (logic, DRAM0..3): {:?}",
+            per_die
+                .iter()
+                .map(|t| (t * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
+        println!();
+    }
+}

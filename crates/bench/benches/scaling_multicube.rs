@@ -1,0 +1,62 @@
+//! Multi-cube scaling study — the paper's concluding future-work item
+//! ("scaling this implementation across multiple cubes"), quantified.
+//!
+//! Data-parallel banding of the scene-labeling network over 1–8 cubes
+//! linked by HMC external SERDES: aggregate throughput, scaling
+//! efficiency, and the link share of the critical path. The FC stage's
+//! input all-gather is the scaling hazard — visible as the link share
+//! rising with cube count.
+
+use neurocube::{LinkModel, MultiCube, SystemConfig};
+use neurocube_bench::{csv_f, header, ramp_input, scene_scale, CsvSink};
+use neurocube_nn::workloads;
+
+fn main() {
+    let (h, w, label) = scene_scale();
+    header(
+        "Scaling",
+        &format!("multi-cube data-parallel scaling, scene labeling {w}x{h} [{label}]"),
+    );
+    let spec = workloads::scene_labeling(h, w).expect("geometry fits");
+    let params = spec.init_params(31, 0.2);
+    let input = ramp_input(&spec);
+
+    let mut csv = CsvSink::create(
+        "scaling_multicube",
+        &["cubes", "cycles", "gops", "link_cycles", "efficiency"],
+    );
+    let mut single_cycles = 0u64;
+    println!(
+        "{:<7} {:>14} {:>12} {:>12} {:>12} {:>10}",
+        "cubes", "cycles", "GOPs/s", "link cycles", "link share", "efficiency"
+    );
+    for cubes in [1usize, 2, 4, 8] {
+        let cluster = MultiCube::new(SystemConfig::paper(true), cubes, LinkModel::hmc_ext());
+        let (_, report) = cluster.run_inference(&spec, &params, &input);
+        if cubes == 1 {
+            single_cycles = report.total_cycles();
+        }
+        csv.row(&[
+            cubes.to_string(),
+            report.total_cycles().to_string(),
+            csv_f(report.throughput_gops()),
+            report.link_cycles().to_string(),
+            csv_f(report.scaling_efficiency(single_cycles)),
+        ]);
+        println!(
+            "{:<7} {:>14} {:>12.1} {:>12} {:>11.2}% {:>9.2}",
+            cubes,
+            report.total_cycles(),
+            report.throughput_gops(),
+            report.link_cycles(),
+            100.0 * report.link_cycles() as f64 / report.total_cycles() as f64,
+            report.scaling_efficiency(single_cycles),
+        );
+    }
+    println!(
+        "\nreading: conv/pool bands scale nearly linearly (halo rows are cheap over\n\
+         40 GB/s links); the FC stage's input all-gather and its fixed per-band\n\
+         pipeline fill bound the efficiency — the quantitative version of the\n\
+         paper's closing sentence."
+    );
+}

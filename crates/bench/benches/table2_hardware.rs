@@ -1,0 +1,73 @@
+//! Table II — hardware simulation of a single Neurocube core.
+//!
+//! Re-derives every aggregate of the paper's Table II from the synthesized
+//! per-component constants: PE sums, compute totals, power density and the
+//! pJ/bit-based HMC logic-die and DRAM power rows.
+
+use neurocube_bench::header;
+use neurocube_power::hmc;
+use neurocube_power::table2::{
+    compute_area_mm2, compute_power_w, pe_sum_area_mm2, pe_sum_power_w, ProcessNode,
+    TABLE2_COMPONENTS,
+};
+
+fn main() {
+    header("Table II", "hardware simulation of a single core in Neurocube");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9}",
+        "module", "bits", "f28 MHz", "f15 MHz", "P28 W", "P15 W", "A28 mm2", "A15 mm2", "D28 W/mm2", "D15 W/mm2"
+    );
+    for c in &TABLE2_COMPONENTS {
+        println!(
+            "{:<16} {:>8} {:>8.2} {:>8} {:>10.2e} {:>10.2e} {:>8.4} {:>8.4} {:>9.2e} {:>9.2e}",
+            c.name,
+            c.size_bits.map_or("N/A".into(), |b| b.to_string()),
+            c.freq_mhz.0,
+            c.freq_mhz.1,
+            c.dynamic_w.0,
+            c.dynamic_w.1,
+            c.area_mm2.0,
+            c.area_mm2.1,
+            c.power_density(ProcessNode::Cmos28),
+            c.power_density(ProcessNode::FinFet15),
+        );
+    }
+    for node in [ProcessNode::Cmos28, ProcessNode::FinFet15] {
+        println!(
+            "\n[{}] PE sum: {:.4} W, {:.4} mm² (paper: {} W, {} mm²)",
+            node.name(),
+            pe_sum_power_w(node),
+            pe_sum_area_mm2(node),
+            if node == ProcessNode::Cmos28 { "1.56e-2" } else { "2.13e-1" },
+            if node == ProcessNode::Cmos28 { "0.1936" } else { "0.0600" },
+        );
+        println!(
+            "[{}] compute (16 PEs + routers): {:.3} W, {:.3} mm² (paper: {} W, {} mm²)",
+            node.name(),
+            compute_power_w(node),
+            compute_area_mm2(node),
+            if node == ProcessNode::Cmos28 { "0.249" } else { "3.41" },
+            if node == ProcessNode::Cmos28 { "3.0983" } else { "0.9601" },
+        );
+        println!(
+            "[{}] HMC logic die w/o Neurocube: {:.3} W (paper: {}), all DRAM dies: {:.3} W (paper: {})",
+            node.name(),
+            hmc::logic_die_power_w(node),
+            if node == ProcessNode::Cmos28 { "1.04" } else { "8.67" },
+            hmc::dram_dies_power_w(node),
+            if node == ProcessNode::Cmos28 { "0.568" } else { "9.47" },
+        );
+        println!(
+            "[{}] total system power: {:.2} W (Table III parenthesis: {})",
+            node.name(),
+            hmc::system_power_w(node),
+            if node == ProcessNode::Cmos28 { "1.86" } else { "21.50" },
+        );
+    }
+    println!(
+        "\nactivity scaling: the 28 nm node streams vaults at 300 MHz / 5 GHz = {:.2} activity;\n\
+         the 15 nm logic-die baseline carries the ITRS energy scale factor {}.",
+        ProcessNode::Cmos28.activity(),
+        hmc::ITRS_15NM_LOGIC_SCALE
+    );
+}

@@ -1,0 +1,121 @@
+//! Shared helpers for the Neurocube experiment harnesses.
+//!
+//! Each table and figure of the paper has a dedicated bench target (run
+//! `cargo bench -p neurocube-bench --bench <name>`); they print the same
+//! rows/series the paper reports so `EXPERIMENTS.md` can record
+//! paper-vs-measured values. Heavy experiments accept a scale factor
+//! through the `NEUROCUBE_SCALE` environment variable (see
+//! [`scene_scale`]): `full` runs the paper's exact geometry, the default
+//! `fast` runs a proportionally reduced input that preserves every
+//! qualitative shape at a fraction of the wall-clock time.
+
+#![forbid(unsafe_code)]
+
+use neurocube::{Neurocube, RunReport, SystemConfig};
+use neurocube_fixed::Q88;
+use neurocube_nn::{NetworkSpec, Tensor};
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The scene-labeling input resolution selected by `NEUROCUBE_SCALE`:
+/// `full` → the paper's 320×240, `fast` (default) → 160×120,
+/// `tiny` → 80×60 (CI smoke runs).
+pub fn scene_scale() -> (usize, usize, &'static str) {
+    match std::env::var("NEUROCUBE_SCALE").as_deref() {
+        Ok("full") => (240, 320, "full (paper 320x240)"),
+        Ok("tiny") => (60, 80, "tiny (80x60)"),
+        _ => (120, 160, "fast (160x120)"),
+    }
+}
+
+/// Deterministic pseudo-image input for throughput runs (values don't
+/// affect timing; this keeps runs reproducible).
+pub fn ramp_input(spec: &NetworkSpec) -> Tensor {
+    let s = spec.input_shape();
+    let data = (0..s.len())
+        .map(|i| Q88::from_f64(((i % 64) as f64 - 32.0) / 32.0))
+        .collect();
+    Tensor::from_vec(s.channels, s.height, s.width, data)
+}
+
+/// Loads `spec` into a fresh cube with `cfg` and runs one inference.
+pub fn run_inference(cfg: SystemConfig, spec: &NetworkSpec, seed: u64) -> RunReport {
+    let params = spec.init_params(seed, 0.25);
+    let mut cube = Neurocube::new(cfg);
+    let loaded = cube.load(spec.clone(), params);
+    let input = ramp_input(spec);
+    let (_, report) = cube.run_inference(&loaded, &input);
+    report
+}
+
+/// A CSV sink for an experiment's data series, so results can be plotted
+/// without scraping stdout. Enabled by setting `NEUROCUBE_CSV=<dir>`;
+/// otherwise every write is a no-op.
+pub struct CsvSink {
+    file: Option<File>,
+}
+
+impl CsvSink {
+    /// Opens `<NEUROCUBE_CSV>/<name>.csv` (creating the directory) and
+    /// writes the header row, or returns a disabled sink.
+    pub fn create(name: &str, header: &[&str]) -> CsvSink {
+        let Some(dir) = std::env::var_os("NEUROCUBE_CSV") else {
+            return CsvSink { file: None };
+        };
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create NEUROCUBE_CSV directory");
+        let mut file = File::create(dir.join(format!("{name}.csv"))).expect("create CSV");
+        writeln!(file, "{}", header.join(",")).expect("write CSV header");
+        CsvSink { file: Some(file) }
+    }
+
+    /// Appends one data row.
+    pub fn row(&mut self, fields: &[String]) {
+        if let Some(f) = &mut self.file {
+            writeln!(f, "{}", fields.join(",")).expect("write CSV row");
+        }
+    }
+}
+
+/// Formats a float for CSV output.
+pub fn csv_f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Prints a standard experiment header.
+pub fn header(id: &str, what: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("================================================================");
+}
+
+/// Prints a per-layer breakdown in the four-panel style of Figs. 12/13:
+/// operations, cycles, throughput and traffic per layer.
+pub fn print_layer_panels(report: &RunReport) {
+    println!(
+        "{:<4} {:<6} {:<11} {:>14} {:>12} {:>9} {:>9} {:>8}",
+        "L", "kind", "pass", "ops", "cycles", "GOPs/s", "lateral%", "util%"
+    );
+    for l in &report.layers {
+        println!(
+            "{:<4} {:<6} {:<11} {:>14} {:>12} {:>9.1} {:>8.1}% {:>7.1}%",
+            format!("L{}", l.layer_index + 1),
+            l.kind,
+            l.pass,
+            l.ops(),
+            l.cycles,
+            l.throughput_gops(),
+            100.0 * l.lateral_fraction(),
+            100.0 * l.mac_utilization(),
+        );
+    }
+    println!(
+        "total: {} ops, {} cycles, {:.1} GOPs/s @5GHz ({:.1} @300MHz), {:.1}% lateral",
+        report.total_ops(),
+        report.total_cycles(),
+        report.throughput_gops(),
+        report.throughput_gops_at(300.0e6),
+        100.0 * report.lateral_fraction(),
+    );
+}

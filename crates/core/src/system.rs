@@ -1,0 +1,490 @@
+//! The assembled Neurocube and its cycle loop.
+
+use crate::config::SystemConfig;
+use crate::report::{LayerReport, RunReport};
+use crate::training::{training_passes, PassKind};
+use neurocube_dram::MemorySystem;
+use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_noc::{Network, NodeId, Packet};
+use neurocube_pe::ProcessingElement;
+use neurocube_png::layout::NetworkLayout;
+use neurocube_png::{compile_layer, LayerProgram, Png};
+use neurocube_png::{program, PngHookup};
+use std::sync::Arc;
+
+/// A network loaded into the cube: its placement, parameters and compiled
+/// per-layer programs.
+#[derive(Clone, Debug)]
+pub struct LoadedNetwork {
+    spec: NetworkSpec,
+    params: Vec<Vec<neurocube_fixed::Q88>>,
+    layout: NetworkLayout,
+    programs: Vec<Arc<LayerProgram>>,
+}
+
+impl LoadedNetwork {
+    /// The network description.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// The placement of the network in the cube.
+    pub fn layout(&self) -> &NetworkLayout {
+        &self.layout
+    }
+
+    /// The compiled per-layer programs.
+    pub fn programs(&self) -> &[Arc<LayerProgram>] {
+        &self.programs
+    }
+}
+
+/// The full Neurocube: memory + PNGs + NoC + PEs, plus the host-side
+/// controller that programs them layer by layer.
+#[derive(Debug)]
+pub struct Neurocube {
+    cfg: SystemConfig,
+    mem: MemorySystem,
+    net: Network,
+    pes: Vec<ProcessingElement>,
+    pngs: Vec<Png>,
+    /// Per mesh node: the regions whose PNGs inject there.
+    attach_groups: Vec<Vec<u8>>,
+    now: u64,
+}
+
+impl Neurocube {
+    /// Builds an idle Neurocube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SystemConfig::validate`]).
+    pub fn new(cfg: SystemConfig) -> Neurocube {
+        cfg.validate();
+        let mem = MemorySystem::new(cfg.memory.clone());
+        let net = Network::new(cfg.topology);
+        let pes = (0..cfg.nodes() as u8)
+            .map(|p| {
+                ProcessingElement::with_cache(p, cfg.accumulator, cfg.cache_entries_per_bank)
+            })
+            .collect();
+        let word_bytes = u64::from(cfg.memory.channel.word_bits / 8);
+        let regions_per_channel = (cfg.memory.regions / cfg.memory.channels) as usize;
+        let pngs = (0..cfg.nodes() as u8)
+            .map(|v| {
+                Png::new(
+                    v,
+                    PngHookup {
+                        attach: cfg.attach[usize::from(v)],
+                        word_bytes,
+                        // Half the queue per sharing PNG stays available so
+                        // write-backs can never be starved by reads.
+                        max_outstanding_reads: (cfg.memory.channel.queue_capacity
+                            / regions_per_channel
+                            / 2)
+                        .max(2),
+                        run_ahead_ops: cfg.run_ahead_ops,
+                    },
+                )
+            })
+            .collect();
+        let attach_groups = (0..cfg.nodes() as u8)
+            .map(|node| {
+                (0..cfg.nodes() as u8)
+                    .filter(|&v| cfg.attach[usize::from(v)] == node)
+                    .collect()
+            })
+            .collect();
+        Neurocube {
+            cfg,
+            mem,
+            net,
+            pes,
+            pngs,
+            attach_groups,
+            now: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory subsystem (statistics, storage inspection).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The NoC (statistics).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Current reference cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Multi-line diagnostic snapshot of every PE's and PNG's counters —
+    /// for performance debugging and the ablation reports.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, pe) in self.pes.iter().enumerate() {
+            let s = pe.stats();
+            let _ = writeln!(
+                out,
+                "PE{i:<2} macs {:>9} fired {:>8} starved {:>9} cached {:>8} cache_hw {:>3}",
+                s.mac_ops,
+                s.ops_fired,
+                s.starved_cycles,
+                s.cached_packets,
+                pe.cache_high_water()
+            );
+        }
+        for (i, png) in self.pngs.iter().enumerate() {
+            let s = png.stats();
+            let _ = writeln!(
+                out,
+                "PNG{i:<2} ops {:>9} reads {:>8} inj_stall {:>8} wb {:>7} copies {:>6} writes {:>6} gate {:>8} q {:>6} outq {:>8}",
+                s.operands_sent,
+                s.reads_issued,
+                s.inject_stalls,
+                s.writebacks_received,
+                s.copies_forwarded,
+                s.writes_issued,
+                s.gate_stalls,
+                s.queue_stalls,
+                s.outq_stalls
+            );
+        }
+        out
+    }
+
+    /// Loads a network: builds the layout, writes streamed weights into the
+    /// DRAM image and compiles one program per layer — the host's untimed
+    /// programming phase (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not fit the cube or `params` does not
+    /// match the spec.
+    pub fn load(
+        &mut self,
+        spec: NetworkSpec,
+        params: Vec<Vec<neurocube_fixed::Q88>>,
+    ) -> LoadedNetwork {
+        let counts = spec.weights_per_layer();
+        assert_eq!(params.len(), counts.len(), "one weight array per layer");
+        for (i, (p, &n)) in params.iter().zip(&counts).enumerate() {
+            assert_eq!(p.len(), n, "layer {i} expects {n} weights");
+        }
+        let (gw, gh) = self.cfg.grid();
+        let layout = NetworkLayout::build(&spec, gw, gh, self.cfg.duplicate, self.cfg.n_mac as usize, self.mem.map());
+        program::load_weights(&spec, &params, &layout, self.mem.storage_mut());
+        let programs = (0..spec.depth())
+            .map(|i| compile_layer(&spec, &layout, i, self.cfg.mapping()))
+            .collect();
+        LoadedNetwork {
+            spec,
+            params,
+            layout,
+            programs,
+        }
+    }
+
+    /// Loads an input image into volume 0 (all vaults holding copies),
+    /// untimed like the host's data-loading phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not match the network's input shape.
+    pub fn set_input(&mut self, loaded: &LoadedNetwork, input: &Tensor) {
+        assert_eq!(
+            input.len(),
+            loaded.spec.input_shape().len(),
+            "input shape mismatch"
+        );
+        program::load_volume(
+            &loaded.layout.volumes[0],
+            input.as_slice(),
+            self.cfg.nodes(),
+            self.mem.storage_mut(),
+        );
+    }
+
+    /// Reads volume `i` (0 = input, `i` = output of layer `i-1`) back out
+    /// of the DRAM image in canonical order.
+    pub fn read_volume(&self, loaded: &LoadedNetwork, i: usize) -> Tensor {
+        let vol = &loaded.layout.volumes[i];
+        let values = program::read_volume(vol, self.mem.storage());
+        Tensor::from_vec(vol.shape.channels, vol.shape.height, vol.shape.width, values)
+    }
+
+    /// Executes one layer to completion and reports its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system deadlocks (no forward progress for 2M cycles) —
+    /// which would indicate a protocol bug, never a workload property.
+    pub fn run_layer(&mut self, loaded: &LoadedNetwork, index: usize) -> LayerReport {
+        self.run_pass(loaded, index, PassKind::Forward)
+    }
+
+    /// Executes one (possibly backward) pass of a layer. Backward passes
+    /// re-run the layer's dataflow — identical loop structure and operand
+    /// volume, per the training model in `DESIGN.md`.
+    pub fn run_pass(
+        &mut self,
+        loaded: &LoadedNetwork,
+        index: usize,
+        pass: PassKind,
+    ) -> LayerReport {
+        let prog = Arc::clone(&loaded.programs[index]);
+        for png in &mut self.pngs {
+            png.configure(Arc::clone(&prog));
+        }
+        for p in 0..self.cfg.nodes() as u8 {
+            if let Some(pe_cfg) = prog.pe_config(p) {
+                let image = prog.pe_weight_image(&loaded.params[index]);
+                self.pes[usize::from(p)].configure(pe_cfg, image);
+            }
+        }
+
+        // Snapshot statistics.
+        let start_cycle = self.now;
+
+        // Host programming phase: charge the configuration-register write
+        // time when a programming model is configured (Fig. 8(c); the
+        // paper's evaluation leaves this phase untimed), counted against
+        // this layer's cycles.
+        if let Some(model) = self.cfg.programming {
+            self.now += model.layer_cycles(self.cfg.nodes() as u32);
+        }
+        let noc0 = *self.net.stats();
+        let bits0 = self.mem.total_bits_transferred();
+        let energy0 = self.mem.total_energy_joules();
+        let rows0 = self.mem.total_row_misses();
+        let macs0: u64 = self.pes.iter().map(|p| p.stats().mac_ops).sum();
+
+        // The data-driven execution phase.
+        let nodes = self.cfg.nodes() as u8;
+        let mut idle_cycles = 0u64;
+        let mut last_progress = macs0;
+        loop {
+            let now = self.now;
+
+            // Credit return: PNGs observe PE progress for run-ahead flow
+            // control, then issue writes + prefetch reads.
+            let progress: Vec<u64> = self.pes.iter().map(ProcessingElement::progress).collect();
+            for png in &mut self.pngs {
+                png.set_pe_progress(&progress);
+                png.tick(now, &mut self.mem);
+            }
+
+            // Physical channels; dispatch completions to the issuing PNG.
+            for ch in 0..self.mem.channels() {
+                if let Some(c) = self.mem.tick_channel(ch, now) {
+                    let v = Png::vault_of_tag(c.tag);
+                    self.pngs[usize::from(v)].on_completion(c.tag, c.data);
+                }
+            }
+
+            // NoC mem-port ejection: one packet per node per cycle, routed
+            // to the owning PNG.
+            for node in 0..nodes {
+                let handler = match self.net.peek_for_mem_src(node, now) {
+                    Some(src) => {
+                        if self.cfg.identity_attach() {
+                            node
+                        } else {
+                            src
+                        }
+                    }
+                    None => continue,
+                };
+                let src = self
+                    .net
+                    .peek_for_mem(node, now)
+                    .map(|p| p.src)
+                    .expect("peeked above");
+                if self.pngs[usize::from(handler)].can_take_result(src) {
+                    let pkt = self
+                        .net
+                        .pop_for_mem(node, now)
+                        .expect("peeked packet vanished");
+                    self.pngs[usize::from(handler)].on_result(pkt, now);
+                }
+            }
+
+            // PNG packet injection: one per node per cycle; round-robin
+            // among PNGs sharing an attach node.
+            for node in 0..nodes {
+                let sharing = &self.attach_groups[usize::from(node)];
+                if sharing.is_empty() {
+                    continue;
+                }
+                let offset = (now as usize) % sharing.len();
+                for i in 0..sharing.len() {
+                    let v = sharing[(offset + i) % sharing.len()];
+                    if let Some(&pkt) = self.pngs[usize::from(v)].peek_outgoing() {
+                        if self.net.try_inject_from_mem(node, pkt, now) {
+                            self.pngs[usize::from(v)].pop_outgoing();
+                        } else {
+                            self.pngs[usize::from(v)].note_inject_stall();
+                        }
+                        break;
+                    }
+                }
+            }
+
+            self.net.tick(now);
+
+            // PEs: operand delivery, firing, result injection.
+            for p in 0..nodes {
+                let pe = &mut self.pes[usize::from(p)];
+                if !pe.layer_done() {
+                    if let Some(&pkt) = self.net.peek_for_pe(p, now) {
+                        if pe.try_accept(pkt) {
+                            let _ = self.net.pop_for_pe(p, now);
+                        }
+                    }
+                    pe.tick(now);
+                }
+                if let Some(&r) = pe.peek_result() {
+                    // Physical routing: results travel to the mesh node of
+                    // the region's controller.
+                    let mut phys = r;
+                    phys.dst = self.cfg.attach[usize::from(r.dst)];
+                    if self.net.try_inject_from_pe(p, phys, now) {
+                        pe.pop_result();
+                    }
+                }
+            }
+
+            self.now += 1;
+
+            // Completion / watchdog check.
+            if self.now.is_multiple_of(64) {
+                let done = self.pes.iter().all(ProcessingElement::layer_done)
+                    && self.pngs.iter().all(Png::layer_done)
+                    && self.net.is_idle();
+                if done {
+                    break;
+                }
+                let macs_now: u64 = self.pes.iter().map(|p| p.stats().mac_ops).sum();
+                if macs_now == last_progress {
+                    idle_cycles += 64;
+                    assert!(
+                        idle_cycles < 2_000_000,
+                        "deadlock in layer {index}: cycle {}, pngs done {:?}, pes done {:?}, noc {:?}, png dumps {:?}, pe positions {:?}, pe progress {:?}, mem pending {:?}, noc occupancy {}",
+                        self.now,
+                        self.pngs.iter().map(Png::layer_done).collect::<Vec<_>>(),
+                        self.pes
+                            .iter()
+                            .map(ProcessingElement::layer_done)
+                            .collect::<Vec<_>>(),
+                        self.net.stats(),
+                        self.pngs.iter().map(Png::debug_state).collect::<Vec<_>>(),
+                        self.pes
+                            .iter()
+                            .map(ProcessingElement::debug_position)
+                            .collect::<Vec<_>>(),
+                        self.pes
+                            .iter()
+                            .map(ProcessingElement::progress)
+                            .collect::<Vec<_>>(),
+                        (0..self.mem.regions()).map(|r| self.mem.pending(r)).collect::<Vec<_>>(),
+                        self.net.occupancy()
+                    );
+                } else {
+                    idle_cycles = 0;
+                    last_progress = macs_now;
+                }
+            }
+        }
+
+        let noc1 = *self.net.stats();
+        let macs1: u64 = self.pes.iter().map(|p| p.stats().mac_ops).sum();
+        let layer = &loaded.spec.layers()[index];
+        LayerReport {
+            layer_index: index,
+            kind: layer.kind_name(),
+            pass: pass.label(),
+            cycles: self.now - start_cycle,
+            macs: macs1 - macs0,
+            packets: noc1.delivered - noc0.delivered,
+            lateral_packets: noc1.lateral - noc0.lateral,
+            noc_mean_latency: if noc1.delivered > noc0.delivered {
+                (noc1.total_latency - noc0.total_latency) as f64
+                    / (noc1.delivered - noc0.delivered) as f64
+            } else {
+                0.0
+            },
+            dram_bits: self.mem.total_bits_transferred() - bits0,
+            dram_energy_j: self.mem.total_energy_joules() - energy0,
+            row_misses: self.mem.total_row_misses() - rows0,
+        }
+    }
+
+    /// Runs a full inference: loads `input`, executes every layer and
+    /// returns the network output (read back from DRAM) plus the run
+    /// report.
+    pub fn run_inference(
+        &mut self,
+        loaded: &LoadedNetwork,
+        input: &Tensor,
+    ) -> (Tensor, RunReport) {
+        self.set_input(loaded, input);
+        let mut report = RunReport {
+            layers: Vec::with_capacity(loaded.spec.depth()),
+            memory_bytes: loaded.layout.total_bytes(),
+            memory_minimal_bytes: loaded.layout.minimal_bytes(),
+        };
+        for i in 0..loaded.spec.depth() {
+            report.layers.push(self.run_layer(loaded, i));
+        }
+        let output = self.read_volume(loaded, loaded.spec.depth());
+        (output, report)
+    }
+
+    /// Runs one training step's worth of passes (forward + backward +
+    /// weight update, §VI-2). Timing-accurate; gradient values are modeled
+    /// by re-running each layer's dataflow (see `DESIGN.md` — functional
+    /// training lives in `neurocube-nn`).
+    pub fn run_training_step(&mut self, loaded: &LoadedNetwork, input: &Tensor) -> RunReport {
+        self.set_input(loaded, input);
+        let mut report = RunReport {
+            layers: Vec::new(),
+            memory_bytes: loaded.layout.total_bytes(),
+            memory_minimal_bytes: loaded.layout.minimal_bytes(),
+        };
+        // Forward sweep (activations must be stored for backprop).
+        for i in 0..loaded.spec.depth() {
+            report.layers.push(self.run_pass(loaded, i, PassKind::Forward));
+        }
+        // Backward sweep.
+        for i in (0..loaded.spec.depth()).rev() {
+            for pass in training_passes(&loaded.spec, i) {
+                if pass != PassKind::Forward {
+                    report.layers.push(self.run_pass(loaded, i, pass));
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Extension used by the run loop: the source of the packet at a node's
+/// mem port, for PNG demultiplexing on shared controllers.
+trait MemPeek {
+    fn peek_for_mem_src(&self, node: NodeId, now: u64) -> Option<NodeId>;
+}
+
+impl MemPeek for Network {
+    fn peek_for_mem_src(&self, node: NodeId, now: u64) -> Option<NodeId> {
+        self.peek_for_mem(node, now).map(|p: &Packet| p.src)
+    }
+}

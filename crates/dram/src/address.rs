@@ -1,0 +1,197 @@
+//! Physical address decomposition: channel (vault), bank, row, column.
+//!
+//! Neurocube's host compiler places each data structure deliberately in a
+//! specific vault (Fig. 10), so the address map is *partitioned*: the top
+//! bits select the vault and each vault owns a contiguous region. Within a
+//! vault, consecutive rows interleave across banks so that streaming reads
+//! can hide row activation behind the open row of the next bank.
+
+use std::fmt;
+
+/// A physical address split into its DRAM coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Channel (HMC vault) index.
+    pub channel: u32,
+    /// Bank within the channel.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Byte offset within the row.
+    pub col: u32,
+}
+
+/// Parameters of the address mapping.
+///
+/// # Examples
+///
+/// ```
+/// use neurocube_dram::AddressMap;
+///
+/// let map = AddressMap::new(16, 256 << 20, 8, 256);
+/// let d = map.decode(map.channel_base(3) + 1000);
+/// assert_eq!(d.channel, 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddressMap {
+    channels: u32,
+    channel_bytes: u64,
+    banks: u32,
+    row_bytes: u32,
+}
+
+impl AddressMap {
+    /// Creates a map with `channels` channels of `channel_bytes` each,
+    /// `banks` banks per channel and `row_bytes` bytes per DRAM row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `row_bytes` is not a power of two.
+    pub fn new(channels: u32, channel_bytes: u64, banks: u32, row_bytes: u32) -> AddressMap {
+        assert!(channels > 0 && banks > 0, "channels and banks must be nonzero");
+        assert!(
+            row_bytes.is_power_of_two(),
+            "row size must be a power of two"
+        );
+        assert!(channel_bytes > 0, "channel capacity must be nonzero");
+        AddressMap {
+            channels,
+            channel_bytes,
+            banks,
+            row_bytes,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Capacity of one channel in bytes.
+    pub fn channel_bytes(&self) -> u64 {
+        self.channel_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.channel_bytes * u64::from(self.channels)
+    }
+
+    /// Bytes per DRAM row.
+    pub fn row_bytes(&self) -> u32 {
+        self.row_bytes
+    }
+
+    /// First byte address owned by `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_base(&self, channel: u32) -> u64 {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        self.channel_bytes * u64::from(channel)
+    }
+
+    /// Decodes an address into channel, bank, row and column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds total capacity.
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        assert!(
+            addr < self.total_bytes(),
+            "address {addr:#x} beyond capacity {:#x}",
+            self.total_bytes()
+        );
+        let channel = (addr / self.channel_bytes) as u32;
+        let local = addr % self.channel_bytes;
+        let row_global = local / u64::from(self.row_bytes);
+        let col = (local % u64::from(self.row_bytes)) as u32;
+        let bank = (row_global % u64::from(self.banks)) as u32;
+        let row = row_global / u64::from(self.banks);
+        DecodedAddr {
+            channel,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// The channel that owns `addr` (cheaper than a full [`decode`](Self::decode)).
+    pub fn channel_of(&self, addr: u64) -> u32 {
+        ((addr / self.channel_bytes) % u64::from(self.channels)) as u32
+    }
+}
+
+impl fmt::Display for AddressMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ch x {} MiB ({} banks, {} B rows)",
+            self.channels,
+            self.channel_bytes >> 20,
+            self.banks,
+            self.row_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(16, 1 << 20, 8, 256)
+    }
+
+    #[test]
+    fn channel_partitioning_is_contiguous() {
+        let m = map();
+        assert_eq!(m.decode(0).channel, 0);
+        assert_eq!(m.decode((1 << 20) - 1).channel, 0);
+        assert_eq!(m.decode(1 << 20).channel, 1);
+        assert_eq!(m.channel_base(15), 15 << 20);
+        assert_eq!(m.channel_of(15 << 20), 15);
+    }
+
+    #[test]
+    fn rows_interleave_across_banks() {
+        let m = map();
+        // Consecutive 256-byte rows land in consecutive banks.
+        for i in 0..16u64 {
+            let d = m.decode(i * 256);
+            assert_eq!(d.bank, (i % 8) as u32, "row {i}");
+            assert_eq!(d.row, i / 8);
+        }
+    }
+
+    #[test]
+    fn column_is_row_offset() {
+        let m = map();
+        let d = m.decode(256 * 3 + 77);
+        assert_eq!(d.col, 77);
+    }
+
+    #[test]
+    fn total_bytes() {
+        assert_eq!(map().total_bytes(), 16 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn decode_rejects_out_of_range() {
+        let _ = map().decode(16 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn base_rejects_bad_channel() {
+        let _ = map().channel_base(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_rows() {
+        let _ = AddressMap::new(2, 1024, 2, 100);
+    }
+}

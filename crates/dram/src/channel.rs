@@ -1,0 +1,661 @@
+//! Per-channel (per-vault) DRAM timing model.
+//!
+//! §VI of the paper fixes the streaming behaviour we reproduce: *"For all 16
+//! vaults in the HMC, 32-bit word (2 data items) is pushed at 5 GHz in burst
+//! mode and burst length is assumed as 8. Therefore, after pushing 8 words,
+//! the HMC needs to wait `t_CCD` before sending the next 8 words."*
+//!
+//! The inter-burst gap is not given numerically, and the paper is in
+//! tension with itself: its Table I lists 10 GB/s *average* per vault, but
+//! its simulator description (words at 5 GHz = 20 GB/s raw) and its
+//! reported throughput (132.4 of a 160 GOPs/s MAC peak) imply near-peak
+//! streaming, which a 16-bank vault achieves by overlapping `t_CCD` across
+//! banks. We use a 2-cycle inter-burst gap (16 GB/s sustained), the value
+//! that reproduces the paper's utilization; the Table I average remains
+//! available through [`MemorySpec`](crate::MemorySpec). Row activations
+//! (`t_CL + t_RCD`) stall the channel when a request leaves the currently
+//! open row of its bank.
+
+use crate::storage::Storage;
+use std::collections::VecDeque;
+
+/// What a memory request does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Read one channel word; its value is returned in the [`Completion`].
+    Read,
+    /// Write one channel word (little-endian low `word_bits` of the payload).
+    Write(u64),
+    /// Write a single 16-bit item (a masked write). Occupies a full word
+    /// slot of channel time — the cost of an unpaired state write-back.
+    Write16(u16),
+}
+
+/// A request submitted to a channel's vault controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Global byte address (must belong to this channel's region).
+    pub addr: u64,
+    /// Caller-defined correlation tag, returned in the [`Completion`].
+    pub tag: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+}
+
+/// A serviced request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The address of the original request.
+    pub addr: u64,
+    /// The tag of the original request.
+    pub tag: u64,
+    /// For reads, the word read from storage; for writes, the value written.
+    pub data: u64,
+    /// Cycle at which the word crossed the channel.
+    pub cycle: u64,
+}
+
+/// Timing and energy parameters of one channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelConfig {
+    /// Channel word size in bits (32 for HMC vaults, 64 for DDR3).
+    pub word_bits: u32,
+    /// Word service time numerator: a word takes `cpw_num / cpw_den`
+    /// reference cycles within a burst.
+    pub cpw_num: u32,
+    /// Word service time denominator (see [`cpw_num`](Self::cpw_num)).
+    pub cpw_den: u32,
+    /// Words per burst.
+    pub burst_len: u32,
+    /// Idle reference cycles inserted after each burst (`t_CCD`).
+    pub inter_burst_gap: u32,
+    /// Row activation penalty in reference cycles (`t_CL + t_RCD`).
+    pub row_miss_penalty: u32,
+    /// Banks per channel (open-row tracking granularity).
+    pub banks: u32,
+    /// Scheduling window for FR-FCFS: the controller may serve the oldest
+    /// row-buffer *hit* among the first `sched_window` queued requests
+    /// instead of strictly the head, avoiding pathological row thrash when
+    /// two streams alternate. `1` = strict FIFO.
+    pub sched_window: u32,
+    /// Bytes per DRAM row.
+    pub row_bytes: u32,
+    /// Request queue depth; [`Channel::try_enqueue`] fails beyond this.
+    pub queue_capacity: usize,
+    /// Access energy in pJ/bit (Table I), used for the power model.
+    pub energy_pj_per_bit: f64,
+    /// Periodic refresh, or `None` to ignore it (the paper's simulator
+    /// does not mention refresh; enabling it costs a few percent of
+    /// bandwidth and is provided for sensitivity studies).
+    pub refresh: Option<RefreshModel>,
+}
+
+/// DRAM refresh timing: every `interval` reference cycles the whole
+/// channel pauses for `duration` cycles (an all-bank refresh, the
+/// conservative model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefreshModel {
+    /// Cycles between refresh commands (`t_REFI`; 7.8 µs → 39,000 cycles
+    /// at the 5 GHz reference clock).
+    pub interval: u64,
+    /// Cycles a refresh blocks the channel (`t_RFC`; ~350 ns → 1,750).
+    pub duration: u64,
+}
+
+impl RefreshModel {
+    /// JEDEC-typical refresh at the 5 GHz reference clock.
+    pub fn jedec() -> RefreshModel {
+        RefreshModel {
+            interval: 39_000,
+            duration: 1_750,
+        }
+    }
+
+    /// The bandwidth fraction refresh steals.
+    pub fn overhead(&self) -> f64 {
+        self.duration as f64 / self.interval as f64
+    }
+}
+
+impl ChannelConfig {
+    /// The HMC internal vault interface at the 5 GHz reference clock:
+    /// one 32-bit word per cycle, bursts of 8, 2-cycle `t_CCD` gap
+    /// (16 GB/s sustained — see the module docs for the calibration
+    /// rationale), 27.5 ns row penalty.
+    pub fn hmc_int() -> ChannelConfig {
+        ChannelConfig {
+            word_bits: 32,
+            cpw_num: 1,
+            cpw_den: 1,
+            burst_len: 8,
+            inter_burst_gap: 2,
+            row_miss_penalty: crate::ns_to_cycles(27.5) as u32,
+            // 16 banks per vault (2 per DRAM die x 8 partitions' worth in
+            // the 4-die stack).
+            banks: 16,
+            sched_window: 16,
+            row_bytes: 256,
+            queue_capacity: 64,
+            energy_pj_per_bit: 3.7,
+            refresh: None,
+        }
+    }
+
+    /// A DDR3-1600 channel seen from the 5 GHz reference clock: one 64-bit
+    /// word every 25/8 cycles (12.8 GB/s), 25 ns row penalty.
+    pub fn ddr3() -> ChannelConfig {
+        ChannelConfig {
+            word_bits: 64,
+            cpw_num: 25,
+            cpw_den: 8,
+            burst_len: 8,
+            inter_burst_gap: 0,
+            row_miss_penalty: crate::ns_to_cycles(25.0) as u32,
+            banks: 8,
+            sched_window: 16,
+            row_bytes: 8192,
+            queue_capacity: 64,
+            energy_pj_per_bit: 70.0,
+            refresh: None,
+        }
+    }
+
+    /// Average bytes per reference cycle this configuration can sustain,
+    /// ignoring row misses.
+    pub fn avg_bytes_per_cycle(&self) -> f64 {
+        let burst_cycles =
+            f64::from(self.burst_len) * f64::from(self.cpw_num) / f64::from(self.cpw_den);
+        let total = burst_cycles + f64::from(self.inter_burst_gap);
+        f64::from(self.burst_len) * (f64::from(self.word_bits) / 8.0) / total
+    }
+
+    /// Average bandwidth in GB/s at the 5 GHz reference clock.
+    pub fn avg_bandwidth_gbps(&self) -> f64 {
+        self.avg_bytes_per_cycle() * crate::REF_CLOCK_HZ / 1e9
+    }
+}
+
+/// Cycle-level model of one memory channel (HMC vault or DDR3 channel).
+///
+/// Drive it with [`tick`](Channel::tick) once per reference cycle; it serves
+/// at most one *data* word per cycle, respecting the burst/gap duty cycle.
+/// Row activations run **per bank, in parallel with data service** (bank-
+/// level parallelism: the activation command occupies the command path, not
+/// the data bus), and the controller *activates ahead* along sequential
+/// address streams — rows interleave across banks, so while row `R`
+/// streams, rows `R+1` and `R+2` open in their banks. A sequential stream
+/// therefore pays `t_CL + t_RCD` once, not per row; random access patterns
+/// still pay it per switch.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    cfg: ChannelConfig,
+    queue: VecDeque<Request>,
+    /// Absolute cycle at which the next word may cross the channel,
+    /// in units of `1/cpw_den` cycles for exact rational pacing.
+    ready_units: u64,
+    words_in_burst: u32,
+    open_rows: Vec<Option<u64>>,
+    /// Cycle at which each bank's activation completes.
+    bank_ready: Vec<u64>,
+    /// End of the current refresh pause, if one is in progress.
+    refresh_until: u64,
+    refreshes: u64,
+    // statistics
+    words_read: u64,
+    words_written: u64,
+    row_misses: u64,
+    busy_cycles: u64,
+}
+
+impl Channel {
+    /// Creates an idle channel.
+    pub fn new(cfg: ChannelConfig) -> Channel {
+        Channel {
+            queue: VecDeque::with_capacity(cfg.queue_capacity),
+            ready_units: 0,
+            words_in_burst: 0,
+            open_rows: vec![None; cfg.banks as usize],
+            bank_ready: vec![0; cfg.banks as usize],
+            refresh_until: 0,
+            refreshes: 0,
+            words_read: 0,
+            words_written: 0,
+            row_misses: 0,
+            busy_cycles: 0,
+            cfg,
+        }
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Remaining request-queue slots.
+    pub fn free_slots(&self) -> usize {
+        self.cfg.queue_capacity - self.queue.len()
+    }
+
+    /// Queued requests not yet serviced.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a request. Returns `false` (and drops nothing — the caller
+    /// keeps ownership semantics trivial because `Request: Copy`) when the
+    /// queue is full; the caller should retry on a later cycle.
+    pub fn try_enqueue(&mut self, req: Request) -> bool {
+        if self.queue.len() >= self.cfg.queue_capacity {
+            return false;
+        }
+        self.queue.push_back(req);
+        true
+    }
+
+    fn bank_row(&self, addr: u64) -> (usize, u64) {
+        let row_global = addr / u64::from(self.cfg.row_bytes);
+        (
+            (row_global % u64::from(self.cfg.banks)) as usize,
+            row_global / u64::from(self.cfg.banks),
+        )
+    }
+
+    /// Starts an activation for global row `row_global` if its bank is free,
+    /// not already holding (or opening) that row, and — crucially — not
+    /// holding a row that another request in the scheduling window is still
+    /// waiting to use (closing such a row would let two streams sharing a
+    /// bank livelock by ping-ponging activations). Returns `true` if an
+    /// activation was issued.
+    fn try_activate(&mut self, row_global: u64, now: u64) -> bool {
+        let bank = (row_global % u64::from(self.cfg.banks)) as usize;
+        let row = row_global / u64::from(self.cfg.banks);
+        if self.open_rows[bank] == Some(row) || self.bank_ready[bank] > now {
+            return false;
+        }
+        if let Some(cur) = self.open_rows[bank] {
+            let window = (self.cfg.sched_window as usize).max(1).min(self.queue.len());
+            let still_needed = (0..window).any(|i| {
+                let (b, r) = self.bank_row(self.queue[i].addr);
+                b == bank && r == cur
+            });
+            if still_needed {
+                return false;
+            }
+        }
+        self.open_rows[bank] = Some(row);
+        self.bank_ready[bank] = now + u64::from(self.cfg.row_miss_penalty);
+        self.row_misses += 1;
+        true
+    }
+
+    /// A request's bank is open on its row and past its activation time.
+    fn row_ready(&self, addr: u64, now: u64) -> bool {
+        let (bank, row) = self.bank_row(addr);
+        self.open_rows[bank] == Some(row) && self.bank_ready[bank] <= now
+    }
+
+    /// Advances one reference cycle. Returns the completion if a word
+    /// crossed the channel this cycle.
+    pub fn tick(&mut self, now: u64, storage: &mut Storage) -> Option<Completion> {
+        // Refresh: all-bank pause every t_REFI, closing every row.
+        if let Some(r) = self.cfg.refresh {
+            if now >= self.refresh_until && now / r.interval > self.refreshes {
+                self.refreshes = now / r.interval;
+                self.refresh_until = now + r.duration;
+                self.open_rows.iter_mut().for_each(|b| *b = None);
+            }
+            if now < self.refresh_until {
+                return None;
+            }
+        }
+        if self.queue.is_empty() {
+            return None;
+        }
+        self.busy_cycles += 1;
+
+        // Command path: issue (at most) one demand activation per cycle,
+        // for the oldest request in the scheduling window whose row is not
+        // open and whose bank permits it.
+        let window = (self.cfg.sched_window as usize).max(1).min(self.queue.len());
+        for i in 0..window {
+            let addr = self.queue[i].addr;
+            if !self.row_ready(addr, now)
+                && self.try_activate(addr / u64::from(self.cfg.row_bytes), now)
+            {
+                break;
+            }
+        }
+
+        // Data path (FR-FCFS): serve the oldest request whose row is open
+        // and activated.
+        let pick = (0..window).find(|&i| self.row_ready(self.queue[i].addr, now))?;
+        let req = self.queue[pick];
+
+        // Rational rate pacing: next transfer at ceil(ready_units / cpw_den).
+        let den = u64::from(self.cfg.cpw_den);
+        let ready_cycle = self.ready_units.div_ceil(den);
+        if now < ready_cycle {
+            return None;
+        }
+        // If the channel has been idle past its scheduled slot (no work, or
+        // a row stall), re-anchor pacing at `now`; within a paced stream
+        // `now == ready_cycle` and the fractional remainder is preserved.
+        if now > ready_cycle {
+            self.ready_units = now * den;
+        }
+
+        // Serve the word.
+        self.queue.remove(pick);
+        self.busy_cycles += 1;
+        let bytes = u64::from(self.cfg.word_bits / 8);
+        let data = match req.kind {
+            RequestKind::Read => {
+                self.words_read += 1;
+                match self.cfg.word_bits {
+                    32 => u64::from(storage.read_u32(req.addr)),
+                    64 => {
+                        u64::from(storage.read_u32(req.addr))
+                            | (u64::from(storage.read_u32(req.addr + 4)) << 32)
+                    }
+                    16 => u64::from(storage.read_u16(req.addr)),
+                    other => panic!("unsupported word size {other}"),
+                }
+            }
+            RequestKind::Write(v) => {
+                self.words_written += 1;
+                for i in 0..bytes {
+                    storage.write_u8(req.addr + i, (v >> (8 * i)) as u8);
+                }
+                v
+            }
+            RequestKind::Write16(v) => {
+                self.words_written += 1;
+                storage.write_u16(req.addr, v);
+                u64::from(v)
+            }
+        };
+
+        // Schedule the next word: one word time, plus the burst gap when a
+        // burst completes.
+        self.ready_units += u64::from(self.cfg.cpw_num);
+        self.words_in_burst += 1;
+        if self.words_in_burst == self.cfg.burst_len {
+            self.words_in_burst = 0;
+            self.ready_units += u64::from(self.cfg.inter_burst_gap) * den;
+        }
+
+        // Activate-ahead for sequential streams: while row R streams, make
+        // sure rows R+1 and R+2 are opening in their (interleaved) banks so
+        // the stream never waits on tCL+tRCD in steady state.
+        let row_global = req.addr / u64::from(self.cfg.row_bytes);
+        let _ = self.try_activate(row_global + 1, now);
+        let _ = self.try_activate(row_global + 2, now);
+
+        Some(Completion {
+            addr: req.addr,
+            tag: req.tag,
+            data,
+            cycle: now,
+        })
+    }
+
+    /// Words read since construction.
+    pub fn words_read(&self) -> u64 {
+        self.words_read
+    }
+
+    /// Words written since construction.
+    pub fn words_written(&self) -> u64 {
+        self.words_written
+    }
+
+    /// Row-buffer misses (activations) since construction.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Cycles during which the channel was processing or stalled on work.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Refresh commands issued.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Total bits moved across the channel.
+    pub fn bits_transferred(&self) -> u64 {
+        (self.words_read + self.words_written) * u64::from(self.cfg.word_bits)
+    }
+
+    /// DRAM access energy consumed so far, in joules (pJ/bit × bits).
+    pub fn energy_joules(&self) -> f64 {
+        self.bits_transferred() as f64 * self.cfg.energy_pj_per_bit * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_reads(cfg: ChannelConfig, n: usize) -> (u64, Vec<u64>) {
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        for i in 0..n {
+            // sequential words
+            let addr = (i as u64) * u64::from(cfg.word_bits / 8);
+            storage.write_u32(addr, i as u32);
+            assert!(ch.try_enqueue(Request {
+                addr,
+                tag: i as u64,
+                kind: RequestKind::Read,
+            }));
+        }
+        let mut cycles = Vec::new();
+        let mut now = 0u64;
+        while cycles.len() < n {
+            if let Some(c) = ch.tick(now, &mut storage) {
+                cycles.push(c.cycle);
+            }
+            now += 1;
+            assert!(now < 1_000_000, "channel deadlocked");
+        }
+        (now, cycles)
+    }
+
+    #[test]
+    fn hmc_sustained_bandwidth_is_16gbps() {
+        // 8 words x 4 B per 10 cycles at 5 GHz (see module docs on the
+        // calibration against the paper's reported utilization).
+        let cfg = ChannelConfig::hmc_int();
+        assert!((cfg.avg_bandwidth_gbps() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr3_config_matches_table1_bandwidth() {
+        let cfg = ChannelConfig::ddr3();
+        assert!((cfg.avg_bandwidth_gbps() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hmc_burst_pattern_8_on_2_off() {
+        let mut cfg = ChannelConfig::hmc_int();
+        cfg.row_miss_penalty = 0; // isolate burst pacing
+        let (_, cycles) = run_reads(cfg, 24);
+        // First burst back-to-back.
+        assert_eq!(&cycles[0..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Next burst starts after the 2-cycle t_CCD gap.
+        assert_eq!(cycles[8], 10);
+        assert_eq!(cycles[16], 20);
+    }
+
+    #[test]
+    fn row_miss_stalls_then_streams() {
+        let cfg = ChannelConfig::hmc_int();
+        let (_, cycles) = run_reads(cfg, 8);
+        let penalty = u64::from(cfg.row_miss_penalty);
+        assert_eq!(cycles[0], penalty); // first access activates the row
+        assert_eq!(cycles[7], penalty + 7);
+    }
+
+    #[test]
+    fn sequential_stream_crosses_rows_with_interleaved_banks() {
+        // 256-byte rows = 64 words; bank interleave means each new row costs
+        // one activation, but only 8 activations total for 8 banks' worth.
+        let mut cfg = ChannelConfig::hmc_int();
+        cfg.queue_capacity = 1024;
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        for i in 0..512u64 {
+            assert!(ch.try_enqueue(Request {
+                addr: i * 4,
+                tag: i,
+                kind: RequestKind::Read
+            }));
+        }
+        let mut now = 0;
+        let mut done = 0;
+        while done < 512 {
+            if ch.tick(now, &mut storage).is_some() {
+                done += 1;
+            }
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        // 512 words x 4B = 2 KiB = 8 rows; with activate-ahead the
+        // controller also opens up to two rows past the stream's end.
+        assert!((8..=10).contains(&ch.row_misses()), "{}", ch.row_misses());
+    }
+
+    #[test]
+    fn ddr3_rate_is_8_words_per_25_cycles() {
+        let mut cfg = ChannelConfig::ddr3();
+        cfg.row_miss_penalty = 0;
+        let (_, cycles) = run_reads(cfg, 16);
+        // Ideal times: k * 25/8 -> ceil: 0,4,7,10,13,16,19,22,25,...
+        assert_eq!(cycles[0], 0);
+        assert_eq!(cycles[8], 25);
+        // Average rate preserved exactly over the window.
+        assert_eq!(cycles[15], (15u64 * 25).div_ceil(8));
+    }
+
+    #[test]
+    fn reads_return_stored_data() {
+        let cfg = ChannelConfig::hmc_int();
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        storage.write_u32(0x40, 0xDEAD_BEEF);
+        ch.try_enqueue(Request {
+            addr: 0x40,
+            tag: 7,
+            kind: RequestKind::Read,
+        });
+        let mut now = 0;
+        loop {
+            if let Some(c) = ch.tick(now, &mut storage) {
+                assert_eq!(c.data, 0xDEAD_BEEF);
+                assert_eq!(c.tag, 7);
+                break;
+            }
+            now += 1;
+        }
+    }
+
+    #[test]
+    fn writes_land_in_storage_and_count_energy() {
+        let cfg = ChannelConfig::hmc_int();
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        ch.try_enqueue(Request {
+            addr: 0x10,
+            tag: 0,
+            kind: RequestKind::Write(0x1234_5678),
+        });
+        let mut now = 0;
+        while ch.tick(now, &mut storage).is_none() {
+            now += 1;
+        }
+        assert_eq!(storage.read_u32(0x10), 0x1234_5678);
+        assert_eq!(ch.words_written(), 1);
+        assert_eq!(ch.bits_transferred(), 32);
+        assert!((ch.energy_joules() - 32.0 * 3.7e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut cfg = ChannelConfig::hmc_int();
+        cfg.queue_capacity = 2;
+        let mut ch = Channel::new(cfg);
+        let req = Request {
+            addr: 0,
+            tag: 0,
+            kind: RequestKind::Read,
+        };
+        assert!(ch.try_enqueue(req));
+        assert!(ch.try_enqueue(req));
+        assert!(!ch.try_enqueue(req));
+        assert_eq!(ch.free_slots(), 0);
+    }
+
+    #[test]
+    fn refresh_steals_the_expected_bandwidth() {
+        let mut cfg = ChannelConfig::hmc_int();
+        cfg.queue_capacity = 4096;
+        let mut with = cfg;
+        with.refresh = Some(RefreshModel::jedec());
+        assert!((RefreshModel::jedec().overhead() - 0.0449).abs() < 0.01);
+        let mut results = Vec::new();
+        for c in [cfg, with] {
+            let mut ch = Channel::new(c);
+            let mut storage = Storage::new();
+            let n = 40_000u64; // spans a full refresh interval
+            let mut issued = 0u64;
+            let mut done = 0u64;
+            let mut now = 0u64;
+            let mut last = 0u64;
+            while done < n {
+                while issued < n
+                    && ch.try_enqueue(Request {
+                        addr: issued * 4,
+                        tag: issued,
+                        kind: RequestKind::Read,
+                    })
+                {
+                    issued += 1;
+                }
+                if let Some(r) = ch.tick(now, &mut storage) {
+                    done += 1;
+                    last = r.cycle;
+                }
+                now += 1;
+                assert!(now < 10_000_000);
+            }
+            results.push(last);
+        }
+        let slowdown = results[1] as f64 / results[0] as f64;
+        assert!(
+            (1.02..1.10).contains(&slowdown),
+            "refresh slowdown {slowdown}"
+        );
+    }
+
+    #[test]
+    fn idle_channel_reanchors_pacing() {
+        let mut cfg = ChannelConfig::hmc_int();
+        cfg.row_miss_penalty = 0;
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        let req = Request {
+            addr: 0,
+            tag: 0,
+            kind: RequestKind::Read,
+        };
+        ch.try_enqueue(req);
+        assert!(ch.tick(0, &mut storage).is_some());
+        // Long idle period, then a new request must be served immediately,
+        // not delayed by phantom accumulated burst position.
+        ch.try_enqueue(req);
+        assert!(ch.tick(1000, &mut storage).is_some());
+    }
+}

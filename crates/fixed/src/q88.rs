@@ -1,0 +1,405 @@
+//! The `Q1.7.8` fixed-point value type.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+/// Number of fractional bits in the `Q1.7.8` format.
+pub(crate) const FRAC_BITS: u32 = 8;
+/// Scale factor (`2^FRAC_BITS`).
+pub(crate) const SCALE: i32 = 1 << FRAC_BITS;
+
+/// A 16-bit fixed-point number in the paper's `Q1.7.8` format
+/// (1 sign bit, 7 integer bits, 8 fractional bits).
+///
+/// Representable range is `[-128.0, 127.99609375]` with a resolution of
+/// `1/256`. All arithmetic saturates at the format boundaries, the behaviour
+/// of the synthesized 16-bit datapath the paper describes, rather than
+/// wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use neurocube_fixed::Q88;
+///
+/// let a = Q88::from_f64(1.5);
+/// let b = Q88::from_f64(-0.25);
+/// assert_eq!((a + b).to_f64(), 1.25);
+/// assert_eq!((a * b).to_f64(), -0.375);
+/// // Saturation:
+/// assert_eq!((Q88::MAX + Q88::ONE), Q88::MAX);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Q88(i16);
+
+impl Q88 {
+    /// The additive identity (`0.0`).
+    pub const ZERO: Q88 = Q88(0);
+    /// The multiplicative identity (`1.0`).
+    pub const ONE: Q88 = Q88(SCALE as i16);
+    /// The most positive representable value (`127.99609375`).
+    pub const MAX: Q88 = Q88(i16::MAX);
+    /// The most negative representable value (`-128.0`).
+    pub const MIN: Q88 = Q88(i16::MIN);
+    /// The smallest positive increment (`1/256`).
+    pub const EPSILON: Q88 = Q88(1);
+
+    /// Creates a value directly from its raw 16-bit two's-complement
+    /// representation (the exact bit pattern stored in DRAM and carried in
+    /// NoC packet payloads).
+    #[inline]
+    pub const fn from_bits(bits: i16) -> Q88 {
+        Q88(bits)
+    }
+
+    /// Returns the raw 16-bit representation.
+    #[inline]
+    pub const fn to_bits(self) -> i16 {
+        self.0
+    }
+
+    /// Converts from a signed integer, saturating to the representable range.
+    ///
+    /// ```
+    /// use neurocube_fixed::Q88;
+    /// assert_eq!(Q88::from_int(3).to_f64(), 3.0);
+    /// assert_eq!(Q88::from_int(1000), Q88::MAX);
+    /// ```
+    #[inline]
+    pub const fn from_int(v: i32) -> Q88 {
+        Q88(saturate(v.saturating_mul(SCALE)))
+    }
+
+    /// Converts from `f64`, rounding to the nearest representable value and
+    /// saturating at the format boundaries. `NaN` maps to zero.
+    pub fn from_f64(v: f64) -> Q88 {
+        if v.is_nan() {
+            return Q88::ZERO;
+        }
+        let scaled = (v * SCALE as f64).round();
+        if scaled >= i16::MAX as f64 {
+            Q88::MAX
+        } else if scaled <= i16::MIN as f64 {
+            Q88::MIN
+        } else {
+            Q88(scaled as i16)
+        }
+    }
+
+    /// Converts to `f64` exactly (every `Q88` value is representable).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(SCALE)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Q88) -> Q88 {
+        Q88(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Q88) -> Q88 {
+        Q88(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication.
+    ///
+    /// The 16×16-bit product is computed in 32 bits, then truncated toward
+    /// negative infinity back to `Q1.7.8` (an arithmetic right shift by 8 —
+    /// the cheapest hardware realization and the one we fix for bit-exact
+    /// reproducibility between the timing simulator and the functional
+    /// reference).
+    #[inline]
+    pub const fn saturating_mul(self, rhs: Q88) -> Q88 {
+        let wide = (self.0 as i32) * (rhs.0 as i32);
+        Q88(saturate(wide >> FRAC_BITS))
+    }
+
+    /// The absolute value, saturating (`|MIN|` is not representable).
+    #[inline]
+    pub const fn saturating_abs(self) -> Q88 {
+        Q88(self.0.saturating_abs())
+    }
+
+    /// Returns the widened 32-bit product `self * rhs` in `Q2.14.16` scale
+    /// (`value × 2^16`) *before* renormalization — what a MAC's multiplier
+    /// array produces, exposed so gradient accumulation in the training
+    /// reference can mirror the hardware's wide-accumulator semantics.
+    ///
+    /// ```
+    /// use neurocube_fixed::Q88;
+    /// let p = Q88::from_f64(0.5).wide_product(Q88::from_f64(0.5));
+    /// assert_eq!(Q88::from_wide(i64::from(p)), Q88::from_f64(0.25));
+    /// ```
+    #[inline]
+    pub const fn wide_product(self, rhs: Q88) -> i32 {
+        (self.0 as i32) * (rhs.0 as i32)
+    }
+
+    /// Renormalizes a wide accumulator value (sum of
+    /// [`wide_product`](Self::wide_product) terms, clamped to the 32-bit
+    /// register range) back to `Q1.7.8`, saturating — the MAC's output
+    /// stage.
+    #[inline]
+    pub const fn from_wide(acc: i64) -> Q88 {
+        let clamped = if acc > i32::MAX as i64 {
+            i32::MAX as i64
+        } else if acc < i32::MIN as i64 {
+            i32::MIN as i64
+        } else {
+            acc
+        };
+        Q88(saturate((clamped >> FRAC_BITS) as i32))
+    }
+
+    /// `true` if the value is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Minimum of two values.
+    #[inline]
+    pub fn min(self, other: Q88) -> Q88 {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two values.
+    #[inline]
+    pub fn max(self, other: Q88) -> Q88 {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Saturates a 32-bit intermediate to the 16-bit range.
+#[inline]
+pub(crate) const fn saturate(v: i32) -> i16 {
+    if v > i16::MAX as i32 {
+        i16::MAX
+    } else if v < i16::MIN as i32 {
+        i16::MIN
+    } else {
+        v as i16
+    }
+}
+
+impl Add for Q88 {
+    type Output = Q88;
+    #[inline]
+    fn add(self, rhs: Q88) -> Q88 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Q88 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q88) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Q88 {
+    type Output = Q88;
+    #[inline]
+    fn sub(self, rhs: Q88) -> Q88 {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Q88 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q88) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Q88 {
+    type Output = Q88;
+    #[inline]
+    fn mul(self, rhs: Q88) -> Q88 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Neg for Q88 {
+    type Output = Q88;
+    #[inline]
+    fn neg(self) -> Q88 {
+        Q88(self.0.saturating_neg())
+    }
+}
+
+impl Sum for Q88 {
+    fn sum<I: Iterator<Item = Q88>>(iter: I) -> Q88 {
+        iter.fold(Q88::ZERO, Q88::saturating_add)
+    }
+}
+
+impl From<i8> for Q88 {
+    /// Every `i8` integer value is exactly representable.
+    fn from(v: i8) -> Q88 {
+        Q88((i16::from(v)) << FRAC_BITS)
+    }
+}
+
+impl fmt::Debug for Q88 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q88({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Q88 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+/// Error returned when parsing a [`Q88`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQ88Error;
+
+impl fmt::Display for ParseQ88Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("provided string was not a valid fixed-point number")
+    }
+}
+
+impl std::error::Error for ParseQ88Error {}
+
+impl FromStr for Q88 {
+    type Err = ParseQ88Error;
+
+    /// Parses a decimal number and rounds it to the nearest representable
+    /// `Q1.7.8` value, saturating at the boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseQ88Error`] if the string is not a decimal number.
+    fn from_str(s: &str) -> Result<Q88, ParseQ88Error> {
+        let v: f64 = s.parse().map_err(|_| ParseQ88Error)?;
+        if v.is_nan() {
+            return Err(ParseQ88Error);
+        }
+        Ok(Q88::from_f64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_correct() {
+        assert_eq!(Q88::ZERO.to_f64(), 0.0);
+        assert_eq!(Q88::ONE.to_f64(), 1.0);
+        assert_eq!(Q88::MIN.to_f64(), -128.0);
+        assert!((Q88::MAX.to_f64() - 127.99609375).abs() < 1e-12);
+        assert_eq!(Q88::EPSILON.to_f64(), 1.0 / 256.0);
+    }
+
+    #[test]
+    fn roundtrip_through_bits() {
+        for bits in [-32768i16, -1, 0, 1, 255, 256, 32767] {
+            assert_eq!(Q88::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        assert_eq!(Q88::from_f64(0.5).to_bits(), 128);
+        // 0.001953125 == 0.5/256, rounds to 1/256 (ties away handled by round())
+        assert_eq!(Q88::from_f64(1.0 / 512.0).to_bits(), 1);
+        assert_eq!(Q88::from_f64(-1.0 / 512.0).to_bits(), -1);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q88::from_f64(1e9), Q88::MAX);
+        assert_eq!(Q88::from_f64(-1e9), Q88::MIN);
+        assert_eq!(Q88::from_f64(f64::NAN), Q88::ZERO);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(Q88::MAX + Q88::ONE, Q88::MAX);
+        assert_eq!(Q88::MIN + (-Q88::ONE), Q88::MIN);
+        assert_eq!(Q88::from_f64(1.5) + Q88::from_f64(2.25), Q88::from_f64(3.75));
+    }
+
+    #[test]
+    fn multiplication_matches_reference() {
+        let cases = [(1.5, 2.0, 3.0), (-1.5, 2.0, -3.0), (0.5, 0.5, 0.25), (127.0, 127.0, 127.99609375)];
+        for (a, b, want) in cases {
+            assert_eq!(
+                (Q88::from_f64(a) * Q88::from_f64(b)).to_f64(),
+                want,
+                "{a} * {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiplication_truncates_toward_neg_infinity() {
+        // (-1/256) * (1/2) = -1/512, which truncates (>>8) down to -1/256.
+        let a = Q88::from_bits(-1);
+        let b = Q88::from_f64(0.5);
+        assert_eq!((a * b).to_bits(), -1);
+        // Positive counterpart truncates to zero.
+        let c = Q88::from_bits(1);
+        assert_eq!((c * b).to_bits(), 0);
+    }
+
+    #[test]
+    fn negation_saturates_min() {
+        assert_eq!(-Q88::MIN, Q88::MAX);
+        assert_eq!((-Q88::ONE).to_f64(), -1.0);
+    }
+
+    #[test]
+    fn sum_folds_with_saturation() {
+        let total: Q88 = (0..1000).map(|_| Q88::ONE).sum();
+        assert_eq!(total, Q88::MAX);
+        let small: Q88 = (0..4).map(|_| Q88::from_f64(0.25)).sum();
+        assert_eq!(small, Q88::ONE);
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("1.5".parse::<Q88>().unwrap(), Q88::from_f64(1.5));
+        assert_eq!("-0.25".parse::<Q88>().unwrap(), Q88::from_f64(-0.25));
+        assert_eq!("1e9".parse::<Q88>().unwrap(), Q88::MAX);
+        assert!("not a number".parse::<Q88>().is_err());
+        assert!("NaN".parse::<Q88>().is_err());
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", Q88::from_f64(1.5)), "1.5");
+        assert_eq!(format!("{:?}", Q88::ZERO), "Q88(0)");
+    }
+
+    #[test]
+    fn ordering_matches_numeric_value() {
+        assert!(Q88::from_f64(-1.0) < Q88::ZERO);
+        assert!(Q88::from_f64(2.5) > Q88::from_f64(2.25));
+        assert_eq!(Q88::from_f64(3.0).max(Q88::from_f64(-3.0)), Q88::from_f64(3.0));
+        assert_eq!(Q88::from_f64(3.0).min(Q88::from_f64(-3.0)), Q88::from_f64(-3.0));
+    }
+
+    #[test]
+    fn from_i8_is_exact() {
+        assert_eq!(Q88::from(-128i8).to_f64(), -128.0);
+        assert_eq!(Q88::from(127i8).to_f64(), 127.0);
+    }
+}

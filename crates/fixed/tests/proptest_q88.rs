@@ -1,0 +1,101 @@
+//! Property-based tests for the fixed-point substrate.
+
+use neurocube_fixed::{AccumulatorWidth, MacUnit, Q88};
+use proptest::prelude::*;
+
+fn any_q88() -> impl Strategy<Value = Q88> {
+    any::<i16>().prop_map(Q88::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in any_q88(), b in any_q88()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_is_commutative(a in any_q88(), b in any_q88()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_zero_is_identity(a in any_q88()) {
+        prop_assert_eq!(a + Q88::ZERO, a);
+    }
+
+    #[test]
+    fn mul_one_is_identity(a in any_q88()) {
+        prop_assert_eq!(a * Q88::ONE, a);
+    }
+
+    #[test]
+    fn mul_zero_is_zero(a in any_q88()) {
+        prop_assert_eq!(a * Q88::ZERO, Q88::ZERO);
+    }
+
+    #[test]
+    fn add_never_overflows_range(a in any_q88(), b in any_q88()) {
+        let s = (a + b).to_f64();
+        prop_assert!((-128.0..=127.99609375).contains(&s));
+    }
+
+    #[test]
+    fn mul_error_vs_real_is_one_ulp(a in -11.0f64..11.0, b in -11.0f64..11.0) {
+        // Inside the non-saturating region, fixed-point multiply is within
+        // one truncation ULP below / rounding noise above the real product.
+        let qa = Q88::from_f64(a);
+        let qb = Q88::from_f64(b);
+        let real = qa.to_f64() * qb.to_f64();
+        let got = (qa * qb).to_f64();
+        prop_assert!(got <= real + 1e-12, "got {got} real {real}");
+        prop_assert!(got >= real - 1.0 / 256.0 - 1e-12, "got {got} real {real}");
+    }
+
+    #[test]
+    fn roundtrip_f64(a in any_q88()) {
+        prop_assert_eq!(Q88::from_f64(a.to_f64()), a);
+    }
+
+    #[test]
+    fn neg_is_involutive_away_from_min(bits in -32767i16..=32767) {
+        let a = Q88::from_bits(bits);
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn wide_mac_matches_f64_within_bound(
+        pairs in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..64)
+    ) {
+        let mut mac = MacUnit::new(AccumulatorWidth::Wide32);
+        let mut ideal = 0.0;
+        for &(w, x) in &pairs {
+            let qw = Q88::from_f64(w);
+            let qx = Q88::from_f64(x);
+            mac.accumulate(qw, qx);
+            ideal += qw.to_f64() * qx.to_f64();
+        }
+        let got = mac.result().to_f64();
+        // Wide accumulation truncates exactly once at the end.
+        prop_assert!((got - ideal).abs() <= 1.0 / 256.0 + 1e-9,
+            "got {got} ideal {ideal} over {} pairs", pairs.len());
+    }
+
+    #[test]
+    fn narrow_mac_never_exceeds_wide_by_much_when_small(
+        pairs in proptest::collection::vec((-0.1f64..0.1, -0.1f64..0.1), 1..32)
+    ) {
+        let mut wide = MacUnit::new(AccumulatorWidth::Wide32);
+        let mut narrow = MacUnit::new(AccumulatorWidth::Narrow16);
+        for &(w, x) in &pairs {
+            let qw = Q88::from_f64(w);
+            let qx = Q88::from_f64(x);
+            wide.accumulate(qw, qx);
+            narrow.accumulate(qw, qx);
+        }
+        // With per-step truncation the narrow path can lose up to one ULP per
+        // step relative to the wide path, and never gains more than one ULP.
+        let diff = wide.result().to_f64() - narrow.result().to_f64();
+        prop_assert!(diff >= -1.0 / 256.0 - 1e-12);
+        prop_assert!(diff <= pairs.len() as f64 / 256.0 + 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Binary serialization of trained parameters.
+//!
+//! A minimal, dependency-free format so trained networks can be stored and
+//! shipped to a Neurocube deployment: magic + version, layer count, then
+//! each layer's weights as little-endian `Q1.7.8` bit patterns — the exact
+//! DRAM byte layout the host loads into the cube.
+
+use neurocube_fixed::Q88;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"NCUBEW1\n";
+
+/// Writes per-layer parameters to `w`.
+///
+/// Generic writers can be passed by `&mut` reference.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params<W: Write>(params: &[Vec<Q88>], mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for layer in params {
+        w.write_all(&(layer.len() as u64).to_le_bytes())?;
+        for q in layer {
+            w.write_all(&q.to_bits().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameters previously written by [`save_params`].
+///
+/// Generic readers can be passed by `&mut` reference.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic/version header or
+/// a truncated stream, and propagates reader errors.
+pub fn load_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<Q88>>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a Neurocube weight file (bad magic)",
+        ));
+    }
+    let mut n = [0u8; 4];
+    r.read_exact(&mut n)?;
+    let layers = u32::from_le_bytes(n) as usize;
+    let mut params = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let mut len = [0u8; 8];
+        r.read_exact(&mut len)?;
+        let len = u64::from_le_bytes(len) as usize;
+        let mut bytes = vec![0u8; len * 2];
+        r.read_exact(&mut bytes)?;
+        params.push(
+            bytes
+                .chunks_exact(2)
+                .map(|c| Q88::from_bits(i16::from_le_bytes([c[0], c[1]])))
+                .collect(),
+        );
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn roundtrip_preserves_every_bit() {
+        let spec = workloads::tiny_convnet();
+        let params = spec.init_params(9, 0.4);
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        let back = load_params(buf.as_slice()).unwrap();
+        assert_eq!(back, params);
+    }
+
+    #[test]
+    fn empty_layers_roundtrip() {
+        let params = vec![vec![], vec![Q88::ONE], vec![]];
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        assert_eq!(load_params(buf.as_slice()).unwrap(), params);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_params(&b"NOTAFILE12345678"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let spec = workloads::tiny_convnet();
+        let params = spec.init_params(9, 0.4);
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(buf.as_slice()).is_err());
+    }
+}

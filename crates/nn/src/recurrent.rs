@@ -1,0 +1,335 @@
+//! Recurrent networks by unfolding — the paper's §VI extension claim:
+//! *"RNN is equivalent to a deep MLP after unfolding in time"*, so the
+//! Neurocube runs one without architectural changes.
+//!
+//! An Elman-style recurrence
+//!
+//! ```text
+//! h_t = act(W_h · h_{t-1} + W_x · x_t),   y = out_act(W_o · h_T)
+//! ```
+//!
+//! unfolds into a chain of fully connected layers. Because a feedforward
+//! layer only sees its predecessor's output, the not-yet-consumed inputs
+//! `x_{t+1} .. x_T` are *carried through* each unfolded layer by an
+//! identity block in its weight matrix. Multiplying by `1.0` is exact in
+//! `Q1.7.8` — but the carried values still pass through the layer's
+//! activation, so the equivalence is **exact only for activations that fix
+//! the carried values**: `Identity`, or `ReLU` with non-negative input
+//! sequences. That is a real (and rarely stated) caveat to the paper's
+//! "RNN = deep MLP" claim; within it, the unfolded MLP reproduces the
+//! direct recurrence **bit-for-bit** (verified in tests and on the
+//! cycle-level simulator).
+
+use crate::layer::{LayerSpec, Shape};
+use crate::network::{NetworkError, NetworkSpec};
+use crate::tensor::Tensor;
+use neurocube_fixed::{AccumulatorWidth, Activation, ActivationLut, MacUnit, Q88};
+
+/// An Elman recurrent network description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecurrentSpec {
+    /// Input features per timestep.
+    pub inputs: usize,
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// Output classes (read from the final hidden state).
+    pub outputs: usize,
+    /// Hidden-state activation.
+    pub activation: Activation,
+    /// Output-layer activation.
+    pub output_activation: Activation,
+    /// Timesteps to unfold.
+    pub steps: usize,
+}
+
+impl RecurrentSpec {
+    /// Validates the description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::Empty`] if any dimension or the step count
+    /// is zero, or if the hidden activation cannot carry inputs through the
+    /// unfolded layers exactly (only [`Activation::Identity`] and
+    /// [`Activation::ReLU`] — the latter assuming non-negative input
+    /// sequences, checked by [`pack_input`](Self::pack_input)).
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        if self.inputs == 0 || self.hidden == 0 || self.outputs == 0 || self.steps == 0 {
+            return Err(NetworkError::Empty);
+        }
+        if !matches!(self.activation, Activation::Identity | Activation::ReLU) {
+            return Err(NetworkError::Empty);
+        }
+        Ok(())
+    }
+
+    /// Number of weights in each of the shared matrices
+    /// `(W_x, W_h, W_o)`.
+    pub fn weight_counts(&self) -> (usize, usize, usize) {
+        (
+            self.hidden * self.inputs,
+            self.hidden * self.hidden,
+            self.outputs * self.hidden,
+        )
+    }
+
+    /// The unfolded feedforward network: `steps` fully connected layers of
+    /// shrinking width (each consumes one timestep's input and carries the
+    /// rest through), then the output layer.
+    ///
+    /// Layer `t` (0-based) maps
+    /// `[h_t ; x_{t+1} .. x_T] → [h_{t+1} ; x_{t+2} .. x_T]`.
+    /// The network input is `[h_0 ; x_1 .. x_T]` (initial hidden state
+    /// followed by the whole input sequence).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the description is invalid.
+    pub fn unfold(&self) -> Result<NetworkSpec, NetworkError> {
+        self.validate()?;
+        let mut layers = Vec::with_capacity(self.steps + 1);
+        for t in 0..self.steps {
+            let remaining = (self.steps - 1 - t) * self.inputs;
+            layers.push(LayerSpec::fc(self.hidden + remaining, self.activation));
+        }
+        layers.push(LayerSpec::fc(self.outputs, self.output_activation));
+        NetworkSpec::new(
+            Shape::flat(self.hidden + self.steps * self.inputs),
+            layers,
+        )
+    }
+
+    /// Materializes the unfolded network's per-layer weights from the three
+    /// shared matrices (row-major: `w_x[h][i]`, `w_h[h][h']`, `w_o[o][h]`).
+    ///
+    /// Each unfolded layer's matrix is
+    ///
+    /// ```text
+    /// [ W_h  W_x  0 ]     (hidden rows)
+    /// [  0    0   I ]     (carry rows for x_{t+2..})
+    /// ```
+    ///
+    /// The identity carry is exact in fixed point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices do not match [`weight_counts`](Self::weight_counts).
+    pub fn unfolded_params(&self, w_x: &[Q88], w_h: &[Q88], w_o: &[Q88]) -> Vec<Vec<Q88>> {
+        let (nx, nh, no) = self.weight_counts();
+        assert_eq!(w_x.len(), nx, "W_x size");
+        assert_eq!(w_h.len(), nh, "W_h size");
+        assert_eq!(w_o.len(), no, "W_o size");
+        let mut params = Vec::with_capacity(self.steps + 1);
+        for t in 0..self.steps {
+            let carry = (self.steps - 1 - t) * self.inputs;
+            let n_in = self.hidden + (self.steps - t) * self.inputs;
+            let n_out = self.hidden + carry;
+            let mut w = vec![Q88::ZERO; n_out * n_in];
+            // Hidden rows: W_h over h, then W_x over x_{t+1}.
+            for h in 0..self.hidden {
+                for j in 0..self.hidden {
+                    w[h * n_in + j] = w_h[h * self.hidden + j];
+                }
+                for i in 0..self.inputs {
+                    w[h * n_in + self.hidden + i] = w_x[h * self.inputs + i];
+                }
+            }
+            // Carry rows: identity over x_{t+2..}.
+            for c in 0..carry {
+                let row = self.hidden + c;
+                let col = self.hidden + self.inputs + c;
+                w[row * n_in + col] = Q88::ONE;
+            }
+            params.push(w);
+        }
+        params.push(w_o.to_vec());
+        params
+    }
+
+    /// Packs an input sequence (plus the zero initial hidden state) into
+    /// the unfolded network's input tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not `steps` vectors of `inputs` values, or if the
+    /// hidden activation is `ReLU` and any input is negative (ReLU would
+    /// not carry it exactly; see the module docs).
+    pub fn pack_input(&self, xs: &[Vec<Q88>]) -> Tensor {
+        assert_eq!(xs.len(), self.steps, "one vector per timestep");
+        let mut v = vec![Q88::ZERO; self.hidden];
+        for x in xs {
+            assert_eq!(x.len(), self.inputs, "timestep width");
+            if self.activation == Activation::ReLU {
+                assert!(
+                    x.iter().all(|&q| q >= Q88::ZERO),
+                    "ReLU unfolding requires non-negative inputs"
+                );
+            }
+            v.extend_from_slice(x);
+        }
+        Tensor::from_flat(v)
+    }
+
+    /// The direct (non-unfolded) recurrence, with exactly the unfolded
+    /// network's MAC semantics and connection order, as the equivalence
+    /// reference. Returns the output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched weight or input sizes.
+    pub fn run_direct(
+        &self,
+        w_x: &[Q88],
+        w_h: &[Q88],
+        w_o: &[Q88],
+        xs: &[Vec<Q88>],
+        width: AccumulatorWidth,
+    ) -> Vec<Q88> {
+        let (nx, nh, no) = self.weight_counts();
+        assert_eq!(w_x.len(), nx);
+        assert_eq!(w_h.len(), nh);
+        assert_eq!(w_o.len(), no);
+        assert_eq!(xs.len(), self.steps);
+        let lut = ActivationLut::new(self.activation);
+        let out_lut = ActivationLut::new(self.output_activation);
+        let mut h = vec![Q88::ZERO; self.hidden];
+        for x in xs {
+            let mut next = vec![Q88::ZERO; self.hidden];
+            for (j, slot) in next.iter_mut().enumerate() {
+                // Connection order matches the unfolded FC layer: hidden
+                // inputs first, then the timestep's inputs.
+                let mut mac = MacUnit::new(width);
+                for (k, &hv) in h.iter().enumerate() {
+                    mac.accumulate(w_h[j * self.hidden + k], hv);
+                }
+                for (k, &xv) in x.iter().enumerate() {
+                    mac.accumulate(w_x[j * self.inputs + k], xv);
+                }
+                *slot = lut.apply(mac.result());
+            }
+            h = next;
+        }
+        (0..self.outputs)
+            .map(|o| {
+                let mut mac = MacUnit::new(width);
+                for (k, &hv) in h.iter().enumerate() {
+                    mac.accumulate(w_o[o * self.hidden + k], hv);
+                }
+                out_lut.apply(mac.result())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn spec() -> RecurrentSpec {
+        RecurrentSpec {
+            inputs: 3,
+            hidden: 5,
+            outputs: 2,
+            activation: Activation::ReLU,
+            output_activation: Activation::Sigmoid,
+            steps: 4,
+        }
+    }
+
+    fn random_q(rng: &mut SmallRng, n: usize, scale: f64) -> Vec<Q88> {
+        (0..n)
+            .map(|_| Q88::from_f64(rng.random_range(-scale..scale)))
+            .collect()
+    }
+
+    #[test]
+    fn unfolded_shapes_shrink_correctly() {
+        let net = spec().unfold().unwrap();
+        // Input: 5 + 4*3 = 17; layers: 14, 11, 8, 5, then 2.
+        assert_eq!(net.input_shape().len(), 17);
+        let widths: Vec<usize> = net.shapes()[1..].iter().map(|s| s.len()).collect();
+        assert_eq!(widths, vec![14, 11, 8, 5, 2]);
+    }
+
+    #[test]
+    fn unfolded_mlp_matches_direct_recurrence_bit_exactly() {
+        let r = spec();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (nx, nh, no) = r.weight_counts();
+        let w_x = random_q(&mut rng, nx, 0.4);
+        let w_h = random_q(&mut rng, nh, 0.4);
+        let w_o = random_q(&mut rng, no, 0.4);
+        // Non-negative inputs so the ReLU carry is exact.
+        let xs: Vec<Vec<Q88>> = (0..r.steps)
+            .map(|_| {
+                random_q(&mut rng, r.inputs, 1.0)
+                    .into_iter()
+                    .map(Q88::saturating_abs)
+                    .collect()
+            })
+            .collect();
+
+        let direct = r.run_direct(&w_x, &w_h, &w_o, &xs, AccumulatorWidth::Wide32);
+        let net = r.unfold().unwrap();
+        let exec = Executor::new(net, r.unfolded_params(&w_x, &w_h, &w_o));
+        let unfolded = exec.predict(&r.pack_input(&xs));
+        assert_eq!(unfolded.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn carry_is_exact() {
+        // With zero recurrence weights, layer t's carried inputs must be
+        // the raw x values (identity multiplication is exact).
+        let r = RecurrentSpec {
+            inputs: 2,
+            hidden: 1,
+            outputs: 1,
+            activation: Activation::Identity,
+            output_activation: Activation::Identity,
+            steps: 3,
+        };
+        let (nx, nh, no) = r.weight_counts();
+        let net = r.unfold().unwrap();
+        let params = r.unfolded_params(
+            &vec![Q88::ZERO; nx],
+            &vec![Q88::ZERO; nh],
+            &vec![Q88::ZERO; no],
+        );
+        let exec = Executor::new(net, params);
+        let xs = vec![
+            vec![Q88::from_f64(0.125), Q88::from_f64(-3.5)],
+            vec![Q88::from_f64(1.75), Q88::from_f64(0.0625)],
+            vec![Q88::from_f64(-0.25), Q88::from_f64(7.0)],
+        ]; // negatives are fine with Identity activation
+        let outs = exec.forward(&r.pack_input(&xs));
+        // After layer 0: [h1(=0), x2, x3]; the carried x3 is exact.
+        assert_eq!(outs[0].at(1), xs[1][0]);
+        assert_eq!(outs[0].at(3), xs[2][0]);
+        assert_eq!(outs[0].at(4), xs[2][1]);
+        // After layer 1: [h2(=0), x3].
+        assert_eq!(outs[1].at(2), xs[2][1]);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut r = spec();
+        r.steps = 0;
+        assert!(r.unfold().is_err());
+        r = spec();
+        r.hidden = 0;
+        assert!(r.validate().is_err());
+        // Activations that distort the carried inputs are rejected.
+        r = spec();
+        r.activation = Activation::Tanh;
+        assert!(r.unfold().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "W_x size")]
+    fn param_sizes_checked() {
+        let r = spec();
+        let _ = r.unfolded_params(&[], &[], &[]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Fixed-point training (backpropagation) reference.
+//!
+//! The paper evaluates Neurocube for *training* as well as inference
+//! (Fig. 13) — backpropagation's backward and weight-update passes are the
+//! same three-nested-loop MAC pattern as the forward pass, so the PNGs can
+//! be programmed with them (§VI). This module is the functional reference:
+//! plain backprop over the canonical connection map, with gradients
+//! accumulated in the MAC's wide-register semantics and all values quantized
+//! to `Q1.7.8`.
+
+use crate::connections::{self, WeightRef};
+use crate::exec::Executor;
+use crate::tensor::Tensor;
+use neurocube_fixed::Q88;
+
+/// Mean squared error between two equal-length tensors, in double precision
+/// (reporting only — gradients are computed in fixed point).
+///
+/// # Panics
+///
+/// Panics if the tensors have different lengths.
+pub fn mse_loss(output: &Tensor, target: &Tensor) -> f64 {
+    assert_eq!(output.len(), target.len(), "loss operand lengths differ");
+    let n = output.len() as f64;
+    output
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&o, &t)| (o.to_f64() - t.to_f64()).powi(2))
+        .sum::<f64>()
+        / n
+}
+
+/// Hyper-parameters of the trainer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrainerConfig {
+    /// SGD learning rate (quantized; updates smaller than `1/256 / lr`
+    /// round to zero, so pick rates of `1/16` and up for the fixed-point
+    /// format to make progress).
+    pub learning_rate: Q88,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> TrainerConfig {
+        TrainerConfig {
+            learning_rate: Q88::from_f64(0.25),
+        }
+    }
+}
+
+/// Wide-register gradient accumulator mirroring the MAC datapath: products
+/// enter at `Q2.14.16` scale and the running sum is clamped to the 32-bit
+/// register range after every addition, exactly like
+/// [`MacUnit`](neurocube_fixed::MacUnit).
+#[derive(Clone, Copy, Debug, Default)]
+struct WideAcc(i64);
+
+impl WideAcc {
+    #[inline]
+    fn add_product(&mut self, a: Q88, b: Q88) {
+        self.0 += i64::from(a.wide_product(b));
+        self.0 = self.0.clamp(i64::from(i32::MIN), i64::from(i32::MAX));
+    }
+
+    #[inline]
+    fn result(self) -> Q88 {
+        Q88::from_wide(self.0)
+    }
+}
+
+/// SGD trainer over an [`Executor`].
+///
+/// # Examples
+///
+/// ```
+/// use neurocube_nn::{Trainer, TrainerConfig, Executor, NetworkSpec, LayerSpec, Shape, Tensor};
+/// use neurocube_fixed::{Activation, Q88};
+///
+/// let net = NetworkSpec::new(Shape::flat(1), vec![LayerSpec::fc(1, Activation::Identity)])?;
+/// let exec = Executor::new(net, vec![vec![Q88::ZERO]]);
+/// let mut trainer = Trainer::new(exec, TrainerConfig::default());
+/// let x = Tensor::from_flat(vec![Q88::ONE]);
+/// let y = Tensor::from_flat(vec![Q88::from_f64(0.5)]);
+/// let first = trainer.step(&x, &y);
+/// for _ in 0..50 { trainer.step(&x, &y); }
+/// let last = trainer.step(&x, &y);
+/// assert!(last < first);
+/// # Ok::<(), neurocube_nn::NetworkError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Trainer {
+    exec: Executor,
+    cfg: TrainerConfig,
+    steps: u64,
+}
+
+impl Trainer {
+    /// Wraps an executor for training.
+    pub fn new(exec: Executor, cfg: TrainerConfig) -> Trainer {
+        Trainer {
+            exec,
+            cfg,
+            steps: 0,
+        }
+    }
+
+    /// The wrapped executor (current weights).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Unwraps the trained executor.
+    pub fn into_executor(self) -> Executor {
+        self.exec
+    }
+
+    /// Training steps performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Quantized activation derivative at a pre-activation value.
+    fn act_derivative(&self, layer: usize, pre: Q88) -> Q88 {
+        let act = self.exec.spec().layers()[layer].activation();
+        Q88::from_f64(act.ideal_derivative(pre.to_f64()))
+    }
+
+    /// One SGD step on `(input, target)`. Returns the *pre-update* MSE loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` does not match the network's output length.
+    pub fn step(&mut self, input: &Tensor, target: &Tensor) -> f64 {
+        let spec = self.exec.spec().clone();
+        assert_eq!(
+            target.len(),
+            spec.output_shape().len(),
+            "target length mismatch"
+        );
+        let detailed = self.exec.forward_detailed(input);
+        let output = &detailed.last().expect("non-empty").1;
+        let loss = mse_loss(output, target);
+
+        // Output-layer delta: (o - t) ⊙ act'(pre).
+        let last = spec.depth() - 1;
+        let mut delta: Vec<Q88> = (0..output.len())
+            .map(|j| {
+                let err = output.at(j).saturating_sub(target.at(j));
+                err.saturating_mul(self.act_derivative(last, detailed[last].0.at(j)))
+            })
+            .collect();
+
+        // Backward through the layers.
+        for i in (0..spec.depth()).rev() {
+            let in_shape = spec.layer_input(i);
+            let layer = spec.layers()[i];
+            let n_conn = layer.connections_per_neuron(in_shape);
+            let out_len = spec.layer_output(i).len();
+            let n_weights = spec.weights_per_layer()[i];
+            let layer_input: &Tensor = if i == 0 { input } else { &detailed[i - 1].1 };
+
+            let mut d_w = vec![WideAcc::default(); n_weights];
+            let mut d_x = vec![WideAcc::default(); in_shape.len()];
+            #[allow(clippy::needless_range_loop)] // neuron is also an index into the connection map
+            for neuron in 0..out_len {
+                let d = delta[neuron];
+                if d.is_zero() {
+                    continue;
+                }
+                for k in 0..n_conn {
+                    let conn = connections::resolve(&layer, in_shape, neuron, k);
+                    let w = connections::weight_value(conn, &self.exec.params()[i]);
+                    d_x[conn.input_index].add_product(w, d);
+                    if let WeightRef::Stored(widx) = conn.weight {
+                        d_w[widx].add_product(layer_input.at(conn.input_index), d);
+                    }
+                }
+            }
+
+            // Weight update: w -= lr * dW.
+            let lr = self.cfg.learning_rate;
+            let weights = &mut self.exec.params_mut()[i];
+            for (w, g) in weights.iter_mut().zip(&d_w) {
+                *w = w.saturating_sub(lr.saturating_mul(g.result()));
+            }
+
+            // Propagate delta to the previous layer.
+            if i > 0 {
+                let prev_pre = &detailed[i - 1].0;
+                delta = (0..in_shape.len())
+                    .map(|idx| {
+                        d_x[idx]
+                            .result()
+                            .saturating_mul(self.act_derivative(i - 1, prev_pre.at(idx)))
+                    })
+                    .collect();
+            }
+        }
+
+        self.steps += 1;
+        loss
+    }
+
+    /// Runs `epochs` passes over a dataset of `(input, target)` pairs;
+    /// returns the mean loss of each epoch.
+    pub fn fit(&mut self, data: &[(Tensor, Tensor)], epochs: usize) -> Vec<f64> {
+        (0..epochs)
+            .map(|_| {
+                let total: f64 = data.iter().map(|(x, y)| self.step(x, y)).sum();
+                total / data.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{LayerSpec, Shape};
+    use crate::network::NetworkSpec;
+    use neurocube_fixed::Activation;
+
+    #[test]
+    fn linear_neuron_learns_half() {
+        let spec = NetworkSpec::new(
+            Shape::flat(1),
+            vec![LayerSpec::fc(1, Activation::Identity)],
+        )
+        .unwrap();
+        let exec = Executor::new(spec, vec![vec![Q88::ZERO]]);
+        let mut t = Trainer::new(
+            exec,
+            TrainerConfig {
+                learning_rate: Q88::from_f64(0.5),
+            },
+        );
+        let data = [
+            (
+                Tensor::from_flat(vec![Q88::ONE]),
+                Tensor::from_flat(vec![Q88::from_f64(0.5)]),
+            ),
+            (
+                Tensor::from_flat(vec![Q88::from_f64(-1.0)]),
+                Tensor::from_flat(vec![Q88::from_f64(-0.5)]),
+            ),
+        ];
+        let losses = t.fit(&data, 30);
+        assert!(losses[29] < losses[0] / 10.0, "losses: {losses:?}");
+        let w = t.executor().params()[0][0].to_f64();
+        assert!((w - 0.5).abs() < 0.05, "learned w = {w}");
+    }
+
+    #[test]
+    fn sigmoid_classifier_separates_two_points() {
+        let spec = NetworkSpec::new(
+            Shape::flat(2),
+            vec![LayerSpec::fc(1, Activation::Sigmoid)],
+        )
+        .unwrap();
+        let exec = Executor::new(spec, vec![vec![Q88::ZERO, Q88::ZERO]]);
+        let mut t = Trainer::new(
+            exec,
+            TrainerConfig {
+                learning_rate: Q88::from_f64(1.0),
+            },
+        );
+        let pos = Tensor::from_flat(vec![Q88::from_f64(2.0), Q88::from_f64(1.0)]);
+        let neg = Tensor::from_flat(vec![Q88::from_f64(-2.0), Q88::from_f64(-1.0)]);
+        let one = Tensor::from_flat(vec![Q88::ONE]);
+        let zero = Tensor::from_flat(vec![Q88::ZERO]);
+        let data = [(pos.clone(), one), (neg.clone(), zero)];
+        t.fit(&data, 60);
+        let p = t.executor().predict(&pos).at(0).to_f64();
+        let n = t.executor().predict(&neg).at(0).to_f64();
+        assert!(p > 0.8, "positive point scored {p}");
+        assert!(n < 0.2, "negative point scored {n}");
+    }
+
+    #[test]
+    fn two_layer_mlp_reduces_loss() {
+        let spec = NetworkSpec::new(
+            Shape::flat(3),
+            vec![
+                LayerSpec::fc(4, Activation::Tanh),
+                LayerSpec::fc(2, Activation::Sigmoid),
+            ],
+        )
+        .unwrap();
+        let params = spec.init_params(11, 0.5);
+        let exec = Executor::new(spec, params);
+        let mut t = Trainer::new(exec, TrainerConfig::default());
+        let x = Tensor::from_flat(vec![Q88::ONE, Q88::from_f64(-0.5), Q88::from_f64(0.25)]);
+        let y = Tensor::from_flat(vec![Q88::ONE, Q88::ZERO]);
+        let first = t.step(&x, &y);
+        for _ in 0..80 {
+            t.step(&x, &y);
+        }
+        let last = t.step(&x, &y);
+        assert!(last < first * 0.5, "first {first}, last {last}");
+        assert_eq!(t.steps(), 82);
+    }
+
+    #[test]
+    fn conv_layer_gradients_flow() {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 4, 4),
+            vec![
+                LayerSpec::conv(1, 3, Activation::Tanh),
+                LayerSpec::fc(1, Activation::Identity),
+            ],
+        )
+        .unwrap();
+        let params = spec.init_params(5, 0.25);
+        let exec = Executor::new(spec, params);
+        let mut t = Trainer::new(
+            exec,
+            TrainerConfig {
+                learning_rate: Q88::from_f64(0.25),
+            },
+        );
+        let mut x = Tensor::zeros(1, 4, 4);
+        for i in 0..16 {
+            x.set_at(i, Q88::from_f64(if i % 2 == 0 { 1.0 } else { -1.0 }));
+        }
+        let y = Tensor::from_flat(vec![Q88::from_f64(1.0)]);
+        let before = t.executor().params()[0].clone();
+        let first = t.step(&x, &y);
+        // Conv weights actually moved.
+        assert_ne!(&before, &t.executor().params()[0]);
+        for _ in 0..40 {
+            t.step(&x, &y);
+        }
+        let last = t.step(&x, &y);
+        assert!(last < first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn pooling_layers_have_no_weights_but_pass_gradients() {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 4, 4),
+            vec![
+                LayerSpec::AvgPool { size: 2 },
+                LayerSpec::fc(1, Activation::Identity),
+            ],
+        )
+        .unwrap();
+        let params = spec.init_params(2, 0.25);
+        let exec = Executor::new(spec, params);
+        let mut t = Trainer::new(exec, TrainerConfig::default());
+        let x = Tensor::from_vec(1, 4, 4, (0..16).map(|i| Q88::from_int(i % 3)).collect());
+        let y = Tensor::from_flat(vec![Q88::from_f64(2.0)]);
+        let first = t.step(&x, &y);
+        for _ in 0..30 {
+            t.step(&x, &y);
+        }
+        let last = t.step(&x, &y);
+        assert!(last < first);
+        assert!(t.executor().params()[0].is_empty());
+    }
+
+    #[test]
+    fn mse_loss_basics() {
+        let a = Tensor::from_flat(vec![Q88::ONE, Q88::ZERO]);
+        let b = Tensor::from_flat(vec![Q88::ZERO, Q88::ZERO]);
+        assert_eq!(mse_loss(&a, &a), 0.0);
+        assert_eq!(mse_loss(&a, &b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mse_rejects_mismatch() {
+        let a = Tensor::from_flat(vec![Q88::ONE]);
+        let b = Tensor::from_flat(vec![Q88::ONE, Q88::ZERO]);
+        let _ = mse_loss(&a, &b);
+    }
+}

@@ -1,0 +1,436 @@
+//! The cycle-driven fabric.
+
+use crate::packet::{NodeId, Packet};
+use crate::router::{Flit, Router, BUFFER_DEPTH};
+use crate::stats::NocStats;
+use crate::topology::Topology;
+use std::fmt;
+
+/// A complete NoC: one router per node, each with a PE port and a memory
+/// (vault/PNG) port in addition to its router-to-router links.
+///
+/// Drive the fabric with [`tick`](Network::tick) once per reference cycle.
+/// Producers inject with [`try_inject_from_mem`](Network::try_inject_from_mem)
+/// / [`try_inject_from_pe`](Network::try_inject_from_pe) (returns `false`
+/// on backpressure) and consumers drain with
+/// [`pop_for_pe`](Network::pop_for_pe) / [`pop_for_mem`](Network::pop_for_mem).
+///
+/// # Examples
+///
+/// ```
+/// use neurocube_noc::{Network, Packet, PacketKind, Topology};
+///
+/// let mut net = Network::new(Topology::mesh4x4());
+/// let pkt = Packet { dst: 5, src: 0, mac_id: 0, op_id: 0,
+///                    kind: PacketKind::State, data: 42 };
+/// assert!(net.try_inject_from_mem(0, pkt, 0));
+/// let mut got = None;
+/// for now in 1..100 {
+///     net.tick(now);
+///     if let Some(p) = net.pop_for_pe(5, now) { got = Some(p); break; }
+/// }
+/// assert_eq!(got.unwrap().data, 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    topo: Topology,
+    routers: Vec<Router>,
+    stats: NocStats,
+    pe_port: usize,
+    mem_port: usize,
+}
+
+impl Network {
+    /// Builds an idle fabric with the given wiring.
+    pub fn new(topo: Topology) -> Network {
+        let ports = topo.ports();
+        Network {
+            routers: (0..topo.nodes()).map(|_| Router::new(ports)).collect(),
+            stats: NocStats::default(),
+            pe_port: topo.mesh_ports(),
+            mem_port: topo.mesh_ports() + 1,
+            topo,
+        }
+    }
+
+    /// The wiring this fabric was built with.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Lifetime traffic counters.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// `true` when no flit is buffered anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.routers.iter().all(Router::is_idle)
+    }
+
+    /// Total flits buffered in the fabric.
+    pub fn occupancy(&self) -> usize {
+        self.routers.iter().map(Router::occupancy).sum()
+    }
+
+    /// The output port a packet takes when it reaches its destination
+    /// router.
+    fn eject_port(&self, pkt: Packet) -> usize {
+        if pkt.is_for_memory() {
+            self.mem_port
+        } else {
+            self.pe_port
+        }
+    }
+
+    fn inject(&mut self, node: NodeId, port: usize, pkt: Packet, now: u64) -> bool {
+        let q = &mut self.routers[usize::from(node)].inputs[port];
+        if q.len() >= BUFFER_DEPTH {
+            self.stats.inject_stalls += 1;
+            return false;
+        }
+        q.push_back(Flit {
+            pkt,
+            entered: now,
+            injected: now,
+            hops: 0,
+        });
+        self.stats.injected += 1;
+        true
+    }
+
+    /// Injects a packet from node `node`'s vault/PNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `pkt.dst` is out of range.
+    pub fn try_inject_from_mem(&mut self, node: NodeId, pkt: Packet, now: u64) -> bool {
+        assert!(usize::from(pkt.dst) < self.routers.len(), "bad destination");
+        self.inject(node, self.mem_port, pkt, now)
+    }
+
+    /// Injects a packet from node `node`'s PE (write-back results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `pkt.dst` is out of range.
+    pub fn try_inject_from_pe(&mut self, node: NodeId, pkt: Packet, now: u64) -> bool {
+        assert!(usize::from(pkt.dst) < self.routers.len(), "bad destination");
+        self.inject(node, self.pe_port, pkt, now)
+    }
+
+    fn pop_ejected(&mut self, node: NodeId, port: usize, now: u64) -> Option<Packet> {
+        let q = &mut self.routers[usize::from(node)].outputs[port];
+        if q.front().is_some_and(|f| f.entered < now) {
+            let f = q.pop_front().expect("just checked");
+            self.stats.delivered += 1;
+            self.stats.total_hops += u64::from(f.hops);
+            self.stats.total_latency += now - f.injected;
+            if f.pkt.is_lateral() {
+                self.stats.lateral += 1;
+            }
+            Some(f.pkt)
+        } else {
+            None
+        }
+    }
+
+    /// Removes the next packet waiting at node `node`'s PE port, if any.
+    /// At most one packet per node per cycle (the PE ingest datapath is one
+    /// packet wide).
+    pub fn pop_for_pe(&mut self, node: NodeId, now: u64) -> Option<Packet> {
+        self.pop_ejected(node, self.pe_port, now)
+    }
+
+    /// The packet [`pop_for_pe`](Self::pop_for_pe) would return, without
+    /// removing it — lets a PE refuse delivery (backpressure) and leave the
+    /// packet queued in the router.
+    pub fn peek_for_pe(&self, node: NodeId, now: u64) -> Option<&Packet> {
+        let q = &self.routers[usize::from(node)].outputs[self.pe_port];
+        q.front().filter(|f| f.entered < now).map(|f| &f.pkt)
+    }
+
+    /// Removes the next packet waiting at node `node`'s memory port
+    /// (write-backs destined for the PNG/vault controller).
+    pub fn pop_for_mem(&mut self, node: NodeId, now: u64) -> Option<Packet> {
+        self.pop_ejected(node, self.mem_port, now)
+    }
+
+    /// The packet [`pop_for_mem`](Self::pop_for_mem) would return, without
+    /// removing it (vault-controller backpressure).
+    pub fn peek_for_mem(&self, node: NodeId, now: u64) -> Option<&Packet> {
+        let q = &self.routers[usize::from(node)].outputs[self.mem_port];
+        q.front().filter(|f| f.entered < now).map(|f| &f.pkt)
+    }
+
+    /// Advances the fabric one cycle: switch allocation (inputs → outputs,
+    /// rotating-priority arbitration per output) followed by link traversal
+    /// (outputs → neighbour inputs). A flit moves at most one stage per
+    /// cycle.
+    pub fn tick(&mut self, now: u64) {
+        let ports = self.topo.ports();
+
+        // Phase 1: switch allocation within each router.
+        for node in 0..self.routers.len() {
+            // Desired output port of each input queue's head (None = empty
+            // or not yet movable this cycle).
+            let mut want: Vec<Option<usize>> = Vec::with_capacity(ports);
+            for i in 0..ports {
+                let head = self.routers[node].inputs[i].front();
+                want.push(head.and_then(|f| {
+                    if f.entered >= now {
+                        return None;
+                    }
+                    if usize::from(f.pkt.dst) == node {
+                        Some(self.eject_port(f.pkt))
+                    } else {
+                        self.topo.route(node as NodeId, f.pkt.dst)
+                    }
+                }));
+            }
+            for out in 0..ports {
+                if self.routers[node].outputs[out].len() >= BUFFER_DEPTH {
+                    continue;
+                }
+                let start = self.routers[node].priority[out];
+                // Rotating daisy chain: scan inputs starting at the priority
+                // pointer; grant the first match; advance the pointer past
+                // the granted input.
+                let granted = (0..ports)
+                    .map(|k| (start + k) % ports)
+                    .find(|&i| want[i] == Some(out));
+                if let Some(i) = granted {
+                    let mut f = self.routers[node].inputs[i]
+                        .pop_front()
+                        .expect("granted input had a head");
+                    f.entered = now;
+                    self.routers[node].outputs[out].push_back(f);
+                    want[i] = None;
+                    self.routers[node].priority[out] = (i + 1) % ports;
+                } else {
+                    // Priorities rotate every cycle even without a grant.
+                    self.routers[node].priority[out] = (start + 1) % ports;
+                }
+            }
+        }
+
+        // Phase 2: link traversal between routers.
+        for node in 0..self.routers.len() {
+            for port in 0..self.topo.mesh_ports() {
+                let Some(neighbor) = self.topo.neighbor(node as NodeId, port) else {
+                    continue;
+                };
+                let rport = self.topo.reverse_port(node as NodeId, port);
+                let movable = self.routers[node].outputs[port]
+                    .front()
+                    .is_some_and(|f| f.entered < now);
+                if !movable {
+                    continue;
+                }
+                if self.routers[usize::from(neighbor)].inputs[rport].len() >= BUFFER_DEPTH {
+                    continue; // no credit
+                }
+                let mut f = self.routers[node].outputs[port]
+                    .pop_front()
+                    .expect("checked movable");
+                f.entered = now;
+                f.hops += 1;
+                self.routers[usize::from(neighbor)].inputs[rport].push_back(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} NoC ({} in flight)",
+            self.topo,
+            self.stats.in_flight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn pkt(src: NodeId, dst: NodeId, kind: PacketKind, data: u16) -> Packet {
+        Packet {
+            dst,
+            src,
+            mac_id: 0,
+            op_id: 0,
+            kind,
+            data,
+        }
+    }
+
+    /// Runs the fabric until `n` packets arrive at `dst`'s PE port.
+    fn drain(net: &mut Network, dst: NodeId, n: usize, deadline: u64) -> Vec<(Packet, u64)> {
+        let mut got = Vec::new();
+        let mut now = 1;
+        while got.len() < n {
+            net.tick(now);
+            if let Some(p) = net.pop_for_pe(dst, now) {
+                got.push((p, now)); // one per cycle
+            }
+            now += 1;
+            assert!(now < deadline, "NoC did not deliver in time");
+        }
+        got
+    }
+
+    #[test]
+    fn local_delivery_takes_two_stages() {
+        let mut net = Network::new(Topology::mesh4x4());
+        assert!(net.try_inject_from_mem(3, pkt(3, 3, PacketKind::State, 9), 0));
+        let got = drain(&mut net, 3, 1, 100);
+        assert_eq!(got[0].0.data, 9);
+        // inject at 0, switch at 1, eject visible at 2.
+        assert_eq!(got[0].1, 2);
+        assert_eq!(net.stats().lateral, 0);
+        assert_eq!(net.stats().total_hops, 0);
+    }
+
+    #[test]
+    fn cross_mesh_delivery_latency_grows_with_hops() {
+        let mut net = Network::new(Topology::mesh4x4());
+        assert!(net.try_inject_from_mem(0, pkt(0, 15, PacketKind::State, 1), 0));
+        let got = drain(&mut net, 15, 1, 100);
+        // 6 hops * 2 stages + 2 ejection stages = 14.
+        assert_eq!(got[0].1, 14);
+        assert_eq!(net.stats().total_hops, 6);
+        assert_eq!(net.stats().lateral, 1);
+    }
+
+    #[test]
+    fn fully_connected_is_distance_independent() {
+        let mut net = Network::new(Topology::FullyConnected { nodes: 16 });
+        assert!(net.try_inject_from_mem(0, pkt(0, 15, PacketKind::State, 1), 0));
+        let got = drain(&mut net, 15, 1, 100);
+        assert_eq!(got[0].1, 4); // 1 hop * 2 + 2
+        assert_eq!(net.stats().total_hops, 1);
+    }
+
+    #[test]
+    fn results_eject_at_memory_port() {
+        let mut net = Network::new(Topology::mesh4x4());
+        assert!(net.try_inject_from_pe(5, pkt(5, 4, PacketKind::Result, 7), 0));
+        let mut now = 1;
+        loop {
+            net.tick(now);
+            assert!(net.pop_for_pe(4, now).is_none(), "result leaked to PE port");
+            if let Some(p) = net.pop_for_mem(4, now) {
+                assert_eq!(p.data, 7);
+                break;
+            }
+            now += 1;
+            assert!(now < 100);
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_flow() {
+        let mut net = Network::new(Topology::mesh4x4());
+        for i in 0..10u16 {
+            assert!(net.try_inject_from_mem(0, pkt(0, 3, PacketKind::State, i), 0));
+        }
+        let got = drain(&mut net, 3, 10, 200);
+        let data: Vec<u16> = got.iter().map(|(p, _)| p.data).collect();
+        assert_eq!(data, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn throughput_is_one_packet_per_cycle_steady_state() {
+        let mut net = Network::new(Topology::mesh4x4());
+        // Saturate a single flow 0 -> 1 and measure the delivery rate.
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        let mut last = 0;
+        for now in 0..400u64 {
+            if injected < 200 && net.try_inject_from_mem(0, pkt(0, 1, PacketKind::State, 0), now) {
+                injected += 1;
+            }
+            net.tick(now);
+            if net.pop_for_pe(1, now).is_some() {
+                delivered += 1;
+                last = now;
+            }
+        }
+        assert_eq!(delivered, 200);
+        // 200 packets in ~206 cycles: full rate after pipeline fill.
+        assert!(last < 210, "last delivery at {last}");
+    }
+
+    #[test]
+    fn injection_backpressure_reports_stall() {
+        let mut net = Network::new(Topology::mesh4x4());
+        // Fill the mem input buffer without ever ticking.
+        for _ in 0..BUFFER_DEPTH {
+            assert!(net.try_inject_from_mem(0, pkt(0, 1, PacketKind::State, 0), 0));
+        }
+        assert!(!net.try_inject_from_mem(0, pkt(0, 1, PacketKind::State, 0), 0));
+        assert_eq!(net.stats().inject_stalls, 1);
+    }
+
+    #[test]
+    fn no_packets_lost_under_random_all_to_all() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut net = Network::new(Topology::mesh4x4());
+        let mut to_send = 2000u32;
+        let mut received = 0u32;
+        let mut now = 0u64;
+        while received < 2000 {
+            if to_send > 0 {
+                let src: u8 = rng.random_range(0..16);
+                let dst: u8 = rng.random_range(0..16);
+                if net.try_inject_from_mem(src, pkt(src, dst, PacketKind::State, 0), now) {
+                    to_send -= 1;
+                }
+            }
+            net.tick(now);
+            for node in 0..16u8 {
+                if net.pop_for_pe(node, now).is_some() {
+                    received += 1;
+                }
+            }
+            now += 1;
+            assert!(now < 100_000, "lost packets: {} received", received);
+        }
+        assert!(net.is_idle());
+        assert_eq!(net.stats().in_flight(), 0);
+    }
+
+    #[test]
+    fn arbitration_is_fair_between_competing_inputs() {
+        // Two flows (from node 1 going west, from node 4 going north... both
+        // toward node 0) compete for node 0's PE port.
+        let mut net = Network::new(Topology::mesh4x4());
+        let mut from1 = 0u32;
+        let mut from4 = 0u32;
+        for now in 0..600u64 {
+            let _ = net.try_inject_from_mem(1, pkt(1, 0, PacketKind::State, 0), now);
+            let _ = net.try_inject_from_mem(4, pkt(4, 0, PacketKind::State, 0), now);
+            net.tick(now);
+            if let Some(p) = net.pop_for_pe(0, now) {
+                if p.src == 1 {
+                    from1 += 1;
+                } else {
+                    from4 += 1;
+                }
+            }
+        }
+        let total = from1 + from4;
+        assert!(total > 400, "PE port underutilized: {total}");
+        let imbalance = (i64::from(from1) - i64::from(from4)).unsigned_abs();
+        assert!(
+            imbalance <= total as u64 / 10,
+            "unfair arbitration: {from1} vs {from4}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Router state: buffered input/output channels and the rotating arbiter.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Packet-buffer depth of every input and output channel (§III-C: "a
+/// 16-depth packet buffer for each input and output channel").
+pub const BUFFER_DEPTH: usize = 16;
+
+/// A packet in flight, with the bookkeeping the fabric needs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Flit {
+    pub pkt: Packet,
+    /// Cycle at which the flit entered its current buffer; it may not move
+    /// again until a strictly later cycle (one pipeline stage per cycle).
+    pub entered: u64,
+    /// Cycle at which the flit was injected into the fabric (for latency).
+    pub injected: u64,
+    /// Links traversed so far.
+    pub hops: u32,
+}
+
+/// One router: `ports` input queues, `ports` output queues, and one
+/// rotating daisy-chain priority pointer per output (§III-C: "Input buffers
+/// use a rotating daisy chain priority scheme ... priorities are updated
+/// every clock cycle").
+#[derive(Clone, Debug)]
+pub(crate) struct Router {
+    pub inputs: Vec<VecDeque<Flit>>,
+    pub outputs: Vec<VecDeque<Flit>>,
+    pub priority: Vec<usize>,
+}
+
+impl Router {
+    pub fn new(ports: usize) -> Router {
+        Router {
+            inputs: (0..ports)
+                .map(|_| VecDeque::with_capacity(BUFFER_DEPTH))
+                .collect(),
+            outputs: (0..ports)
+                .map(|_| VecDeque::with_capacity(BUFFER_DEPTH))
+                .collect(),
+            priority: vec![0; ports],
+        }
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(VecDeque::is_empty) && self.outputs.iter().all(VecDeque::is_empty)
+    }
+
+    /// Buffered flit count across all queues.
+    pub fn occupancy(&self) -> usize {
+        self.inputs.iter().map(VecDeque::len).sum::<usize>()
+            + self.outputs.iter().map(VecDeque::len).sum::<usize>()
+    }
+}

@@ -1,0 +1,87 @@
+//! Fabric-level traffic statistics.
+//!
+//! The paper quantifies NoC pressure as the *lateral traffic* fraction —
+//! packets that cross at least one mesh link because their source vault and
+//! destination PE sit at different nodes (e.g. "lateral traffic on the NoC
+//! is high (71%)" for the undivided fully-connected layer, §VI-A).
+
+/// Counters accumulated by a [`Network`](crate::Network) over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Packets accepted into the fabric.
+    pub injected: u64,
+    /// Packets handed to a PE or memory port.
+    pub delivered: u64,
+    /// Delivered packets whose source node differed from their destination.
+    pub lateral: u64,
+    /// Sum of per-packet link traversals (for mean hop count).
+    pub total_hops: u64,
+    /// Sum of per-packet in-fabric latencies in cycles.
+    pub total_latency: u64,
+    /// Injection attempts rejected because the entry buffer was full.
+    pub inject_stalls: u64,
+}
+
+impl NocStats {
+    /// Fraction of delivered packets that crossed at least one link.
+    pub fn lateral_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.lateral as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean link traversals per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean injection-to-ejection latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Packets still somewhere in the fabric.
+    pub fn in_flight(&self) -> u64 {
+        self.injected - self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_traffic() {
+        let s = NocStats::default();
+        assert_eq!(s.lateral_fraction(), 0.0);
+        assert_eq!(s.mean_hops(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = NocStats {
+            injected: 10,
+            delivered: 8,
+            lateral: 4,
+            total_hops: 16,
+            total_latency: 40,
+            inject_stalls: 1,
+        };
+        assert_eq!(s.lateral_fraction(), 0.5);
+        assert_eq!(s.mean_hops(), 2.0);
+        assert_eq!(s.mean_latency(), 5.0);
+        assert_eq!(s.in_flight(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! The PE's SRAM packet cache.
+//!
+//! Packets whose OP-ID is ahead of the PE's operation counter are parked in
+//! a 2.5 KB SRAM organized as 16 sub-banks; a packet with OP-ID `o` lands in
+//! sub-bank `o mod 16` (§V-B, Fig. 11(b)). Each sub-bank holds up to 64
+//! entries, and retrieving the entries for the next operation is a *full
+//! search* of one sub-bank costing between 16 and 64 cycles depending on
+//! occupancy — a cost the PE model charges against the next firing.
+
+use neurocube_noc::Packet;
+
+/// Number of cache sub-banks (one per OP-ID residue class).
+pub const CACHE_SUB_BANKS: usize = 16;
+
+/// Maximum entries per sub-bank ("max 64 entries", §V-B).
+pub const SUB_BANK_ENTRIES: usize = 64;
+
+/// The out-of-order packet cache.
+#[derive(Clone, Debug)]
+pub struct PacketCache {
+    banks: [Vec<Packet>; CACHE_SUB_BANKS],
+    entries_per_bank: usize,
+    high_water: usize,
+}
+
+impl Default for PacketCache {
+    fn default() -> PacketCache {
+        PacketCache::new()
+    }
+}
+
+impl PacketCache {
+    /// An empty cache with the paper's 64-entry sub-banks.
+    pub fn new() -> PacketCache {
+        PacketCache::with_capacity(SUB_BANK_ENTRIES)
+    }
+
+    /// An empty cache with `entries_per_bank`-entry sub-banks (the sizing
+    /// ablation; the paper's design point is [`SUB_BANK_ENTRIES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries_per_bank` is zero.
+    pub fn with_capacity(entries_per_bank: usize) -> PacketCache {
+        assert!(entries_per_bank > 0, "sub-banks need capacity");
+        PacketCache {
+            banks: Default::default(),
+            entries_per_bank,
+            high_water: 0,
+        }
+    }
+
+    /// The sub-bank a packet with `op_id` maps to.
+    #[inline]
+    pub fn bank_of(op_id: u8) -> usize {
+        usize::from(op_id) % CACHE_SUB_BANKS
+    }
+
+    /// Inserts a packet; `false` (with no state change) when its sub-bank is
+    /// full — the PE must then stop accepting packets from the NoC, which is
+    /// exactly the backpressure path that throttles a too-fast PNG.
+    pub fn try_insert(&mut self, pkt: Packet) -> bool {
+        let bank = &mut self.banks[Self::bank_of(pkt.op_id)];
+        if bank.len() >= self.entries_per_bank {
+            return false;
+        }
+        bank.push(pkt);
+        let occ = self.occupancy();
+        self.high_water = self.high_water.max(occ);
+        true
+    }
+
+    /// Removes and returns every cached packet with the given OP-ID, and the
+    /// cycle cost of the full sub-bank search that found them:
+    /// `max(16, entries scanned)`.
+    pub fn take_matching(&mut self, op_id: u8) -> (Vec<Packet>, u64) {
+        let bank = &mut self.banks[Self::bank_of(op_id)];
+        let scanned = bank.len();
+        let mut hits = Vec::new();
+        bank.retain(|p| {
+            if p.op_id == op_id {
+                hits.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        let cost = scanned.max(CACHE_SUB_BANKS) as u64;
+        (hits, cost)
+    }
+
+    /// Total buffered packets across all sub-banks.
+    pub fn occupancy(&self) -> usize {
+        self.banks.iter().map(Vec::len).sum()
+    }
+
+    /// Highest total occupancy ever observed (sizing statistic).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.banks.iter().all(Vec::is_empty)
+    }
+
+    /// Diagnostic: the `(src, mac, data)` of entries with the given OP-ID.
+    pub fn debug_entries(&self, op_id: u8) -> Vec<(u8, u8, u16)> {
+        self.banks[Self::bank_of(op_id)]
+            .iter()
+            .filter(|p| p.op_id == op_id)
+            .map(|p| (p.src, p.mac_id, p.data))
+            .collect()
+    }
+
+    /// Free slots in the sub-bank that `op_id` maps to.
+    pub fn free_in_bank(&self, op_id: u8) -> usize {
+        self.entries_per_bank - self.banks[Self::bank_of(op_id)].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurocube_noc::PacketKind;
+
+    fn pkt(op_id: u8, mac_id: u8) -> Packet {
+        Packet {
+            dst: 0,
+            src: 0,
+            mac_id,
+            op_id,
+            kind: PacketKind::State,
+            data: u16::from(op_id),
+        }
+    }
+
+    #[test]
+    fn packets_land_in_op_mod_16_banks() {
+        assert_eq!(PacketCache::bank_of(0), 0);
+        assert_eq!(PacketCache::bank_of(17), 1);
+        assert_eq!(PacketCache::bank_of(255), 15);
+    }
+
+    #[test]
+    fn take_matching_filters_by_exact_op() {
+        let mut c = PacketCache::new();
+        assert!(c.try_insert(pkt(3, 0)));
+        assert!(c.try_insert(pkt(19, 1))); // same bank (3 mod 16)
+        assert!(c.try_insert(pkt(3, 2)));
+        let (hits, cost) = c.take_matching(3);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|p| p.op_id == 3));
+        assert_eq!(cost, 16); // min search cost
+        assert_eq!(c.occupancy(), 1); // op 19 remains
+    }
+
+    #[test]
+    fn search_cost_scales_with_bank_occupancy() {
+        let mut c = PacketCache::new();
+        for i in 0..40u8 {
+            // All in bank 0: op ids 0, 16, 32, ... mod 256 cycling; use 0 and
+            // 16 alternating to stay in bank 0.
+            let op = if i % 2 == 0 { 0 } else { 16 };
+            assert!(c.try_insert(pkt(op, i)));
+        }
+        let (hits, cost) = c.take_matching(0);
+        assert_eq!(hits.len(), 20);
+        assert_eq!(cost, 40);
+    }
+
+    #[test]
+    fn sub_bank_capacity_enforced() {
+        let mut c = PacketCache::new();
+        for i in 0..SUB_BANK_ENTRIES {
+            assert!(c.try_insert(pkt(16, i as u8)), "entry {i}");
+        }
+        assert!(!c.try_insert(pkt(16, 0)));
+        // Another bank still has room.
+        assert!(c.try_insert(pkt(1, 0)));
+        assert_eq!(c.free_in_bank(16), 0);
+        assert_eq!(c.free_in_bank(1), SUB_BANK_ENTRIES - 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut c = PacketCache::new();
+        for op in 0..8u8 {
+            let _ = c.try_insert(pkt(op, 0));
+        }
+        let _ = c.take_matching(0);
+        let _ = c.take_matching(1);
+        assert_eq!(c.occupancy(), 6);
+        assert_eq!(c.high_water(), 8);
+        assert!(!c.is_empty());
+    }
+}

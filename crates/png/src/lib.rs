@@ -1,0 +1,33 @@
+//! Memory-centric neural computing: the Programmable Neurosequence
+//! Generator (PNG) and the host compiler that programs it.
+//!
+//! This crate is the paper's §IV. Each HMC vault controller carries a PNG —
+//! a programmable finite state machine that, for one network layer at a
+//! time, generates the DRAM address sequence of every operand *this vault
+//! owns*, packetizes the returned data for the consuming PEs, applies the
+//! activation look-up table to returning results and writes the new neuron
+//! states back to DRAM. There is no instruction stream: the PNGs drive the
+//! compute layer.
+//!
+//! Modules:
+//!
+//! * [`layout`] — where every volume and weight matrix lives: spatial 4×4
+//!   tiling with optional halo/full duplication (Fig. 10), per-vault address
+//!   allocation,
+//! * [`schedule`] — the per-PE neuron assignment and the per-vault operand
+//!   stream FSM (the paper's three nested counters, Fig. 8),
+//! * [`program`] — the compiler output: one [`LayerProgram`] per vault plus
+//!   one `PeLayerConfig` per PE (the host's configuration-register writes),
+//! * [`Png`] — the cycle-level PNG unit gluing stream → vault channel →
+//!   NoC → write-back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod program;
+pub mod schedule;
+mod unit;
+
+pub use program::{compile_layer, LayerProgram, Mapping};
+pub use unit::{Png, PngHookup, PngStats};

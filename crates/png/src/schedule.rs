@@ -1,0 +1,547 @@
+//! Per-vault operand streams and write-back cursors — the PNG's three
+//! nested counters (Fig. 8(b)/(d)) with the vault-ownership filter.
+//!
+//! All 16 PNGs conceptually run the *same* global schedule — for every
+//! lockstep step `(group, connection)` and every PE — but each emits only
+//! the operands its own vault stores. Exactly one vault emits each operand
+//! (a PE's own copy is preferred when duplication provides one), so the
+//! union of the 16 streams is precisely the layer's operand set, in an
+//! order that keeps every PE's operation counter advancing.
+
+use crate::program::LayerProgram;
+use neurocube_nn::connections;
+use neurocube_noc::{NodeId, PacketKind};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One operand the vault must fetch from DRAM and packetize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OperandEvent {
+    /// DRAM byte address of the 16-bit operand in this vault.
+    pub addr: u64,
+    /// Destination PE.
+    pub dst: NodeId,
+    /// Target MAC.
+    pub mac_id: u8,
+    /// Operation sequence number (mod 256).
+    pub op_id: u8,
+    /// The full (unwrapped) cumulative operation index at the destination
+    /// PE — used for credit-based run-ahead flow control so a vault can
+    /// never overflow a PE's cache sub-banks (see [`Png`](crate::Png)).
+    pub global_op: u64,
+    /// State / shared-state / weight.
+    pub kind: PacketKind,
+}
+
+/// Lazily generated operand stream of one vault for one layer.
+#[derive(Clone, Debug)]
+pub struct OperandStream {
+    prog: Arc<LayerProgram>,
+    vault: NodeId,
+    /// PEs this vault can possibly serve (ownership pre-filter).
+    serves: Vec<NodeId>,
+    g: u64,
+    k: u32,
+    pi: usize,
+    max_groups: u64,
+    conns: u32,
+    buf: VecDeque<OperandEvent>,
+    emitted: u64,
+}
+
+impl OperandStream {
+    /// Builds the stream for `vault`.
+    pub fn new(prog: Arc<LayerProgram>, vault: NodeId) -> OperandStream {
+        let vaults = prog.mapping.vaults() as u8;
+        let serves: Vec<NodeId> = (0..vaults)
+            .filter(|&p| may_serve(&prog, vault, p))
+            .collect();
+        // A vault that serves nobody (e.g. an idle corner of a tiny FC
+        // layer) has an empty stream.
+        let max_groups = if serves.is_empty() {
+            0
+        } else {
+            prog.max_groups()
+        };
+        OperandStream {
+            max_groups,
+            conns: prog.conns(),
+            prog,
+            vault,
+            serves,
+            g: 0,
+            k: 0,
+            pi: 0,
+            buf: VecDeque::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Operands emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// `true` once the stream is exhausted (after `next` returned `None`).
+    pub fn is_exhausted(&self) -> bool {
+        self.g >= self.max_groups && self.buf.is_empty()
+    }
+
+    fn fill_for(&mut self, p: NodeId) {
+        let prog = &self.prog;
+        let n_mac = u64::from(prog.mapping.n_mac);
+        let per_map = prog.out_vol.assigned_per_map(p);
+        if per_map == 0 {
+            return;
+        }
+        let gpm = per_map.div_ceil(n_mac);
+        let groups_p = gpm * prog.maps_of();
+        if self.g >= groups_p {
+            return;
+        }
+        let map = self.g / gpm;
+        let gin = self.g % gpm;
+        let active = if gin + 1 == gpm {
+            (per_map - (gpm - 1) * n_mac) as u32
+        } else {
+            n_mac as u32
+        };
+        // Cumulative operation counter mod 256 (§V-B). Counting across
+        // neuron groups (not per group) is what keeps packets for the same
+        // connection index of *different* groups distinguishable in the
+        // PE's cache sub-banks.
+        let global_op = self.g * u64::from(self.conns) + u64::from(self.k);
+        let op_id = (global_op % 256) as u8;
+
+        if prog.is_fc() {
+            // Weights stream from the PE's own vault, transposed.
+            if p == self.vault {
+                let bases = prog
+                    .weight_base
+                    .as_ref()
+                    .expect("FC layers have streamed weights");
+                for m in 0..active {
+                    // Group-blocked transposed layout (full groups are
+                    // n_mac wide, the trailing partial group is `active`
+                    // wide): one group's weight stream is a single
+                    // sequential DRAM run.
+                    let addr = bases[usize::from(p)]
+                        + 2 * (gin * u64::from(self.conns) * n_mac
+                            + u64::from(self.k) * u64::from(active)
+                            + u64::from(m));
+                    self.buf.push_back(OperandEvent {
+                        addr,
+                        dst: p,
+                        mac_id: m as u8,
+                        op_id,
+                        global_op,
+                        kind: PacketKind::Weight,
+                    });
+                }
+            }
+            // One shared state x_k per (group, k), from the PE's own copy if
+            // duplication provides one, else from the owner vault.
+            let idx = self.k as usize;
+            let src = if prog.in_vol.local_addr(p, idx).is_some() {
+                p
+            } else {
+                prog.in_vol.owner(idx)
+            };
+            if src == self.vault {
+                let addr = prog
+                    .in_vol
+                    .local_addr(self.vault, idx)
+                    .expect("source vault stores the operand");
+                self.buf.push_back(OperandEvent {
+                    addr,
+                    dst: p,
+                    mac_id: 0,
+                    op_id,
+                    global_op,
+                    kind: PacketKind::SharedState,
+                });
+            }
+        } else {
+            // Conv/pool: one state per MAC; weights are in PE weight memory.
+            for m in 0..active {
+                let assigned = map * per_map + gin * n_mac + u64::from(m);
+                let neuron = prog.out_vol.assigned_neuron(p, assigned);
+                let conn =
+                    connections::resolve(&prog.layer, prog.in_shape, neuron, self.k as usize);
+                let src = if prog.in_vol.local_addr(p, conn.input_index).is_some() {
+                    p
+                } else {
+                    prog.in_vol.owner(conn.input_index)
+                };
+                if src == self.vault {
+                    let addr = prog
+                        .in_vol
+                        .local_addr(self.vault, conn.input_index)
+                        .expect("source vault stores the operand");
+                    self.buf.push_back(OperandEvent {
+                        addr,
+                        dst: p,
+                        mac_id: m as u8,
+                        op_id,
+                        global_op,
+                        kind: PacketKind::State,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The next operand this vault must fetch, or `None` when the layer's
+    /// stream is exhausted. (Deliberately inherent rather than an
+    /// `Iterator` impl: callers treat this as an FSM step with state they
+    /// also query between steps.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<OperandEvent> {
+        loop {
+            if let Some(e) = self.buf.pop_front() {
+                self.emitted += 1;
+                return Some(e);
+            }
+            if self.g >= self.max_groups {
+                return None;
+            }
+            let p = self.serves[self.pi];
+            self.fill_for(p);
+            // Advance (p, k, g) — PE innermost so one (g, k) step feeds
+            // every PE before the connection counter advances.
+            self.pi += 1;
+            if self.pi == self.serves.len() {
+                self.pi = 0;
+                self.k += 1;
+                if self.k == self.conns {
+                    self.k = 0;
+                    self.g += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Can `vault` ever supply an operand to PE `p` in this layer?
+fn may_serve(prog: &LayerProgram, vault: NodeId, p: NodeId) -> bool {
+    if prog.out_vol.assigned_per_map(p) == 0 {
+        return false;
+    }
+    if vault == p {
+        return true;
+    }
+    if prog.is_fc() {
+        // Weights always come from p itself; shared states come from their
+        // owner unless p holds a duplicate copy of the whole input.
+        return match &prog.in_vol.kind {
+            crate::layout::VolumeKind::Flat { duplicated, .. } => !*duplicated,
+            crate::layout::VolumeKind::Spatial { owned, stored } => {
+                // Spatial input consumed by FC: p serves itself if it stores
+                // everything; otherwise owners serve.
+                stored[usize::from(p)].area() < prog.in_shape.height * prog.in_shape.width
+                    && !owned[usize::from(vault)].is_empty()
+            }
+        };
+    }
+    // Conv/pool: vault serves p iff p lacks a stored copy of some input it
+    // needs, i.e. p's needed input rectangle overlaps vault's owned tile
+    // beyond p's stored rectangle.
+    match (&prog.in_vol.kind, &prog.out_vol.kind) {
+        (
+            crate::layout::VolumeKind::Spatial { owned, stored },
+            crate::layout::VolumeKind::Spatial { owned: out_owned, .. },
+        ) => {
+            let (k, s) = crate::layout::kernel_geometry(&prog.layer)
+                .expect("spatial layer has kernel geometry");
+            let need =
+                crate::layout::input_rect_for(out_owned[usize::from(p)], k, s, prog.in_shape);
+            let have = stored[usize::from(p)];
+            let own = owned[usize::from(vault)];
+            // Overlap of (need \ have) with own — conservative: overlap of
+            // need with own, minus the case where own ⊆ have.
+            rects_overlap(need, own)
+                && !(own.y0 >= have.y0 && own.y1 <= have.y1 && own.x0 >= have.x0
+                    && own.x1 <= have.x1)
+        }
+        _ => true,
+    }
+}
+
+fn rects_overlap(a: crate::layout::Rect, b: crate::layout::Rect) -> bool {
+    a.y0 < b.y1 && b.y0 < a.y1 && a.x0 < b.x1 && b.x0 < a.x1
+}
+
+/// Replays the write-back sequence of PE `src` filtered to the neurons that
+/// vault `store` keeps a copy of, yielding each one's local DRAM address —
+/// how a PNG maps an incoming `Result` packet to a write address without
+/// the packet carrying one.
+#[derive(Clone, Debug)]
+pub struct WritebackCursor {
+    prog: Arc<LayerProgram>,
+    src: NodeId,
+    store: NodeId,
+    idx: u64,
+    total: u64,
+}
+
+impl WritebackCursor {
+    /// Builds the cursor for results of PE `src` landing in vault `store`.
+    pub fn new(prog: Arc<LayerProgram>, src: NodeId, store: NodeId) -> WritebackCursor {
+        WritebackCursor {
+            total: prog.out_vol.assigned_count(src),
+            prog,
+            src,
+            store,
+            idx: 0,
+        }
+    }
+
+    /// The next expected `(neuron, local write address)` pair, or `None`
+    /// when `src` has no further results destined for `store`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(usize, u64)> {
+        while self.idx < self.total {
+            let neuron = self.prog.out_vol.assigned_neuron(self.src, self.idx);
+            self.idx += 1;
+            if let Some(addr) = self.prog.out_vol.local_addr(self.store, neuron) {
+                return Some((neuron, addr));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::NetworkLayout;
+    use crate::program::{compile_layer, Mapping};
+    use neurocube_dram::MemoryConfig;
+    use neurocube_fixed::Activation;
+    use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
+
+    fn compile(
+        net: &NetworkSpec,
+        duplicate: bool,
+        index: usize,
+    ) -> Arc<LayerProgram> {
+        let map = MemoryConfig::hmc_int().address_map();
+        let layout = NetworkLayout::build(net, 4, 4, duplicate, 16, &map);
+        compile_layer(net, &layout, index, Mapping::paper(duplicate))
+    }
+
+    /// Drains all 16 vault streams and checks each PE receives exactly the
+    /// operand count its configuration demands.
+    fn check_conservation(prog: &Arc<LayerProgram>) -> Vec<Vec<OperandEvent>> {
+        let mut all: Vec<Vec<OperandEvent>> = Vec::new();
+        for v in 0..16u8 {
+            let mut s = OperandStream::new(Arc::clone(prog), v);
+            let mut evs = Vec::new();
+            while let Some(e) = s.next() {
+                evs.push(e);
+            }
+            assert!(s.is_exhausted());
+            assert_eq!(s.emitted(), evs.len() as u64);
+            all.push(evs);
+        }
+        let mut per_pe = [0u64; 16];
+        for e in all.iter().flatten() {
+            per_pe[usize::from(e.dst)] += 1;
+        }
+        for p in 0..16u8 {
+            let expected = match prog.pe_config(p) {
+                None => 0,
+                Some(cfg) => {
+                    if prog.is_fc() {
+                        // 16 weights + 1 shared state per (group, k) step.
+                        let mut total = 0u64;
+                        for g in 0..prog.groups_of(p) {
+                            total += (u64::from(cfg.active_macs(g)) + 1)
+                                * u64::from(cfg.conns_per_neuron);
+                        }
+                        total
+                    } else {
+                        cfg.total_macs()
+                    }
+                }
+            };
+            assert_eq!(
+                per_pe[usize::from(p)], expected,
+                "PE {p} operand count mismatch"
+            );
+        }
+        all
+    }
+
+    #[test]
+    fn conv_dup_streams_are_purely_local() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 16, 16),
+            vec![LayerSpec::conv(2, 3, Activation::Tanh)],
+        )
+        .unwrap();
+        let prog = compile(&net, true, 0);
+        let all = check_conservation(&prog);
+        let mut total = 0u64;
+        for (v, evs) in all.iter().enumerate() {
+            for e in evs {
+                assert_eq!(usize::from(e.dst), v, "dup conv must have no lateral traffic");
+                assert_eq!(e.kind, PacketKind::State);
+            }
+            total += evs.len() as u64;
+        }
+        // One state operand per MAC operation.
+        let expected: u64 = net.macs_per_layer()[0];
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn conv_nodup_has_lateral_operands() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 16, 16),
+            vec![LayerSpec::conv(2, 3, Activation::Tanh)],
+        )
+        .unwrap();
+        let prog = compile(&net, false, 0);
+        let all = check_conservation(&prog);
+        let total: u64 = all.iter().map(|e| e.len() as u64).sum();
+        assert_eq!(total, net.macs_per_layer()[0]);
+        let lateral: u64 = all
+            .iter()
+            .enumerate()
+            .map(|(v, evs)| evs.iter().filter(|e| usize::from(e.dst) != v).count() as u64)
+            .sum();
+        assert!(lateral > 0, "boundary pixels must cross vaults");
+        // Lateral fraction for 3x3 kernels on 4x4 tiles of 16x16 is modest.
+        assert!((lateral as f64) < 0.5 * total as f64);
+    }
+
+    #[test]
+    fn fc_dup_stream_counts() {
+        let net = NetworkSpec::new(
+            Shape::flat(64),
+            vec![LayerSpec::fc(32, Activation::Sigmoid)],
+        )
+        .unwrap();
+        let prog = compile(&net, true, 0);
+        let all = check_conservation(&prog);
+        for (v, evs) in all.iter().enumerate() {
+            for e in evs {
+                assert_eq!(usize::from(e.dst), v, "dup FC must be local");
+            }
+        }
+        let weights: u64 = all
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == PacketKind::Weight)
+            .count() as u64;
+        let shared: u64 = all
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == PacketKind::SharedState)
+            .count() as u64;
+        // 32 outputs x 64 connections = 2048 weights; 64 shared states per
+        // group; 32 outputs / 16 vaults = 2 per vault = 1 group each.
+        assert_eq!(weights, 2048);
+        assert_eq!(shared, 16 * 64);
+    }
+
+    #[test]
+    fn fc_nodup_shared_states_fan_out() {
+        let net = NetworkSpec::new(
+            Shape::flat(64),
+            vec![LayerSpec::fc(32, Activation::Sigmoid)],
+        )
+        .unwrap();
+        let prog = compile(&net, false, 0);
+        let all = check_conservation(&prog);
+        let lateral: u64 = all
+            .iter()
+            .enumerate()
+            .flat_map(|(v, evs)| evs.iter().map(move |e| (v, e)))
+            .filter(|(v, e)| usize::from(e.dst) != *v)
+            .count() as u64;
+        // Each of the 64 inputs is broadcast to all 16 PEs; only the copy to
+        // the owning vault's own PE is local: lateral = 64*16 - 64.
+        assert_eq!(lateral, 16 * 64 - 64);
+    }
+
+    #[test]
+    fn stream_ops_are_monotone_per_destination() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![LayerSpec::conv(1, 3, Activation::Identity)],
+        )
+        .unwrap();
+        let prog = compile(&net, false, 0);
+        for v in 0..16u8 {
+            let mut s = OperandStream::new(Arc::clone(&prog), v);
+            // Per destination PE, the (group-derived) full op sequence a PE
+            // sees from one vault must never regress within a group sweep:
+            // op_id is monotone modulo the 0-wrap at group boundaries.
+            let mut prev: Vec<i32> = vec![-1; 16];
+            while let Some(e) = s.next() {
+                let d = usize::from(e.dst);
+                let op = i32::from(e.op_id);
+                assert!(
+                    op >= prev[d] || op == 0,
+                    "vault {v} sent op {op} after {} to PE {d}",
+                    prev[d]
+                );
+                prev[d] = op;
+            }
+        }
+    }
+
+    #[test]
+    fn writeback_cursor_covers_own_neurons_in_order() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 8, 8),
+            vec![LayerSpec::conv(2, 3, Activation::Identity)],
+        )
+        .unwrap();
+        let prog = compile(&net, false, 0);
+        for v in 0..16u8 {
+            let mut c = WritebackCursor::new(Arc::clone(&prog), v, v);
+            let mut n = 0;
+            let mut prev_addr = 0u64;
+            while let Some((neuron, addr)) = c.next() {
+                assert_eq!(prog.out_vol.owner(neuron), v);
+                if n > 0 {
+                    assert!(addr > prev_addr, "own writes are ascending");
+                }
+                prev_addr = addr;
+                n += 1;
+            }
+            assert_eq!(n as u64, prog.out_vol.assigned_count(v));
+        }
+    }
+
+    #[test]
+    fn writeback_cursor_filters_foreign_copies() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 16, 16),
+            vec![
+                LayerSpec::conv(1, 3, Activation::Identity),
+                LayerSpec::AvgPool { size: 2 },
+            ],
+        )
+        .unwrap();
+        let prog = compile(&net, true, 0);
+        // Count, over all (src, store) pairs with src != store, the total
+        // foreign write-backs; must match the program's expectation.
+        for store in 0..16u8 {
+            let mut total = 0u64;
+            for src in 0..16u8 {
+                if src == store {
+                    continue;
+                }
+                let mut c = WritebackCursor::new(Arc::clone(&prog), src, store);
+                while c.next().is_some() {
+                    total += 1;
+                }
+            }
+            assert_eq!(total, prog.expected_foreign_writebacks(store));
+        }
+    }
+}

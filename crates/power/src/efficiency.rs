@@ -1,0 +1,233 @@
+//! Table III: cross-platform throughput / power / efficiency comparison.
+//!
+//! The published rows are embedded as constants; the two "This work" rows
+//! are *built from measured simulator throughput* so the benchmark harness
+//! reports reproduction numbers next to the paper's.
+
+use crate::hmc::system_power_w;
+use crate::table2::{compute_power_w, ProcessNode};
+use std::fmt;
+
+/// Whether a platform's throughput figure includes DRAM access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DramAccounting {
+    /// Throughput measured with main-memory traffic included.
+    WithDram,
+    /// On-chip-only figure (the paper notes these are optimistic).
+    WithoutDram,
+}
+
+/// One row of Table III.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformRow {
+    /// Platform / paper label.
+    pub name: &'static str,
+    /// Publication year tag as in the table header.
+    pub year: &'static str,
+    /// On-line programmability for different networks.
+    pub programmable: bool,
+    /// Arithmetic precision in bits (0 = not published).
+    pub bits: u32,
+    /// Throughput in GOPs/s.
+    pub throughput_gops: f64,
+    /// How the throughput counts memory.
+    pub dram: DramAccounting,
+    /// Compute power in watts.
+    pub compute_power_w: f64,
+    /// Application / evaluation workload note.
+    pub application: &'static str,
+}
+
+impl PlatformRow {
+    /// Compute efficiency in GOPs/s/W — the table's bottom comparison row.
+    pub fn efficiency(&self) -> f64 {
+        self.throughput_gops / self.compute_power_w
+    }
+}
+
+impl fmt::Display for PlatformRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>4} {:>5} {:>6} {:>10.2} {:>9} {:>9.3} {:>10.2}",
+            self.name,
+            self.year,
+            if self.programmable { "yes" } else { "no" },
+            self.bits,
+            self.throughput_gops,
+            match self.dram {
+                DramAccounting::WithDram => "w/ DRAM",
+                DramAccounting::WithoutDram => "w/o DRAM",
+            },
+            self.compute_power_w,
+            self.efficiency()
+        )
+    }
+}
+
+/// The published comparison platforms of Table III (everything except the
+/// "This work" columns).
+pub const PUBLISHED_PLATFORMS: [PlatformRow; 8] = [
+    PlatformRow {
+        name: "Tegra K1 [2]",
+        year: "'15",
+        programmable: true,
+        bits: 0,
+        throughput_gops: 76.0,
+        dram: DramAccounting::WithDram,
+        compute_power_w: 11.0,
+        application: "scene labeling, inference",
+    },
+    PlatformRow {
+        name: "GTX 780 [2]",
+        year: "'15",
+        programmable: true,
+        bits: 0,
+        throughput_gops: 1781.0,
+        dram: DramAccounting::WithDram,
+        compute_power_w: 206.8,
+        application: "scene labeling, inference",
+    },
+    PlatformRow {
+        name: "NeuFlow Virtex6 [4]",
+        year: "'11",
+        programmable: false,
+        bits: 16,
+        throughput_gops: 147.0,
+        dram: DramAccounting::WithoutDram,
+        compute_power_w: 10.0,
+        application: "vision (conv only)",
+    },
+    PlatformRow {
+        name: "NeuFlow 45nm [4]",
+        year: "'11",
+        programmable: false,
+        bits: 16,
+        throughput_gops: 1164.0,
+        dram: DramAccounting::WithoutDram,
+        compute_power_w: 5.0,
+        application: "vision (conv only)",
+    },
+    PlatformRow {
+        name: "nn-X ZC706 [5]",
+        year: "'14",
+        programmable: false,
+        bits: 16,
+        throughput_gops: 227.0,
+        dram: DramAccounting::WithDram,
+        compute_power_w: 8.0,
+        application: "mobile conv nets",
+    },
+    PlatformRow {
+        name: "DaDianNao [7]",
+        year: "'14",
+        programmable: false,
+        bits: 16,
+        throughput_gops: 5580.0,
+        dram: DramAccounting::WithoutDram,
+        compute_power_w: 15.97,
+        application: "MNIST-class, both",
+    },
+    PlatformRow {
+        name: "Origami [8]",
+        year: "'15",
+        programmable: false,
+        bits: 12,
+        throughput_gops: 203.0,
+        dram: DramAccounting::WithoutDram,
+        compute_power_w: 1.2,
+        application: "scene labeling, inference",
+    },
+    PlatformRow {
+        name: "Conti-Benini [6]",
+        year: "'15",
+        programmable: false,
+        bits: 16,
+        throughput_gops: 2.78,
+        dram: DramAccounting::WithoutDram,
+        compute_power_w: 0.001,
+        application: "brain-inspired vision",
+    },
+];
+
+/// Builds the two "This work" rows from a *measured* simulator throughput
+/// at the 5 GHz reference clock (the 28 nm row scales by the 300 MHz /
+/// 5 GHz frequency ratio, exactly as the paper's cycle counts do).
+pub fn neurocube_rows(measured_gops_at_5ghz: f64) -> [PlatformRow; 2] {
+    [
+        PlatformRow {
+            name: "This work 28nm",
+            year: "",
+            programmable: true,
+            bits: 16,
+            throughput_gops: measured_gops_at_5ghz * ProcessNode::Cmos28.activity(),
+            dram: DramAccounting::WithDram,
+            compute_power_w: compute_power_w(ProcessNode::Cmos28),
+            application: "scene labeling, both",
+        },
+        PlatformRow {
+            name: "This work 15nm",
+            year: "",
+            programmable: true,
+            bits: 16,
+            throughput_gops: measured_gops_at_5ghz,
+            dram: DramAccounting::WithDram,
+            compute_power_w: compute_power_w(ProcessNode::FinFet15),
+            application: "scene labeling, both",
+        },
+    ]
+}
+
+/// The headline claim of the abstract: efficiency improvement over the
+/// reported GPU implementation (GTX 780), computed from a measured
+/// throughput. The paper projects "~4X".
+pub fn gpu_efficiency_improvement(measured_gops_at_5ghz: f64) -> f64 {
+    let ours = neurocube_rows(measured_gops_at_5ghz)[1].efficiency();
+    let gpu = PUBLISHED_PLATFORMS[1].efficiency();
+    ours / gpu
+}
+
+/// Total system power rows (with memory) for the Table III parentheses.
+pub fn neurocube_system_power_w(node: ProcessNode) -> f64 {
+    system_power_w(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_efficiencies_match_paper() {
+        // Spot-check the efficiency row of Table III.
+        let eff: Vec<f64> = PUBLISHED_PLATFORMS.iter().map(PlatformRow::efficiency).collect();
+        assert!((eff[0] - 6.91).abs() < 0.01); // Tegra K1
+        assert!((eff[1] - 8.61).abs() < 0.01); // GTX 780
+        assert!((eff[3] - 232.8).abs() < 0.1); // NeuFlow ASIC
+        assert!((eff[5] - 349.4).abs() < 0.2); // DaDianNao
+        assert!((eff[7] - 2780.0).abs() < 1.0); // [6]
+    }
+
+    #[test]
+    fn this_work_rows_at_paper_throughput() {
+        // With the paper's 132.4 GOPs/s, the rows reproduce Table III's
+        // 8.0 / 132.4 GOPs/s and 31.92 / 38.82 GOPs/s/W.
+        let rows = neurocube_rows(132.4);
+        assert!((rows[0].throughput_gops - 7.94).abs() < 0.2);
+        assert!((rows[1].throughput_gops - 132.4).abs() < 1e-9);
+        assert!((rows[0].efficiency() - 31.92).abs() < 1.0);
+        assert!((rows[1].efficiency() - 38.82).abs() < 1.0);
+    }
+
+    #[test]
+    fn gpu_improvement_is_about_4x() {
+        let x = gpu_efficiency_improvement(132.4);
+        assert!((3.5..5.5).contains(&x), "improvement {x}");
+    }
+
+    #[test]
+    fn display_row_is_complete() {
+        let s = PUBLISHED_PLATFORMS[5].to_string();
+        assert!(s.contains("DaDianNao"));
+        assert!(s.contains("w/o DRAM"));
+    }
+}

@@ -1,0 +1,92 @@
+//! HMC die power from the published pJ/bit figures (§VII, "Power
+//! estimation of HMC").
+//!
+//! The paper computes the non-Neurocube logic-die power (16 vault
+//! controllers, 4 SERDES links, the VC–link interface) as
+//! `6.78 pJ/bit × 32 bit × 16 vaults × 5 GHz = 17.3 W`, and DRAM power
+//! analogously at `3.7 pJ/bit`, then scales both by the activity factor of
+//! the design node (0.06 at 28 nm, where the PE clock limits the vault
+//! stream to 300 MHz) and by the 15 nm energy-scaling factor from the ITRS
+//! roadmap.
+
+use crate::table2::{compute_power_w, ProcessNode};
+
+/// Energy per bit through the HMC logic die (vault controllers + links +
+/// interface), from \[20\].
+pub const LOGIC_PJ_PER_BIT: f64 = 6.78;
+
+/// Energy per bit through the DRAM dies, from \[20\].
+pub const DRAM_PJ_PER_BIT: f64 = 3.7;
+
+/// Vault word width in bits.
+const WORD_BITS: f64 = 32.0;
+
+/// Vault count.
+const VAULTS: f64 = 16.0;
+
+/// Vault I/O clock in Hz.
+const IO_CLOCK_HZ: f64 = 5.0e9;
+
+/// ITRS energy scaling of the (50 nm-class DRAM-process) logic die power
+/// when the compute node moves to 15 nm — the paper's "scaled based on the
+/// energy scaling factors from \[33\]" step, which its Table II realizes as a
+/// 0.5× factor (17.3 W → 8.67 W).
+pub const ITRS_15NM_LOGIC_SCALE: f64 = 0.5;
+
+/// Logic-die power (without the Neurocube compute layer) at full stream
+/// rate, before activity scaling: the paper's 17.3 W.
+pub fn logic_die_peak_w() -> f64 {
+    LOGIC_PJ_PER_BIT * 1e-12 * WORD_BITS * VAULTS * IO_CLOCK_HZ
+}
+
+/// Logic-die power (without Neurocube) at a design node — Table II's "HMC
+/// Logic Die Without Neurocube" row (1.04 W at 28 nm, 8.67 W at 15 nm).
+pub fn logic_die_power_w(node: ProcessNode) -> f64 {
+    let scale = match node {
+        ProcessNode::Cmos28 => 1.0,
+        ProcessNode::FinFet15 => ITRS_15NM_LOGIC_SCALE,
+    };
+    logic_die_peak_w() * node.activity() * scale
+}
+
+/// All-DRAM-dies power at a design node — Table II's "All DRAM Dies" row
+/// (0.568 W at 28 nm, 9.47 W at 15 nm).
+pub fn dram_dies_power_w(node: ProcessNode) -> f64 {
+    DRAM_PJ_PER_BIT * 1e-12 * WORD_BITS * VAULTS * IO_CLOCK_HZ * node.activity()
+}
+
+/// Total system power: compute layer + logic die + DRAM — the
+/// parenthesized totals of Table III (1.86 W at 28 nm, 21.5 W at 15 nm).
+pub fn system_power_w(node: ProcessNode) -> f64 {
+    compute_power_w(node) + logic_die_power_w(node) + dram_dies_power_w(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_logic_power_is_17_3w() {
+        assert!((logic_die_peak_w() - 17.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn logic_die_rows_match_table2() {
+        assert!((logic_die_power_w(ProcessNode::Cmos28) - 1.04).abs() < 0.01);
+        assert!((logic_die_power_w(ProcessNode::FinFet15) - 8.67).abs() < 0.01);
+    }
+
+    #[test]
+    fn dram_rows_match_table2() {
+        assert!((dram_dies_power_w(ProcessNode::Cmos28) - 0.568).abs() < 0.005);
+        assert!((dram_dies_power_w(ProcessNode::FinFet15) - 9.47).abs() < 0.01);
+    }
+
+    #[test]
+    fn system_totals_match_table3_parentheses() {
+        // Table III lists compute power 0.25 W (1.86 W with memory) at
+        // 28 nm and 3.41 W (21.50 W) at 15 nm.
+        assert!((system_power_w(ProcessNode::Cmos28) - 1.86).abs() < 0.02);
+        assert!((system_power_w(ProcessNode::FinFet15) - 21.5).abs() < 0.1);
+    }
+}

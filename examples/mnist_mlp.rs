@@ -1,0 +1,69 @@
+//! Training demonstration: teach an MLP to classify synthetic digits with
+//! the fixed-point backpropagation reference (the same MAC/LUT arithmetic
+//! the hardware uses), then run the trained network on the Neurocube and
+//! report both the timing of inference and of one simulated training step.
+//!
+//! ```sh
+//! cargo run --release -p neurocube --example mnist_mlp
+//! ```
+
+use neurocube::{Neurocube, SystemConfig};
+use neurocube_fixed::Q88;
+use neurocube_nn::{workloads, Executor, Trainer, TrainerConfig};
+
+fn main() {
+    // A small MLP over 28x28 "digits" (procedurally generated — see
+    // DESIGN.md on the dataset substitution).
+    let spec = workloads::mnist_mlp(16);
+    println!("MLP:\n{spec}");
+    // Fixed-point SGD: the learning rate must be large enough that
+    // gradient updates clear the 1/256 quantum of Q1.7.8.
+    let exec = Executor::new(spec.clone(), spec.init_params(21, 0.05));
+    let mut trainer = Trainer::new(
+        exec,
+        TrainerConfig {
+            learning_rate: Q88::from_f64(2.0),
+        },
+    );
+
+    let train = workloads::digit_dataset(100, 3);
+    let losses = trainer.fit(&train, 10);
+    println!(
+        "training loss per epoch: {:?}",
+        losses
+            .iter()
+            .map(|l| (l * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    let exec = trainer.into_executor();
+    let mut correct = 0;
+    let total = train.len();
+    for (img, target) in &train {
+        if exec.predict(img).argmax() == target.argmax() {
+            correct += 1;
+        }
+    }
+    println!("training-set accuracy: {correct}/{total} (chance: {})", total / 10);
+
+    // Now put the trained network on the cube and measure inference +
+    // one training step.
+    let mut cube = Neurocube::new(SystemConfig::paper(true));
+    let loaded = cube.load(spec, exec.params().to_vec());
+    let sample = workloads::synthetic_digit(9999, 3);
+    let (out, inference) = cube.run_inference(&loaded, &sample);
+    assert_eq!(out, exec.predict(&sample), "cube matches trained reference");
+    println!(
+        "\ncycle-accurate inference: {} cycles, {:.1} GOPs/s @5GHz, class {}",
+        inference.total_cycles(),
+        inference.throughput_gops(),
+        out.argmax()
+    );
+    let training = cube.run_training_step(&loaded, &sample);
+    println!(
+        "one simulated training step: {} cycles over {} passes, {:.1} GOPs/s @5GHz",
+        training.total_cycles(),
+        training.layers.len(),
+        training.throughput_gops()
+    );
+}

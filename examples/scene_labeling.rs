@@ -1,0 +1,56 @@
+//! The paper's flagship workload: the 7-layer scene-labeling ConvNN
+//! (Fig. 9) running on the Neurocube, with and without data duplication.
+//!
+//! ```sh
+//! cargo run --release -p neurocube --example scene_labeling [height width]
+//! ```
+//!
+//! Defaults to an 80×60 input so the cycle-level run finishes in seconds;
+//! pass `240 320` for the paper's full geometry.
+
+use neurocube::{Neurocube, SystemConfig};
+use neurocube_nn::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (h, w) = match args.as_slice() {
+        [_, h, w] => (
+            h.parse().expect("height must be a number"),
+            w.parse().expect("width must be a number"),
+        ),
+        _ => (60, 80),
+    };
+    let spec = workloads::scene_labeling(h, w)
+        .expect("input too small for three 7x7 conv + pooling stages (min ~46x46)");
+    println!("scene labeling ConvNN on a {w}x{h} RGB input:\n{spec}");
+    let params = spec.init_params(9, 0.2);
+    let scene = workloads::synthetic_scene(7, h, w);
+
+    for duplicate in [true, false] {
+        let label = if duplicate {
+            "with duplication"
+        } else {
+            "without duplication"
+        };
+        println!("--- {label} ---");
+        let mut cube = Neurocube::new(SystemConfig::paper(duplicate));
+        let loaded = cube.load(spec.clone(), params.clone());
+        let (output, report) = cube.run_inference(&loaded, &scene);
+        println!("{report}");
+        println!(
+            "class scores: {:?} -> class {}",
+            output
+                .as_slice()
+                .iter()
+                .map(|q| (q.to_f64() * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            output.argmax()
+        );
+        println!(
+            "frames/s: {:.2} @300MHz (28nm), {:.1} @5GHz (15nm); DRAM energy {:.2} mJ/frame\n",
+            report.frames_per_second_at(300.0e6),
+            report.frames_per_second_at(5.0e9),
+            report.dram_energy_j() * 1e3
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests of the NoC and DRAM substrates under randomized
+//! traffic — exactly-once delivery, per-flow ordering, bandwidth
+//! conservation and scheduling fairness.
+
+use neurocube_dram::{Channel, ChannelConfig, Request, RequestKind, Storage};
+use neurocube_noc::{Network, Packet, PacketKind, Topology};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::mesh4x4()),
+        Just(Topology::Mesh {
+            width: 2,
+            height: 2
+        }),
+        Just(Topology::Mesh {
+            width: 5,
+            height: 3
+        }),
+        Just(Topology::FullyConnected { nodes: 16 }),
+        Just(Topology::FullyConnected { nodes: 6 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every injected packet is delivered exactly once, to the right node,
+    /// and packets of the same (src, dst) flow arrive in injection order.
+    #[test]
+    fn noc_delivers_exactly_once_in_flow_order(
+        topo in topo_strategy(),
+        sends in proptest::collection::vec((0u8..16, 0u8..16), 1..300),
+    ) {
+        let nodes = topo.nodes();
+        let sends: Vec<(u8, u8)> = sends
+            .into_iter()
+            .map(|(s, d)| (s % nodes, d % nodes))
+            .collect();
+        let mut net = Network::new(topo);
+        let mut seq_per_flow: HashMap<(u8, u8), u16> = HashMap::new();
+        let mut pending = sends.clone();
+        pending.reverse();
+        let mut received: Vec<(u8, Packet)> = Vec::new();
+        let mut now = 0u64;
+        while received.len() < sends.len() {
+            if let Some(&(src, dst)) = pending.last() {
+                let seq = seq_per_flow.entry((src, dst)).or_insert(0);
+                let pkt = Packet {
+                    dst,
+                    src,
+                    mac_id: 0,
+                    op_id: 0,
+                    kind: PacketKind::State,
+                    data: *seq,
+                };
+                if net.try_inject_from_mem(src, pkt, now) {
+                    *seq += 1;
+                    pending.pop();
+                }
+            }
+            net.tick(now);
+            for node in 0..nodes {
+                if let Some(p) = net.pop_for_pe(node, now) {
+                    received.push((node, p));
+                }
+            }
+            now += 1;
+            prop_assert!(now < 200_000, "undelivered traffic");
+        }
+        prop_assert!(net.is_idle());
+        prop_assert_eq!(net.stats().in_flight(), 0);
+        // Exactly once, right node, flow order.
+        let mut next_expected: HashMap<(u8, u8), u16> = HashMap::new();
+        for (node, p) in &received {
+            prop_assert_eq!(*node, p.dst, "misrouted packet");
+            let e = next_expected.entry((p.src, p.dst)).or_insert(0);
+            prop_assert_eq!(p.data, *e, "flow {}->{} reordered", p.src, p.dst);
+            *e += 1;
+        }
+        let total: u16 = next_expected.values().copied().sum();
+        prop_assert_eq!(usize::from(total), sends.len());
+    }
+
+    /// A channel serves every request exactly once (tags preserved) and
+    /// reads return exactly what resides in storage, under random mixes of
+    /// reads and writes to random rows.
+    #[test]
+    fn dram_channel_serves_every_request(
+        ops in proptest::collection::vec((0u64..64, any::<bool>(), any::<u32>()), 1..80),
+    ) {
+        let mut cfg = ChannelConfig::hmc_int();
+        cfg.queue_capacity = 256;
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        let mut image: HashMap<u64, u32> = HashMap::new();
+        // Submit all requests up front (random rows to stress activation).
+        for (i, &(slot, is_write, val)) in ops.iter().enumerate() {
+            let addr = slot * 4096 + (i as u64 % 8) * 4;
+            let kind = if is_write {
+                // Track the last write per address for the final check.
+                image.insert(addr, val);
+                RequestKind::Write(u64::from(val))
+            } else {
+                RequestKind::Read
+            };
+            let req = Request { addr, tag: i as u64, kind };
+            prop_assert!(ch.try_enqueue(req));
+        }
+        let mut served = vec![false; ops.len()];
+        let mut now = 0u64;
+        let mut done = 0;
+        while done < ops.len() {
+            if let Some(c) = ch.tick(now, &mut storage) {
+                let i = c.tag as usize;
+                prop_assert!(!served[i], "request served twice");
+                served[i] = true;
+                done += 1;
+            }
+            now += 1;
+            prop_assert!(now < 2_000_000, "channel starved a request");
+        }
+        // Final storage image equals the last writes.
+        for (addr, val) in image {
+            prop_assert_eq!(storage.read_u32(addr), val);
+        }
+    }
+
+    /// Sequential streaming sustains the configured duty cycle: N words in
+    /// at most ~(cycles_per_word_avg × N) + activation + slack cycles.
+    #[test]
+    fn dram_streaming_meets_duty_cycle(n in 64usize..512) {
+        let cfg = ChannelConfig::hmc_int();
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        let mut issued = 0u64;
+        let mut done = 0usize;
+        let mut now = 0u64;
+        let mut last = 0u64;
+        while done < n {
+            while issued < n as u64
+                && ch.try_enqueue(Request {
+                    addr: issued * 4,
+                    tag: issued,
+                    kind: RequestKind::Read,
+                })
+            {
+                issued += 1;
+            }
+            if let Some(c) = ch.tick(now, &mut storage) {
+                done += 1;
+                last = c.cycle;
+            }
+            now += 1;
+            prop_assert!(now < 1_000_000);
+        }
+        // 8 words per 10 cycles sustained + one activation + pipeline slack.
+        let budget = (n as u64 * 10).div_ceil(8) + 138 + 64;
+        prop_assert!(last <= budget, "{n} words took {last} > {budget}");
+    }
+}
+
+/// The rotating arbiter shares one output port fairly among all competing
+/// inputs (deterministic test; the proptest above covers correctness).
+#[test]
+fn noc_arbitration_shares_between_three_flows() {
+    let mut net = Network::new(Topology::mesh4x4());
+    // Flows into node 5 from west (4), east (6) and north (1).
+    let sources = [4u8, 6, 1];
+    let mut counts = [0u32; 3];
+    for now in 0..2000u64 {
+        for &s in &sources {
+            let _ = net.try_inject_from_mem(
+                s,
+                Packet {
+                    dst: 5,
+                    src: s,
+                    mac_id: 0,
+                    op_id: 0,
+                    kind: PacketKind::State,
+                    data: 0,
+                },
+                now,
+            );
+        }
+        net.tick(now);
+        if let Some(p) = net.pop_for_pe(5, now) {
+            let i = sources.iter().position(|&s| s == p.src).unwrap();
+            counts[i] += 1;
+        }
+    }
+    let total: u32 = counts.iter().sum();
+    assert!(total > 1800, "port underutilized: {total}");
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64) > total as f64 / 3.0 * 0.7,
+            "flow {i} starved: {counts:?}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end training: the functional fixed-point trainer learns real
+//! tasks, and the trained weights run identically on the cycle simulator.
+
+use neurocube::{Neurocube, SystemConfig};
+use neurocube_fixed::{Activation, Q88};
+use neurocube_nn::{
+    mse_loss, workloads, Executor, LayerSpec, NetworkSpec, Shape, Tensor, Trainer, TrainerConfig,
+};
+
+#[test]
+fn mlp_learns_synthetic_digits_and_deploys_to_the_cube() {
+    // Fixed-point SGD needs a large learning rate so gradient updates stay
+    // above the Q1.7.8 quantum (see the Trainer docs).
+    let spec = workloads::mnist_mlp(16);
+    let exec = Executor::new(spec.clone(), spec.init_params(7, 0.05));
+    let mut trainer = Trainer::new(
+        exec,
+        TrainerConfig {
+            learning_rate: Q88::from_f64(2.0),
+        },
+    );
+    let data = workloads::digit_dataset(11, 3);
+    let losses = trainer.fit(&data, 10);
+    assert!(
+        losses.last().unwrap() < &(losses[0] * 0.5),
+        "loss must fall: {losses:?}"
+    );
+
+    // Training-set accuracy well above the 10% chance level (fixed-point
+    // training of a small MLP memorizes imperfectly, which is the point of
+    // measuring it honestly).
+    let exec = trainer.into_executor();
+    let mut correct = 0;
+    for (img, target) in &data {
+        if exec.predict(img).argmax() == target.argmax() {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 12, "accuracy {correct}/30 not above chance");
+
+    // Deploy trained weights to the Neurocube: identical outputs.
+    let mut cube = Neurocube::new(SystemConfig::paper(true));
+    let loaded = cube.load(spec, exec.params().to_vec());
+    let probe = workloads::synthetic_digit(123, 4);
+    let (out, _) = cube.run_inference(&loaded, &probe);
+    assert_eq!(out, exec.predict(&probe));
+}
+
+#[test]
+fn conv_net_trains_on_a_two_class_task() {
+    // Distinguish vertical-stripe images from horizontal-stripe images.
+    let spec = NetworkSpec::new(
+        Shape::new(1, 8, 8),
+        vec![
+            LayerSpec::conv(2, 3, Activation::Tanh),
+            LayerSpec::AvgPool { size: 2 },
+            LayerSpec::fc(2, Activation::Sigmoid),
+        ],
+    )
+    .unwrap();
+    let exec = Executor::new(spec.clone(), spec.init_params(3, 0.3));
+    let mut trainer = Trainer::new(
+        exec,
+        TrainerConfig {
+            learning_rate: Q88::from_f64(1.0),
+        },
+    );
+    // Stripes two pixels wide, so 2x2 average pooling does not cancel them.
+    let vertical = Tensor::from_vec(
+        1,
+        8,
+        8,
+        (0..64)
+            .map(|i| Q88::from_f64(if (i % 8) % 4 < 2 { 1.0 } else { -1.0 }))
+            .collect(),
+    );
+    let horizontal = Tensor::from_vec(
+        1,
+        8,
+        8,
+        (0..64)
+            .map(|i| Q88::from_f64(if (i / 8) % 4 < 2 { 1.0 } else { -1.0 }))
+            .collect(),
+    );
+    let data = [
+        (vertical.clone(), workloads::one_hot(0, 2)),
+        (horizontal.clone(), workloads::one_hot(1, 2)),
+    ];
+    trainer.fit(&data, 60);
+    let exec = trainer.into_executor();
+    assert_eq!(exec.predict(&vertical).argmax(), 0);
+    assert_eq!(exec.predict(&horizontal).argmax(), 1);
+}
+
+#[test]
+fn trainer_loss_matches_manual_mse() {
+    let spec = NetworkSpec::new(
+        Shape::flat(2),
+        vec![LayerSpec::fc(1, Activation::Identity)],
+    )
+    .unwrap();
+    let exec = Executor::new(
+        spec,
+        vec![vec![Q88::from_f64(0.5), Q88::from_f64(-0.5)]],
+    );
+    let x = Tensor::from_flat(vec![Q88::ONE, Q88::ONE]);
+    let y = Tensor::from_flat(vec![Q88::ONE]);
+    let predicted = exec.predict(&x);
+    let expected_loss = mse_loss(&predicted, &y);
+    let mut trainer = Trainer::new(exec, TrainerConfig::default());
+    let reported = trainer.step(&x, &y);
+    assert!((reported - expected_loss).abs() < 1e-12);
+}
+
+#[test]
+fn simulated_training_step_counts_match_schedule() {
+    let spec = workloads::tiny_convnet();
+    let params = spec.init_params(5, 0.25);
+    let mut cube = Neurocube::new(SystemConfig::paper(true));
+    let loaded = cube.load(spec.clone(), params);
+    let input = Tensor::zeros(1, 12, 12);
+    let report = cube.run_training_step(&loaded, &input);
+    assert_eq!(
+        report.total_ops(),
+        neurocube::training_ops(&spec),
+        "simulated training ops must match the analytical pass schedule"
+    );
+    // The backward sweep visits layers in reverse order after the forward
+    // sweep: passes 4.. are for layers 3, 2, 1, 0.
+    let backward: Vec<usize> = report.layers[spec.depth()..]
+        .iter()
+        .map(|l| l.layer_index)
+        .collect();
+    let mut sorted = backward.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(backward, sorted, "backward sweep must be reverse ordered");
+}
