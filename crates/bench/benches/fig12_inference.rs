@@ -37,7 +37,9 @@ fn main() {
 
     let mut csv = CsvSink::create(
         "fig12_layers",
-        &["mapping", "layer", "kind", "ops", "cycles", "gops", "lateral", "util"],
+        &[
+            "mapping", "layer", "kind", "ops", "cycles", "gops", "lateral", "util",
+        ],
     );
     for (mapping, rep) in [("dup", &dup), ("nodup", &nodup)] {
         for l in &rep.layers {

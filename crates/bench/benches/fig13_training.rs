@@ -13,7 +13,10 @@ use neurocube_bench::{header, print_layer_panels, ramp_input};
 use neurocube_nn::workloads;
 
 fn main() {
-    header("Fig. 13", "scene-labeling training, 64x64 input, duplication");
+    header(
+        "Fig. 13",
+        "scene-labeling training, 64x64 input, duplication",
+    );
     let spec = workloads::scene_labeling_training();
     let params = spec.init_params(13, 0.25);
     let mut cube = Neurocube::new(SystemConfig::paper(true));
@@ -49,8 +52,7 @@ fn main() {
     let mlp = workloads::mnist_mlp(32);
     let mlp_params = mlp.init_params(5, 0.2);
     let exec = neurocube_nn::Executor::new(mlp, mlp_params);
-    let mut trainer =
-        neurocube_nn::Trainer::new(exec, neurocube_nn::TrainerConfig::default());
+    let mut trainer = neurocube_nn::Trainer::new(exec, neurocube_nn::TrainerConfig::default());
     let data = workloads::digit_dataset(3, 2);
     let losses = trainer.fit(&data, 5);
     println!(

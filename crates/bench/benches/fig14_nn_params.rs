@@ -13,7 +13,7 @@
 //! duplicated input *shrinking* as the weight matrix grows.
 
 use neurocube::SystemConfig;
-use neurocube_bench::{csv_f, header, run_inference, CsvSink};
+use neurocube_bench::{csv_f, export_stats, header, run_inference, run_sweep, CsvSink};
 use neurocube_fixed::Activation;
 use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
 
@@ -34,19 +34,51 @@ fn fc_net(hidden: usize) -> NetworkSpec {
 }
 
 fn main() {
-    header("Fig. 14(a,b)", "conv layer: kernel-size sweep, 128x128 input, 16 maps");
+    header(
+        "Fig. 14(a,b)",
+        "conv layer: kernel-size sweep, 128x128 input, 16 maps",
+    );
     let mut csv = CsvSink::create(
         "fig14_kernel_sweep",
-        &["kernel", "nodup_gops", "dup_gops", "nodup_lateral", "dup_lateral", "dup_overhead"],
+        &[
+            "kernel",
+            "nodup_gops",
+            "dup_gops",
+            "nodup_lateral",
+            "dup_lateral",
+            "dup_overhead",
+        ],
     );
     println!(
         "{:<8} {:>14} {:>14} {:>12} {:>12} {:>12}",
         "kernel", "no-dup GOPs/s", "dup GOPs/s", "no-dup lat%", "dup lat%", "dup mem ovh%"
     );
-    for kernel in [3usize, 5, 7, 9, 11] {
-        let spec = conv_net(kernel);
-        let nodup = run_inference(SystemConfig::paper(false), &spec, 14);
-        let dup = run_inference(SystemConfig::paper(true), &spec, 14);
+    // All sweep points run concurrently on the batch runner; the serial
+    // re-run of one point checks the bitwise-identity contract end to end.
+    let kernels = [3usize, 5, 7, 9, 11];
+    let jobs: Vec<_> = kernels
+        .iter()
+        .flat_map(|&k| {
+            [
+                (SystemConfig::paper(false), conv_net(k), 14u64),
+                (SystemConfig::paper(true), conv_net(k), 14u64),
+            ]
+        })
+        .collect();
+    let results = run_sweep(&jobs);
+    let serial = run_inference(jobs[0].0.clone(), &jobs[0].1, jobs[0].2);
+    assert_eq!(
+        serial, results[0].0,
+        "batch sweep must be bitwise identical to serial execution"
+    );
+    println!(
+        "(batch sweep verified bitwise-identical to serial on kernel {})",
+        kernels[0]
+    );
+    for (i, &kernel) in kernels.iter().enumerate() {
+        let (nodup, nodup_stats) = &results[2 * i];
+        let (dup, _) = &results[2 * i + 1];
+        export_stats(&format!("fig14_conv_k{kernel}_nodup"), nodup_stats);
         csv.row(&[
             kernel.to_string(),
             csv_f(nodup.throughput_gops()),
@@ -72,16 +104,33 @@ fn main() {
     );
     let mut csv = CsvSink::create(
         "fig14_hidden_sweep",
-        &["hidden", "nodup_gops", "dup_gops", "nodup_lateral", "dup_lateral", "dup_overhead"],
+        &[
+            "hidden",
+            "nodup_gops",
+            "dup_gops",
+            "nodup_lateral",
+            "dup_lateral",
+            "dup_overhead",
+        ],
     );
     println!(
         "{:<8} {:>14} {:>14} {:>12} {:>12} {:>12}",
         "hidden", "no-dup GOPs/s", "dup GOPs/s", "no-dup lat%", "dup lat%", "dup mem ovh%"
     );
-    for hidden in [512usize, 1024, 2048, 4096] {
-        let spec = fc_net(hidden);
-        let nodup = run_inference(SystemConfig::paper(false), &spec, 14);
-        let dup = run_inference(SystemConfig::paper(true), &spec, 14);
+    let hiddens = [512usize, 1024, 2048, 4096];
+    let jobs: Vec<_> = hiddens
+        .iter()
+        .flat_map(|&h| {
+            [
+                (SystemConfig::paper(false), fc_net(h), 14u64),
+                (SystemConfig::paper(true), fc_net(h), 14u64),
+            ]
+        })
+        .collect();
+    let results = run_sweep(&jobs);
+    for (i, &hidden) in hiddens.iter().enumerate() {
+        let (nodup, _) = &results[2 * i];
+        let (dup, _) = &results[2 * i + 1];
         csv.row(&[
             hidden.to_string(),
             csv_f(nodup.throughput_gops()),

@@ -11,7 +11,7 @@
 //! there is no lateral traffic" on the fully connected fabric.
 
 use neurocube::SystemConfig;
-use neurocube_bench::{csv_f, header, run_inference, CsvSink};
+use neurocube_bench::{csv_f, export_stats, header, run_sweep, CsvSink};
 use neurocube_fixed::Activation;
 use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
 
@@ -32,21 +32,44 @@ fn fc_layer() -> NetworkSpec {
 }
 
 fn main() {
-    header("Fig. 15(a)", "HMC channel-count sweep vs DDR3, conv 7x7 layer");
+    header(
+        "Fig. 15(a)",
+        "HMC channel-count sweep vs DDR3, conv 7x7 layer",
+    );
     let mut csv = CsvSink::create(
         "fig15_channels",
-        &["memory", "channels", "gops", "lateral", "mean_latency", "agg_bw_gbps"],
+        &[
+            "memory",
+            "channels",
+            "gops",
+            "lateral",
+            "mean_latency",
+            "agg_bw_gbps",
+        ],
     );
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>14}",
         "memory", "GOPs/s", "lateral%", "mean lat.", "agg. BW GB/s"
     );
-    for ch in [2u32, 4, 8, 16] {
-        let cfg = SystemConfig::hmc_with_channels(ch);
+    // The whole memory sweep (HMC channel counts + the DDR3 baseline)
+    // runs concurrently on the kernel's batch runner; each point is its
+    // own deterministic cube.
+    let points: Vec<(&str, SystemConfig)> = [2u32, 4, 8, 16]
+        .iter()
+        .map(|&ch| ("HMC", SystemConfig::hmc_with_channels(ch)))
+        .chain(std::iter::once(("DDR3", SystemConfig::ddr3())))
+        .collect();
+    let jobs: Vec<_> = points
+        .iter()
+        .map(|(_, cfg)| (cfg.clone(), conv_layer(), 15u64))
+        .collect();
+    let results = run_sweep(&jobs);
+    for ((name, cfg), (rep, stats)) in points.iter().zip(&results) {
+        let ch = cfg.memory.channels;
         let agg = cfg.memory.aggregate_bandwidth_gbps();
-        let rep = run_inference(cfg, &conv_layer(), 15);
+        export_stats(&format!("fig15_{}_{ch}ch", name.to_lowercase()), stats);
         csv.row(&[
-            "HMC".to_string(),
+            (*name).to_string(),
             ch.to_string(),
             csv_f(rep.throughput_gops()),
             csv_f(rep.lateral_fraction()),
@@ -55,28 +78,7 @@ fn main() {
         ]);
         println!(
             "{:<22} {:>12.1} {:>11.1}% {:>12.1} {:>14.1}",
-            format!("HMC {ch} channels"),
-            rep.throughput_gops(),
-            100.0 * rep.lateral_fraction(),
-            rep.layers[0].noc_mean_latency,
-            agg
-        );
-    }
-    {
-        let cfg = SystemConfig::ddr3();
-        let agg = cfg.memory.aggregate_bandwidth_gbps();
-        let rep = run_inference(cfg, &conv_layer(), 15);
-        csv.row(&[
-            "DDR3".to_string(),
-            "2".to_string(),
-            csv_f(rep.throughput_gops()),
-            csv_f(rep.lateral_fraction()),
-            csv_f(rep.layers[0].noc_mean_latency),
-            csv_f(agg),
-        ]);
-        println!(
-            "{:<22} {:>12.1} {:>11.1}% {:>12.1} {:>14.1}",
-            "DDR3 2 channels",
+            format!("{name} {ch} channels"),
             rep.throughput_gops(),
             100.0 * rep.lateral_fraction(),
             rep.layers[0].noc_mean_latency,
@@ -85,7 +87,10 @@ fn main() {
     }
     println!("paper shape: DDR3 far below HMC despite higher per-channel peak bandwidth.\n");
 
-    header("Fig. 15(b)", "2D mesh vs fully connected NoC (no duplication)");
+    header(
+        "Fig. 15(b)",
+        "2D mesh vs fully connected NoC (no duplication)",
+    );
     let mut csv = CsvSink::create(
         "fig15_noc",
         &["layer", "noc", "gops", "lateral", "mean_latency"],
@@ -94,28 +99,38 @@ fn main() {
         "{:<12} {:<22} {:>12} {:>12} {:>12}",
         "layer", "NoC", "GOPs/s", "lateral%", "mean lat."
     );
-    for (name, spec) in [("conv 7x7", conv_layer()), ("fc 1024", fc_layer())] {
-        for (noc, cfg) in [
-            ("4x4 mesh", SystemConfig::paper(false)),
-            ("fully connected", SystemConfig::fully_connected_noc(false)),
-        ] {
-            let rep = run_inference(cfg, &spec, 15);
-            csv.row(&[
-                name.to_string(),
-                noc.to_string(),
-                csv_f(rep.throughput_gops()),
-                csv_f(rep.lateral_fraction()),
-                csv_f(rep.layers[0].noc_mean_latency),
-            ]);
-            println!(
-                "{:<12} {:<22} {:>12.1} {:>11.1}% {:>12.1}",
-                name,
-                noc,
-                rep.throughput_gops(),
-                100.0 * rep.lateral_fraction(),
-                rep.layers[0].noc_mean_latency
-            );
-        }
+    let cases: Vec<(&str, &str, SystemConfig, NetworkSpec)> =
+        [("conv 7x7", conv_layer()), ("fc 1024", fc_layer())]
+            .into_iter()
+            .flat_map(|(name, spec)| {
+                [
+                    ("4x4 mesh", SystemConfig::paper(false)),
+                    ("fully connected", SystemConfig::fully_connected_noc(false)),
+                ]
+                .map(|(noc, cfg)| (name, noc, cfg, spec.clone()))
+            })
+            .collect();
+    let jobs: Vec<_> = cases
+        .iter()
+        .map(|(_, _, cfg, spec)| (cfg.clone(), spec.clone(), 15u64))
+        .collect();
+    let results = run_sweep(&jobs);
+    for ((name, noc, _, _), (rep, _)) in cases.iter().zip(&results) {
+        csv.row(&[
+            name.to_string(),
+            noc.to_string(),
+            csv_f(rep.throughput_gops()),
+            csv_f(rep.lateral_fraction()),
+            csv_f(rep.layers[0].noc_mean_latency),
+        ]);
+        println!(
+            "{:<12} {:<22} {:>12.1} {:>11.1}% {:>12.1}",
+            name,
+            noc,
+            rep.throughput_gops(),
+            100.0 * rep.lateral_fraction(),
+            rep.layers[0].noc_mean_latency
+        );
     }
     println!(
         "paper shape: the fully connected NoC removes the dense layer's mesh penalty\n\

@@ -5,7 +5,10 @@ use neurocube_power::area::{FloorplanReport, CORES, LOGIC_DIE_MM2};
 use neurocube_power::table2::ProcessNode;
 
 fn main() {
-    header("Fig. 16", "logic-die floorplan accounting (one core per vault)");
+    header(
+        "Fig. 16",
+        "logic-die floorplan accounting (one core per vault)",
+    );
     for node in [ProcessNode::Cmos28, ProcessNode::FinFet15] {
         let r = FloorplanReport::new(node);
         println!("[{}]", node.name());

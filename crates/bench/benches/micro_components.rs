@@ -17,7 +17,9 @@ fn bench_fixed(c: &mut Criterion) {
     let mut g = c.benchmark_group("fixed");
     let a = Q88::from_f64(1.217);
     let b = Q88::from_f64(-0.493);
-    g.bench_function("q88_mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("q88_mul", |bench| {
+        bench.iter(|| black_box(a) * black_box(b))
+    });
     g.bench_function("mac_accumulate_64", |bench| {
         bench.iter(|| {
             let mut mac = MacUnit::new(Default::default());

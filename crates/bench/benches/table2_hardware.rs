@@ -12,10 +12,22 @@ use neurocube_power::table2::{
 };
 
 fn main() {
-    header("Table II", "hardware simulation of a single core in Neurocube");
+    header(
+        "Table II",
+        "hardware simulation of a single core in Neurocube",
+    );
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9}",
-        "module", "bits", "f28 MHz", "f15 MHz", "P28 W", "P15 W", "A28 mm2", "A15 mm2", "D28 W/mm2", "D15 W/mm2"
+        "module",
+        "bits",
+        "f28 MHz",
+        "f15 MHz",
+        "P28 W",
+        "P15 W",
+        "A28 mm2",
+        "A15 mm2",
+        "D28 W/mm2",
+        "D15 W/mm2"
     );
     for c in &TABLE2_COMPONENTS {
         println!(
@@ -38,16 +50,32 @@ fn main() {
             node.name(),
             pe_sum_power_w(node),
             pe_sum_area_mm2(node),
-            if node == ProcessNode::Cmos28 { "1.56e-2" } else { "2.13e-1" },
-            if node == ProcessNode::Cmos28 { "0.1936" } else { "0.0600" },
+            if node == ProcessNode::Cmos28 {
+                "1.56e-2"
+            } else {
+                "2.13e-1"
+            },
+            if node == ProcessNode::Cmos28 {
+                "0.1936"
+            } else {
+                "0.0600"
+            },
         );
         println!(
             "[{}] compute (16 PEs + routers): {:.3} W, {:.3} mm² (paper: {} W, {} mm²)",
             node.name(),
             compute_power_w(node),
             compute_area_mm2(node),
-            if node == ProcessNode::Cmos28 { "0.249" } else { "3.41" },
-            if node == ProcessNode::Cmos28 { "3.0983" } else { "0.9601" },
+            if node == ProcessNode::Cmos28 {
+                "0.249"
+            } else {
+                "3.41"
+            },
+            if node == ProcessNode::Cmos28 {
+                "3.0983"
+            } else {
+                "0.9601"
+            },
         );
         println!(
             "[{}] HMC logic die w/o Neurocube: {:.3} W (paper: {}), all DRAM dies: {:.3} W (paper: {})",
@@ -61,7 +89,11 @@ fn main() {
             "[{}] total system power: {:.2} W (Table III parenthesis: {})",
             node.name(),
             hmc::system_power_w(node),
-            if node == ProcessNode::Cmos28 { "1.86" } else { "21.50" },
+            if node == ProcessNode::Cmos28 {
+                "1.86"
+            } else {
+                "21.50"
+            },
         );
     }
     println!(

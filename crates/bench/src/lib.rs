@@ -14,6 +14,7 @@
 use neurocube::{Neurocube, RunReport, SystemConfig};
 use neurocube_fixed::Q88;
 use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_sim::{BatchRunner, StatsRegistry};
 use std::fs::File;
 use std::io::Write;
 use std::path::PathBuf;
@@ -41,12 +42,47 @@ pub fn ramp_input(spec: &NetworkSpec) -> Tensor {
 
 /// Loads `spec` into a fresh cube with `cfg` and runs one inference.
 pub fn run_inference(cfg: SystemConfig, spec: &NetworkSpec, seed: u64) -> RunReport {
+    run_inference_stats(cfg, spec, seed).0
+}
+
+/// Like [`run_inference`], but also returns the cube's final statistics
+/// registry for CSV/JSON export.
+pub fn run_inference_stats(
+    cfg: SystemConfig,
+    spec: &NetworkSpec,
+    seed: u64,
+) -> (RunReport, StatsRegistry) {
     let params = spec.init_params(seed, 0.25);
     let mut cube = Neurocube::new(cfg);
     let loaded = cube.load(spec.clone(), params);
     let input = ramp_input(spec);
     let (_, report) = cube.run_inference(&loaded, &input);
-    report
+    let stats = cube.stats_registry();
+    (report, stats)
+}
+
+/// Runs every sweep point of `jobs` on the kernel's [`BatchRunner`] —
+/// each point is its own deterministic cube, so results are bitwise
+/// identical to a serial sweep — and returns reports (with each cube's
+/// statistics registry) in job order.
+pub fn run_sweep(jobs: &[(SystemConfig, NetworkSpec, u64)]) -> Vec<(RunReport, StatsRegistry)> {
+    BatchRunner::new().run(jobs.len(), |i| {
+        let (cfg, spec, seed) = &jobs[i];
+        run_inference_stats(cfg.clone(), spec, *seed)
+    })
+}
+
+/// Exports a statistics registry as `<NEUROCUBE_CSV>/<name>.stats.csv`
+/// and `.stats.json`; a no-op when `NEUROCUBE_CSV` is unset.
+pub fn export_stats(name: &str, reg: &StatsRegistry) {
+    let Some(dir) = std::env::var_os("NEUROCUBE_CSV") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create NEUROCUBE_CSV directory");
+    std::fs::write(dir.join(format!("{name}.stats.csv")), reg.to_csv()).expect("write stats CSV");
+    std::fs::write(dir.join(format!("{name}.stats.json")), reg.to_json())
+        .expect("write stats JSON");
 }
 
 /// A CSV sink for an experiment's data series, so results can be plotted

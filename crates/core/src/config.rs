@@ -167,7 +167,10 @@ impl SystemConfig {
 
     /// `true` when every region's PNG sits at its own mesh node.
     pub fn identity_attach(&self) -> bool {
-        self.attach.iter().enumerate().all(|(i, &n)| i == usize::from(n))
+        self.attach
+            .iter()
+            .enumerate()
+            .all(|(i, &n)| i == usize::from(n))
     }
 
     /// Validates internal consistency.
@@ -183,7 +186,11 @@ impl SystemConfig {
             self.nodes(),
             "one memory region per PE"
         );
-        assert_eq!(self.attach.len(), self.nodes(), "one attach entry per region");
+        assert_eq!(
+            self.attach.len(),
+            self.nodes(),
+            "one attach entry per region"
+        );
         if !self.identity_attach() {
             assert!(
                 !self.duplicate,

@@ -23,6 +23,7 @@ use neurocube_dram::REF_CLOCK_HZ;
 use neurocube_fixed::Q88;
 use neurocube_nn::{LayerSpec, NetworkSpec, Shape, Tensor};
 use neurocube_png::layout::{input_rect_for, Rect};
+use neurocube_sim::BatchRunner;
 use std::fmt;
 
 /// Inter-cube link model: the HMC external interface (Table I HMC-Ext:
@@ -231,12 +232,17 @@ impl MultiCube {
         weights: &[Q88],
         cur: &Tensor,
     ) -> (Tensor, MultiLayerReport) {
-        let mut out = Tensor::zeros(out_shape.channels, out_shape.height, out_shape.width);
-        let mut per_cube = Vec::with_capacity(self.cubes);
-        let mut halo_bytes = 0u64;
+        // Validate every band before any cube is dispatched, so geometry
+        // errors surface deterministically and never from a worker thread.
         for b in 0..self.cubes {
             let (oy0, oy1) = self.band(out_shape.height, b);
             assert!(oy1 > oy0, "cube {b} has an empty band in layer {index}");
+        }
+
+        // Each band runs on its own (deterministic, single-threaded)
+        // Neurocube; the cluster's cubes genuinely run concurrently.
+        let bands = BatchRunner::new().run(self.cubes, |b| {
+            let (oy0, oy1) = self.band(out_shape.height, b);
             // Input rows this band needs (the same arithmetic as vault
             // halos, at cube granularity).
             let need = input_rect_for(
@@ -253,9 +259,8 @@ impl MultiCube {
             // Rows beyond the band's own share of the input travel over
             // the links from the neighbouring cubes' bands.
             let (own_in0, own_in1) = self.band(in_shape.height, b);
-            let foreign_rows =
-                own_in0.saturating_sub(need.y0) + need.y1.saturating_sub(own_in1);
-            halo_bytes += (foreign_rows * in_shape.width * in_shape.channels * 2) as u64;
+            let foreign_rows = own_in0.saturating_sub(need.y0) + need.y1.saturating_sub(own_in1);
+            let halo_bytes = (foreign_rows * in_shape.width * in_shape.channels * 2) as u64;
 
             // Build and run the band as a single-layer network.
             let band_in = Shape::new(in_shape.channels, need.y1 - need.y0, in_shape.width);
@@ -272,6 +277,17 @@ impl MultiCube {
             let mut cube = Neurocube::new(self.cfg.clone());
             let loaded = cube.load(band_spec, vec![weights.to_vec()]);
             let (band_out, band_report) = cube.run_inference(&loaded, &slice);
+            (band_out, band_report, halo_bytes)
+        });
+
+        // Serial merge in band order keeps the combined result identical
+        // to a serial (or single-cube) run.
+        let mut out = Tensor::zeros(out_shape.channels, out_shape.height, out_shape.width);
+        let mut per_cube = Vec::with_capacity(self.cubes);
+        let mut halo_bytes = 0u64;
+        for (b, (band_out, band_report, band_halo)) in bands.into_iter().enumerate() {
+            let (oy0, oy1) = self.band(out_shape.height, b);
+            halo_bytes += band_halo;
             for c in 0..out_shape.channels {
                 for y in oy0..oy1 {
                     for x in 0..out_shape.width {
@@ -308,13 +324,18 @@ impl MultiCube {
     ) -> (Tensor, MultiLayerReport) {
         let n_in = in_shape.len();
         let n_out = out_shape.len();
-        let mut out_values = vec![Q88::ZERO; n_out];
-        let mut per_cube = Vec::with_capacity(self.cubes);
-        // Each cube computes a slice of the output neurons over the full
-        // input vector, which must first be all-gathered across cubes.
+        // Validate every slice before dispatch (see run_spatial_layer).
         for b in 0..self.cubes {
             let (o0, o1) = self.band(n_out, b);
-            assert!(o1 > o0, "cube {b} has an empty output slice in layer {index}");
+            assert!(
+                o1 > o0,
+                "cube {b} has an empty output slice in layer {index}"
+            );
+        }
+        // Each cube computes a slice of the output neurons over the full
+        // input vector, which must first be all-gathered across cubes.
+        let slices = BatchRunner::new().run(self.cubes, |b| {
+            let (o0, o1) = self.band(n_out, b);
             let slice_spec = NetworkSpec::new(
                 Shape::flat(n_in),
                 vec![LayerSpec::FullyConnected {
@@ -327,7 +348,12 @@ impl MultiCube {
             let mut cube = Neurocube::new(self.cfg.clone());
             let loaded = cube.load(slice_spec, vec![w]);
             let flat_in = Tensor::from_flat(cur.as_slice().to_vec());
-            let (slice_out, slice_report) = cube.run_inference(&loaded, &flat_in);
+            cube.run_inference(&loaded, &flat_in)
+        });
+        let mut out_values = vec![Q88::ZERO; n_out];
+        let mut per_cube = Vec::with_capacity(self.cubes);
+        for (b, (slice_out, slice_report)) in slices.into_iter().enumerate() {
+            let (o0, o1) = self.band(n_out, b);
             out_values[o0..o1].copy_from_slice(slice_out.as_slice());
             per_cube.push(slice_report.layers.into_iter().next().expect("one layer"));
         }

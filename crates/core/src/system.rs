@@ -5,11 +5,12 @@ use crate::report::{LayerReport, RunReport};
 use crate::training::{training_passes, PassKind};
 use neurocube_dram::MemorySystem;
 use neurocube_nn::{NetworkSpec, Tensor};
-use neurocube_noc::{Network, NodeId, Packet};
+use neurocube_noc::Network;
 use neurocube_pe::ProcessingElement;
 use neurocube_png::layout::NetworkLayout;
 use neurocube_png::{compile_layer, LayerProgram, Png};
 use neurocube_png::{program, PngHookup};
+use neurocube_sim::{Clocked, CycleLoop, StatSource, StatsRegistry};
 use std::sync::Arc;
 
 /// A network loaded into the cube: its placement, parameters and compiled
@@ -65,9 +66,7 @@ impl Neurocube {
         let mem = MemorySystem::new(cfg.memory.clone());
         let net = Network::new(cfg.topology);
         let pes = (0..cfg.nodes() as u8)
-            .map(|p| {
-                ProcessingElement::with_cache(p, cfg.accumulator, cfg.cache_entries_per_bank)
-            })
+            .map(|p| ProcessingElement::with_cache(p, cfg.accumulator, cfg.cache_entries_per_bank))
             .collect();
         let word_bytes = u64::from(cfg.memory.channel.word_bits / 8);
         let regions_per_channel = (cfg.memory.regions / cfg.memory.channels) as usize;
@@ -127,40 +126,27 @@ impl Neurocube {
         self.now
     }
 
-    /// Multi-line diagnostic snapshot of every PE's and PNG's counters —
-    /// for performance debugging and the ablation reports.
-    pub fn debug_dump(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
+    /// Uniform snapshot of every component's counters in one registry —
+    /// the source of [`LayerReport`] numbers, diagnostic dumps and the
+    /// CSV/JSON exports the experiment harnesses emit.
+    pub fn stats_registry(&self) -> StatsRegistry {
+        let mut reg = StatsRegistry::new();
         for (i, pe) in self.pes.iter().enumerate() {
-            let s = pe.stats();
-            let _ = writeln!(
-                out,
-                "PE{i:<2} macs {:>9} fired {:>8} starved {:>9} cached {:>8} cache_hw {:>3}",
-                s.mac_ops,
-                s.ops_fired,
-                s.starved_cycles,
-                s.cached_packets,
-                pe.cache_high_water()
-            );
+            pe.report(&mut reg.scoped(&format!("pe{i}")));
         }
         for (i, png) in self.pngs.iter().enumerate() {
-            let s = png.stats();
-            let _ = writeln!(
-                out,
-                "PNG{i:<2} ops {:>9} reads {:>8} inj_stall {:>8} wb {:>7} copies {:>6} writes {:>6} gate {:>8} q {:>6} outq {:>8}",
-                s.operands_sent,
-                s.reads_issued,
-                s.inject_stalls,
-                s.writebacks_received,
-                s.copies_forwarded,
-                s.writes_issued,
-                s.gate_stalls,
-                s.queue_stalls,
-                s.outq_stalls
-            );
+            png.report(&mut reg.scoped(&format!("png{i}")));
         }
-        out
+        self.net.report(&mut reg.scoped("noc"));
+        self.mem.report(&mut reg.scoped("mem"));
+        reg
+    }
+
+    /// Multi-line diagnostic snapshot of every component's counters —
+    /// for performance debugging and the ablation reports. One `key =
+    /// value` line per statistic, in deterministic key order.
+    pub fn debug_dump(&self) -> String {
+        self.stats_registry().dump()
     }
 
     /// Loads a network: builds the layout, writes streamed weights into the
@@ -182,7 +168,14 @@ impl Neurocube {
             assert_eq!(p.len(), n, "layer {i} expects {n} weights");
         }
         let (gw, gh) = self.cfg.grid();
-        let layout = NetworkLayout::build(&spec, gw, gh, self.cfg.duplicate, self.cfg.n_mac as usize, self.mem.map());
+        let layout = NetworkLayout::build(
+            &spec,
+            gw,
+            gh,
+            self.cfg.duplicate,
+            self.cfg.n_mac as usize,
+            self.mem.map(),
+        );
         program::load_weights(&spec, &params, &layout, self.mem.storage_mut());
         let programs = (0..spec.depth())
             .map(|i| compile_layer(&spec, &layout, i, self.cfg.mapping()))
@@ -220,7 +213,12 @@ impl Neurocube {
     pub fn read_volume(&self, loaded: &LoadedNetwork, i: usize) -> Tensor {
         let vol = &loaded.layout.volumes[i];
         let values = program::read_volume(vol, self.mem.storage());
-        Tensor::from_vec(vol.shape.channels, vol.shape.height, vol.shape.width, values)
+        Tensor::from_vec(
+            vol.shape.channels,
+            vol.shape.height,
+            vol.shape.width,
+            values,
+        )
     }
 
     /// Executes one layer to completion and reports its statistics.
@@ -263,180 +261,100 @@ impl Neurocube {
         if let Some(model) = self.cfg.programming {
             self.now += model.layer_cycles(self.cfg.nodes() as u32);
         }
-        let noc0 = *self.net.stats();
-        let bits0 = self.mem.total_bits_transferred();
-        let energy0 = self.mem.total_energy_joules();
-        let rows0 = self.mem.total_row_misses();
-        let macs0: u64 = self.pes.iter().map(|p| p.stats().mac_ops).sum();
+        let before = self.stats_registry();
 
-        // The data-driven execution phase.
-        let nodes = self.cfg.nodes() as u8;
-        let mut idle_cycles = 0u64;
-        let mut last_progress = macs0;
-        loop {
-            let now = self.now;
+        // The data-driven execution phase: the per-cycle pipeline, in
+        // dependency order. The kernel's CycleLoop owns the completion
+        // check and the stalled-simulation watchdog.
+        let exec_start = self.now;
+        Self::pipeline().run(
+            self,
+            exec_start,
+            Neurocube::layer_complete,
+            Neurocube::total_mac_ops,
+            |cube, idle| cube.stall_diagnostic(index, idle),
+        );
 
-            // Credit return: PNGs observe PE progress for run-ahead flow
-            // control, then issue writes + prefetch reads.
-            let progress: Vec<u64> = self.pes.iter().map(ProcessingElement::progress).collect();
-            for png in &mut self.pngs {
-                png.set_pe_progress(&progress);
-                png.tick(now, &mut self.mem);
-            }
-
-            // Physical channels; dispatch completions to the issuing PNG.
-            for ch in 0..self.mem.channels() {
-                if let Some(c) = self.mem.tick_channel(ch, now) {
-                    let v = Png::vault_of_tag(c.tag);
-                    self.pngs[usize::from(v)].on_completion(c.tag, c.data);
-                }
-            }
-
-            // NoC mem-port ejection: one packet per node per cycle, routed
-            // to the owning PNG.
-            for node in 0..nodes {
-                let handler = match self.net.peek_for_mem_src(node, now) {
-                    Some(src) => {
-                        if self.cfg.identity_attach() {
-                            node
-                        } else {
-                            src
-                        }
-                    }
-                    None => continue,
-                };
-                let src = self
-                    .net
-                    .peek_for_mem(node, now)
-                    .map(|p| p.src)
-                    .expect("peeked above");
-                if self.pngs[usize::from(handler)].can_take_result(src) {
-                    let pkt = self
-                        .net
-                        .pop_for_mem(node, now)
-                        .expect("peeked packet vanished");
-                    self.pngs[usize::from(handler)].on_result(pkt, now);
-                }
-            }
-
-            // PNG packet injection: one per node per cycle; round-robin
-            // among PNGs sharing an attach node.
-            for node in 0..nodes {
-                let sharing = &self.attach_groups[usize::from(node)];
-                if sharing.is_empty() {
-                    continue;
-                }
-                let offset = (now as usize) % sharing.len();
-                for i in 0..sharing.len() {
-                    let v = sharing[(offset + i) % sharing.len()];
-                    if let Some(&pkt) = self.pngs[usize::from(v)].peek_outgoing() {
-                        if self.net.try_inject_from_mem(node, pkt, now) {
-                            self.pngs[usize::from(v)].pop_outgoing();
-                        } else {
-                            self.pngs[usize::from(v)].note_inject_stall();
-                        }
-                        break;
-                    }
-                }
-            }
-
-            self.net.tick(now);
-
-            // PEs: operand delivery, firing, result injection.
-            for p in 0..nodes {
-                let pe = &mut self.pes[usize::from(p)];
-                if !pe.layer_done() {
-                    if let Some(&pkt) = self.net.peek_for_pe(p, now) {
-                        if pe.try_accept(pkt) {
-                            let _ = self.net.pop_for_pe(p, now);
-                        }
-                    }
-                    pe.tick(now);
-                }
-                if let Some(&r) = pe.peek_result() {
-                    // Physical routing: results travel to the mesh node of
-                    // the region's controller.
-                    let mut phys = r;
-                    phys.dst = self.cfg.attach[usize::from(r.dst)];
-                    if self.net.try_inject_from_pe(p, phys, now) {
-                        pe.pop_result();
-                    }
-                }
-            }
-
-            self.now += 1;
-
-            // Completion / watchdog check.
-            if self.now.is_multiple_of(64) {
-                let done = self.pes.iter().all(ProcessingElement::layer_done)
-                    && self.pngs.iter().all(Png::layer_done)
-                    && self.net.is_idle();
-                if done {
-                    break;
-                }
-                let macs_now: u64 = self.pes.iter().map(|p| p.stats().mac_ops).sum();
-                if macs_now == last_progress {
-                    idle_cycles += 64;
-                    assert!(
-                        idle_cycles < 2_000_000,
-                        "deadlock in layer {index}: cycle {}, pngs done {:?}, pes done {:?}, noc {:?}, png dumps {:?}, pe positions {:?}, pe progress {:?}, mem pending {:?}, noc occupancy {}",
-                        self.now,
-                        self.pngs.iter().map(Png::layer_done).collect::<Vec<_>>(),
-                        self.pes
-                            .iter()
-                            .map(ProcessingElement::layer_done)
-                            .collect::<Vec<_>>(),
-                        self.net.stats(),
-                        self.pngs.iter().map(Png::debug_state).collect::<Vec<_>>(),
-                        self.pes
-                            .iter()
-                            .map(ProcessingElement::debug_position)
-                            .collect::<Vec<_>>(),
-                        self.pes
-                            .iter()
-                            .map(ProcessingElement::progress)
-                            .collect::<Vec<_>>(),
-                        (0..self.mem.regions()).map(|r| self.mem.pending(r)).collect::<Vec<_>>(),
-                        self.net.occupancy()
-                    );
-                } else {
-                    idle_cycles = 0;
-                    last_progress = macs_now;
-                }
-            }
-        }
-
-        let noc1 = *self.net.stats();
-        let macs1: u64 = self.pes.iter().map(|p| p.stats().mac_ops).sum();
+        let delta = self.stats_registry().diff(&before);
+        let delivered = delta.counter("noc.delivered");
         let layer = &loaded.spec.layers()[index];
         LayerReport {
             layer_index: index,
             kind: layer.kind_name(),
             pass: pass.label(),
             cycles: self.now - start_cycle,
-            macs: macs1 - macs0,
-            packets: noc1.delivered - noc0.delivered,
-            lateral_packets: noc1.lateral - noc0.lateral,
-            noc_mean_latency: if noc1.delivered > noc0.delivered {
-                (noc1.total_latency - noc0.total_latency) as f64
-                    / (noc1.delivered - noc0.delivered) as f64
+            macs: delta.sum_suffix(".mac_ops"),
+            packets: delivered,
+            lateral_packets: delta.counter("noc.lateral"),
+            noc_mean_latency: if delivered > 0 {
+                delta.counter("noc.total_latency") as f64 / delivered as f64
             } else {
                 0.0
             },
-            dram_bits: self.mem.total_bits_transferred() - bits0,
-            dram_energy_j: self.mem.total_energy_joules() - energy0,
-            row_misses: self.mem.total_row_misses() - rows0,
+            dram_bits: delta.counter("mem.bits_transferred"),
+            dram_energy_j: delta.metric("mem.energy_j"),
+            row_misses: delta.counter("mem.row_misses"),
         }
+    }
+
+    /// The cube's per-cycle pipeline as kernel stages, in dependency
+    /// order: PNG credit return → DRAM channels → mem-port ejection →
+    /// PNG injection → NoC → PEs → clock.
+    fn pipeline() -> CycleLoop<Neurocube> {
+        CycleLoop::new()
+            .stage(PngCreditReturn)
+            .stage(DramChannels)
+            .stage(MemPortEjection)
+            .stage(PngInjection)
+            .stage(NocTick)
+            .stage(PeTick)
+            .stage(AdvanceClock)
+    }
+
+    /// Completion predicate for one layer/pass: every PE and PNG reports
+    /// done and the fabric has drained.
+    fn layer_complete(&self) -> bool {
+        self.pes.iter().all(ProcessingElement::layer_done)
+            && self.pngs.iter().all(Png::layer_done)
+            && self.net.is_idle()
+    }
+
+    /// The watchdog's progress measure: useful arithmetic performed.
+    fn total_mac_ops(&self) -> u64 {
+        self.pes.iter().map(|p| p.stats().mac_ops).sum()
+    }
+
+    /// Diagnostic message for a stalled layer — enough component state to
+    /// localise the deadlock, plus the full statistics dump.
+    fn stall_diagnostic(&self, index: usize, idle_cycles: u64) -> String {
+        format!(
+            "deadlock in layer {index}: cycle {}, no progress for {idle_cycles} cycles, pngs done {:?}, pes done {:?}, png dumps {:?}, pe positions {:?}, pe progress {:?}, mem pending {:?}, stats:\n{}",
+            self.now,
+            self.pngs.iter().map(Png::layer_done).collect::<Vec<_>>(),
+            self.pes
+                .iter()
+                .map(ProcessingElement::layer_done)
+                .collect::<Vec<_>>(),
+            self.pngs.iter().map(Png::debug_state).collect::<Vec<_>>(),
+            self.pes
+                .iter()
+                .map(ProcessingElement::debug_position)
+                .collect::<Vec<_>>(),
+            self.pes
+                .iter()
+                .map(ProcessingElement::progress)
+                .collect::<Vec<_>>(),
+            (0..self.mem.regions())
+                .map(|r| self.mem.pending(r))
+                .collect::<Vec<_>>(),
+            self.debug_dump()
+        )
     }
 
     /// Runs a full inference: loads `input`, executes every layer and
     /// returns the network output (read back from DRAM) plus the run
     /// report.
-    pub fn run_inference(
-        &mut self,
-        loaded: &LoadedNetwork,
-        input: &Tensor,
-    ) -> (Tensor, RunReport) {
+    pub fn run_inference(&mut self, loaded: &LoadedNetwork, input: &Tensor) -> (Tensor, RunReport) {
         self.set_input(loaded, input);
         let mut report = RunReport {
             layers: Vec::with_capacity(loaded.spec.depth()),
@@ -463,7 +381,9 @@ impl Neurocube {
         };
         // Forward sweep (activations must be stored for backprop).
         for i in 0..loaded.spec.depth() {
-            report.layers.push(self.run_pass(loaded, i, PassKind::Forward));
+            report
+                .layers
+                .push(self.run_pass(loaded, i, PassKind::Forward));
         }
         // Backward sweep.
         for i in (0..loaded.spec.depth()).rev() {
@@ -477,14 +397,231 @@ impl Neurocube {
     }
 }
 
-/// Extension used by the run loop: the source of the packet at a node's
-/// mem port, for PNG demultiplexing on shared controllers.
-trait MemPeek {
-    fn peek_for_mem_src(&self, node: NodeId, now: u64) -> Option<NodeId>;
+/// Credit return: PNGs observe PE progress for run-ahead flow control,
+/// then issue writes + prefetch reads.
+struct PngCreditReturn;
+
+impl Clocked<Neurocube> for PngCreditReturn {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        let progress: Vec<u64> = cube.pes.iter().map(ProcessingElement::progress).collect();
+        for png in &mut cube.pngs {
+            png.set_pe_progress(&progress);
+            png.tick(now, &mut cube.mem);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "png-credit-return"
+    }
 }
 
-impl MemPeek for Network {
-    fn peek_for_mem_src(&self, node: NodeId, now: u64) -> Option<NodeId> {
-        self.peek_for_mem(node, now).map(|p: &Packet| p.src)
+/// Physical memory channels; completions dispatch to the issuing PNG.
+struct DramChannels;
+
+impl Clocked<Neurocube> for DramChannels {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        for ch in 0..cube.mem.channels() {
+            if let Some(c) = cube.mem.tick_channel(ch, now) {
+                let v = Png::vault_of_tag(c.tag);
+                cube.pngs[usize::from(v)].on_completion(c.tag, c.data);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dram-channels"
+    }
+}
+
+/// NoC mem-port ejection: one packet per node per cycle, routed to the
+/// owning PNG (the packet's source vault when controllers are shared).
+struct MemPortEjection;
+
+impl Clocked<Neurocube> for MemPortEjection {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        for node in 0..cube.cfg.nodes() as u8 {
+            let src = match cube.net.peek_for_mem(node, now) {
+                Some(pkt) => pkt.src,
+                None => continue,
+            };
+            let handler = if cube.cfg.identity_attach() {
+                node
+            } else {
+                src
+            };
+            if cube.pngs[usize::from(handler)].can_take_result(src) {
+                let pkt = cube
+                    .net
+                    .pop_for_mem(node, now)
+                    .expect("peeked packet vanished");
+                cube.pngs[usize::from(handler)].on_result(pkt, now);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mem-port-ejection"
+    }
+}
+
+/// PNG packet injection: one per node per cycle; round-robin among PNGs
+/// sharing an attach node.
+struct PngInjection;
+
+impl Clocked<Neurocube> for PngInjection {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        for node in 0..cube.cfg.nodes() as u8 {
+            let sharing = &cube.attach_groups[usize::from(node)];
+            if sharing.is_empty() {
+                continue;
+            }
+            let offset = (now as usize) % sharing.len();
+            for i in 0..sharing.len() {
+                let v = sharing[(offset + i) % sharing.len()];
+                if let Some(&pkt) = cube.pngs[usize::from(v)].peek_outgoing() {
+                    if cube.net.try_inject_from_mem(node, pkt, now) {
+                        cube.pngs[usize::from(v)].pop_outgoing();
+                    } else {
+                        cube.pngs[usize::from(v)].note_inject_stall();
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "png-injection"
+    }
+}
+
+/// One fabric cycle: flits advance one link.
+struct NocTick;
+
+impl Clocked<Neurocube> for NocTick {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        cube.net.tick(now);
+    }
+
+    fn name(&self) -> &'static str {
+        "noc"
+    }
+}
+
+/// PEs: operand delivery, firing, result injection.
+struct PeTick;
+
+impl Clocked<Neurocube> for PeTick {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        for p in 0..cube.cfg.nodes() as u8 {
+            let pe = &mut cube.pes[usize::from(p)];
+            if !pe.layer_done() {
+                if let Some(&pkt) = cube.net.peek_for_pe(p, now) {
+                    if pe.try_accept(pkt) {
+                        let _ = cube.net.pop_for_pe(p, now);
+                    }
+                }
+                pe.tick(now);
+            }
+            if let Some(&r) = pe.peek_result() {
+                // Physical routing: results travel to the mesh node of
+                // the region's controller.
+                let mut phys = r;
+                phys.dst = cube.cfg.attach[usize::from(r.dst)];
+                if cube.net.try_inject_from_pe(p, phys, now) {
+                    pe.pop_result();
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pe"
+    }
+}
+
+/// Keeps the cube's reference clock in step with the kernel's cycle
+/// counter (must be the last stage of the pipeline).
+struct AdvanceClock;
+
+impl Clocked<Neurocube> for AdvanceClock {
+    fn tick(&mut self, _now: u64, cube: &mut Neurocube) {
+        cube.now += 1;
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurocube_fixed::Activation;
+    use neurocube_nn::{LayerSpec, Shape};
+
+    /// A stalled simulation is a bug, and the watchdog must turn it into
+    /// a diagnosable panic instead of a hang: configure a real layer but
+    /// drive a crippled pipeline with no PNG stages, so operands can
+    /// never reach the PEs and progress stays flat forever.
+    #[test]
+    fn watchdog_panics_with_diagnostic_dump_on_crafted_stall() {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![LayerSpec::conv(2, 3, Activation::Tanh)],
+        )
+        .unwrap();
+        let params = spec.init_params(1, 0.25);
+        let mut cube = Neurocube::new(SystemConfig::paper(true));
+        let loaded = cube.load(spec, params);
+        let prog = Arc::clone(&loaded.programs[0]);
+        for png in &mut cube.pngs {
+            png.configure(Arc::clone(&prog));
+        }
+        for p in 0..cube.cfg.nodes() as u8 {
+            if let Some(pe_cfg) = prog.pe_config(p) {
+                let image = prog.pe_weight_image(&loaded.params[0]);
+                cube.pes[usize::from(p)].configure(pe_cfg, image);
+            }
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            CycleLoop::new()
+                .stage(NocTick)
+                .stage(PeTick)
+                .stage(AdvanceClock)
+                .run(
+                    &mut cube,
+                    0,
+                    Neurocube::layer_complete,
+                    Neurocube::total_mac_ops,
+                    |c, idle| c.stall_diagnostic(0, idle),
+                );
+        }))
+        .expect_err("a starved pipeline must trip the watchdog");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("watchdog panics with a formatted message");
+        assert!(msg.contains("deadlock in layer 0"), "got: {msg}");
+        assert!(
+            msg.contains("noc.delivered"),
+            "diagnostic must include the stats dump, got: {msg}"
+        );
+    }
+
+    /// The same configured layer on the full pipeline completes without
+    /// tripping the watchdog — the budget only punishes genuine stalls.
+    #[test]
+    fn full_pipeline_completes_without_tripping_watchdog() {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![LayerSpec::conv(2, 3, Activation::Tanh)],
+        )
+        .unwrap();
+        let params = spec.init_params(1, 0.25);
+        let mut cube = Neurocube::new(SystemConfig::paper(true));
+        let loaded = cube.load(spec, params);
+        let report = cube.run_layer(&loaded, 0);
+        assert!(report.macs > 0);
+        assert!(report.cycles < 2_000_000, "healthy layers finish quickly");
     }
 }

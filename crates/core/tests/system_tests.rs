@@ -195,7 +195,10 @@ fn ddr3_is_slower_than_hmc() {
     let loaded = ddr3.load(spec, params);
     let (out_ddr3, rep_ddr3) = ddr3.run_inference(&loaded, &input);
 
-    assert_eq!(out_hmc, out_ddr3, "memory technology must not change values");
+    assert_eq!(
+        out_hmc, out_ddr3,
+        "memory technology must not change values"
+    );
     assert!(
         rep_ddr3.total_cycles() > 2 * rep_hmc.total_cycles(),
         "DDR3 {} vs HMC {}",
@@ -246,10 +249,7 @@ fn channel_count_sweep_is_monotone() {
         cycles.push(rep.total_cycles());
     }
     for w in cycles.windows(2) {
-        assert!(
-            w[1] <= w[0],
-            "more channels must not be slower: {cycles:?}"
-        );
+        assert!(w[1] <= w[0], "more channels must not be slower: {cycles:?}");
     }
     assert!(
         cycles[0] > cycles[3] * 2,

@@ -48,7 +48,10 @@ impl AddressMap {
     ///
     /// Panics if any parameter is zero or `row_bytes` is not a power of two.
     pub fn new(channels: u32, channel_bytes: u64, banks: u32, row_bytes: u32) -> AddressMap {
-        assert!(channels > 0 && banks > 0, "channels and banks must be nonzero");
+        assert!(
+            channels > 0 && banks > 0,
+            "channels and banks must be nonzero"
+        );
         assert!(
             row_bytes.is_power_of_two(),
             "row size must be a power of two"

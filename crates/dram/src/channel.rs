@@ -273,7 +273,9 @@ impl Channel {
             return false;
         }
         if let Some(cur) = self.open_rows[bank] {
-            let window = (self.cfg.sched_window as usize).max(1).min(self.queue.len());
+            let window = (self.cfg.sched_window as usize)
+                .max(1)
+                .min(self.queue.len());
             let still_needed = (0..window).any(|i| {
                 let (b, r) = self.bank_row(self.queue[i].addr);
                 b == bank && r == cur
@@ -316,7 +318,9 @@ impl Channel {
         // Command path: issue (at most) one demand activation per cycle,
         // for the oldest request in the scheduling window whose row is not
         // open and whose bank permits it.
-        let window = (self.cfg.sched_window as usize).max(1).min(self.queue.len());
+        let window = (self.cfg.sched_window as usize)
+            .max(1)
+            .min(self.queue.len());
         for i in 0..window {
             let addr = self.queue[i].addr;
             if !self.row_ready(addr, now)

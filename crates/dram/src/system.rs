@@ -10,6 +10,7 @@
 use crate::address::AddressMap;
 use crate::channel::{Channel, ChannelConfig, Completion, Request};
 use crate::storage::Storage;
+use neurocube_sim::{ScopedStats, StatSource};
 use std::fmt;
 
 /// Configuration of a whole memory subsystem.
@@ -223,6 +224,14 @@ impl MemorySystem {
     /// Total row activations across all channels.
     pub fn total_row_misses(&self) -> u64 {
         self.channels.iter().map(Channel::row_misses).sum()
+    }
+}
+
+impl StatSource for MemorySystem {
+    fn report(&self, stats: &mut ScopedStats<'_>) {
+        stats.counter("bits_transferred", self.total_bits_transferred());
+        stats.counter("row_misses", self.total_row_misses());
+        stats.metric("energy_j", self.total_energy_joules());
     }
 }
 

@@ -1,6 +1,6 @@
 //! Multiply-accumulate semantics of a single Neurocube MAC unit.
 
-use crate::q88::{saturate, Q88, FRAC_BITS};
+use crate::q88::{saturate, FRAC_BITS, Q88};
 
 /// Width of the accumulation register inside a MAC unit.
 ///
@@ -83,7 +83,9 @@ impl MacUnit {
     #[inline]
     pub fn result(&self) -> Q88 {
         match self.width {
-            AccumulatorWidth::Wide32 => Q88::from_bits(saturate((self.wide_acc >> FRAC_BITS) as i32)),
+            AccumulatorWidth::Wide32 => {
+                Q88::from_bits(saturate((self.wide_acc >> FRAC_BITS) as i32))
+            }
             AccumulatorWidth::Narrow16 => self.narrow_acc,
         }
     }
@@ -176,7 +178,10 @@ mod tests {
 
     #[test]
     fn dot_matches_manual_accumulation() {
-        let w: Vec<Q88> = [0.5, -0.25, 1.0].iter().map(|&v| Q88::from_f64(v)).collect();
+        let w: Vec<Q88> = [0.5, -0.25, 1.0]
+            .iter()
+            .map(|&v| Q88::from_f64(v))
+            .collect();
         let x: Vec<Q88> = [2.0, 4.0, -1.5].iter().map(|&v| Q88::from_f64(v)).collect();
         let got = dot(&w, &x, AccumulatorWidth::Wide32);
         assert_eq!(got.to_f64(), 0.5 * 2.0 - 0.25 * 4.0 - 1.5);

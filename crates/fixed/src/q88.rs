@@ -334,12 +334,20 @@ mod tests {
     fn addition_saturates() {
         assert_eq!(Q88::MAX + Q88::ONE, Q88::MAX);
         assert_eq!(Q88::MIN + (-Q88::ONE), Q88::MIN);
-        assert_eq!(Q88::from_f64(1.5) + Q88::from_f64(2.25), Q88::from_f64(3.75));
+        assert_eq!(
+            Q88::from_f64(1.5) + Q88::from_f64(2.25),
+            Q88::from_f64(3.75)
+        );
     }
 
     #[test]
     fn multiplication_matches_reference() {
-        let cases = [(1.5, 2.0, 3.0), (-1.5, 2.0, -3.0), (0.5, 0.5, 0.25), (127.0, 127.0, 127.99609375)];
+        let cases = [
+            (1.5, 2.0, 3.0),
+            (-1.5, 2.0, -3.0),
+            (0.5, 0.5, 0.25),
+            (127.0, 127.0, 127.99609375),
+        ];
         for (a, b, want) in cases {
             assert_eq!(
                 (Q88::from_f64(a) * Q88::from_f64(b)).to_f64(),
@@ -393,8 +401,14 @@ mod tests {
     fn ordering_matches_numeric_value() {
         assert!(Q88::from_f64(-1.0) < Q88::ZERO);
         assert!(Q88::from_f64(2.5) > Q88::from_f64(2.25));
-        assert_eq!(Q88::from_f64(3.0).max(Q88::from_f64(-3.0)), Q88::from_f64(3.0));
-        assert_eq!(Q88::from_f64(3.0).min(Q88::from_f64(-3.0)), Q88::from_f64(-3.0));
+        assert_eq!(
+            Q88::from_f64(3.0).max(Q88::from_f64(-3.0)),
+            Q88::from_f64(3.0)
+        );
+        assert_eq!(
+            Q88::from_f64(3.0).min(Q88::from_f64(-3.0)),
+            Q88::from_f64(-3.0)
+        );
     }
 
     #[test]

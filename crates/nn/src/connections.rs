@@ -189,10 +189,7 @@ mod tests {
         // Weight indices are the canonical 0..27 for output map 0.
         for (k, idx) in idxs.iter().enumerate() {
             let _ = idx;
-            assert_eq!(
-                resolve(&layer, in_shape, 0, k).weight,
-                WeightRef::Stored(k)
-            );
+            assert_eq!(resolve(&layer, in_shape, 0, k).weight, WeightRef::Stored(k));
         }
     }
 

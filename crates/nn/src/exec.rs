@@ -179,11 +179,8 @@ mod tests {
 
     #[test]
     fn identity_fc_with_unit_diagonal_passes_through() {
-        let spec = NetworkSpec::new(
-            Shape::flat(3),
-            vec![LayerSpec::fc(3, Activation::Identity)],
-        )
-        .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::flat(3), vec![LayerSpec::fc(3, Activation::Identity)]).unwrap();
         // Identity weight matrix.
         let mut w = vec![Q88::ZERO; 9];
         for i in 0..3 {
@@ -200,8 +197,8 @@ mod tests {
 
     #[test]
     fn avgpool_averages() {
-        let spec = NetworkSpec::new(Shape::new(1, 2, 2), vec![LayerSpec::AvgPool { size: 2 }])
-            .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::new(1, 2, 2), vec![LayerSpec::AvgPool { size: 2 }]).unwrap();
         let exec = Executor::new(spec, vec![vec![]]);
         let input = Tensor::from_vec(
             1,
@@ -233,12 +230,7 @@ mod tests {
             Q88::from_f64(-1.0),
         ];
         let exec = Executor::new(spec, vec![w]);
-        let input = Tensor::from_vec(
-            1,
-            3,
-            3,
-            (1..=9).map(Q88::from_int).collect(),
-        );
+        let input = Tensor::from_vec(1, 3, 3, (1..=9).map(Q88::from_int).collect());
         let out = exec.predict(&input);
         // Window at (0,0): 1*1 + 2*0.5 + 4*0 + 5*(-1) = -3.
         assert_eq!(out.get(0, 0, 0), Q88::from_f64(-3.0));
@@ -248,26 +240,17 @@ mod tests {
 
     #[test]
     fn relu_clips_negative_preactivations() {
-        let spec = NetworkSpec::new(
-            Shape::flat(2),
-            vec![LayerSpec::fc(1, Activation::ReLU)],
-        )
-        .unwrap();
-        let exec = Executor::new(
-            spec,
-            vec![vec![Q88::from_f64(-1.0), Q88::from_f64(-1.0)]],
-        );
+        let spec =
+            NetworkSpec::new(Shape::flat(2), vec![LayerSpec::fc(1, Activation::ReLU)]).unwrap();
+        let exec = Executor::new(spec, vec![vec![Q88::from_f64(-1.0), Q88::from_f64(-1.0)]]);
         let out = exec.predict(&Tensor::from_flat(vec![Q88::ONE, Q88::ONE]));
         assert_eq!(out.at(0), Q88::ZERO);
     }
 
     #[test]
     fn forward_detailed_keeps_preactivations() {
-        let spec = NetworkSpec::new(
-            Shape::flat(1),
-            vec![LayerSpec::fc(1, Activation::Sigmoid)],
-        )
-        .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::flat(1), vec![LayerSpec::fc(1, Activation::Sigmoid)]).unwrap();
         let exec = Executor::new(spec, vec![vec![Q88::from_f64(2.0)]]);
         let d = exec.forward_detailed(&Tensor::from_flat(vec![Q88::ONE]));
         assert_eq!(d[0].0.at(0), Q88::from_f64(2.0)); // pre
@@ -297,21 +280,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "expects")]
     fn wrong_param_counts_rejected() {
-        let spec = NetworkSpec::new(
-            Shape::flat(2),
-            vec![LayerSpec::fc(1, Activation::Identity)],
-        )
-        .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::flat(2), vec![LayerSpec::fc(1, Activation::Identity)]).unwrap();
         let _ = Executor::new(spec, vec![vec![Q88::ONE]]); // needs 2
     }
 
     #[test]
     fn accumulator_width_is_observable() {
-        let spec = NetworkSpec::new(
-            Shape::flat(2),
-            vec![LayerSpec::fc(1, Activation::Identity)],
-        )
-        .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::flat(2), vec![LayerSpec::fc(1, Activation::Identity)]).unwrap();
         let exec = Executor::with_accumulator(
             spec,
             vec![vec![Q88::ONE, Q88::ONE]],

@@ -64,11 +64,7 @@ impl Footprint {
 /// Computes the Fig. 1 footprint of a network.
 pub fn of_network(net: &NetworkSpec) -> Footprint {
     let state_bytes: u64 = net.shapes().iter().map(|s| s.state_bytes() as u64).sum();
-    let weight_bytes: u64 = net
-        .weights_per_layer()
-        .iter()
-        .map(|&n| n as u64 * 2)
-        .sum();
+    let weight_bytes: u64 = net.weights_per_layer().iter().map(|&n| n as u64 * 2).sum();
     Footprint {
         state_bytes,
         weight_bytes,

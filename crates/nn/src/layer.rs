@@ -331,7 +331,9 @@ mod tests {
             .output_shape(tiny)
             .is_none());
         assert!(LayerSpec::AvgPool { size: 4 }.output_shape(tiny).is_none());
-        assert!(LayerSpec::fc(0, Activation::ReLU).output_shape(tiny).is_none());
+        assert!(LayerSpec::fc(0, Activation::ReLU)
+            .output_shape(tiny)
+            .is_none());
     }
 
     #[test]

@@ -35,8 +35,8 @@ mod train;
 pub mod workloads;
 
 pub use exec::Executor;
-pub use recurrent::RecurrentSpec;
 pub use layer::{ConvConnectivity, LayerSpec, Shape};
 pub use network::{NetworkError, NetworkSpec};
+pub use recurrent::RecurrentSpec;
 pub use tensor::Tensor;
 pub use train::{mse_loss, Trainer, TrainerConfig};

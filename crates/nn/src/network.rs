@@ -76,9 +76,10 @@ impl NetworkSpec {
         shapes.push(input);
         for (i, layer) in layers.iter().enumerate() {
             let cur = *shapes.last().expect("shapes is non-empty");
-            let out = layer
-                .output_shape(cur)
-                .ok_or(NetworkError::BadGeometry { layer: i, input: cur })?;
+            let out = layer.output_shape(cur).ok_or(NetworkError::BadGeometry {
+                layer: i,
+                input: cur,
+            })?;
             shapes.push(out);
         }
         Ok(NetworkSpec {

@@ -92,10 +92,7 @@ impl RecurrentSpec {
             layers.push(LayerSpec::fc(self.hidden + remaining, self.activation));
         }
         layers.push(LayerSpec::fc(self.outputs, self.output_activation));
-        NetworkSpec::new(
-            Shape::flat(self.hidden + self.steps * self.inputs),
-            layers,
-        )
+        NetworkSpec::new(Shape::flat(self.hidden + self.steps * self.inputs), layers)
     }
 
     /// Materializes the unfolded network's per-layer weights from the three

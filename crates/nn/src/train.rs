@@ -222,11 +222,8 @@ mod tests {
 
     #[test]
     fn linear_neuron_learns_half() {
-        let spec = NetworkSpec::new(
-            Shape::flat(1),
-            vec![LayerSpec::fc(1, Activation::Identity)],
-        )
-        .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::flat(1), vec![LayerSpec::fc(1, Activation::Identity)]).unwrap();
         let exec = Executor::new(spec, vec![vec![Q88::ZERO]]);
         let mut t = Trainer::new(
             exec,
@@ -252,11 +249,8 @@ mod tests {
 
     #[test]
     fn sigmoid_classifier_separates_two_points() {
-        let spec = NetworkSpec::new(
-            Shape::flat(2),
-            vec![LayerSpec::fc(1, Activation::Sigmoid)],
-        )
-        .unwrap();
+        let spec =
+            NetworkSpec::new(Shape::flat(2), vec![LayerSpec::fc(1, Activation::Sigmoid)]).unwrap();
         let exec = Executor::new(spec, vec![vec![Q88::ZERO, Q88::ZERO]]);
         let mut t = Trainer::new(
             exec,

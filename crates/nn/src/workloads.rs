@@ -97,7 +97,11 @@ pub fn tiny_convnet() -> NetworkSpec {
 ///
 /// Returns an error if the plane is too small for the unrolled stages
 /// (each valid 3×3 stage shrinks the plane by 2).
-pub fn cellular(height: usize, width: usize, iterations: usize) -> Result<NetworkSpec, crate::NetworkError> {
+pub fn cellular(
+    height: usize,
+    width: usize,
+    iterations: usize,
+) -> Result<NetworkSpec, crate::NetworkError> {
     let layers = (0..iterations.max(1))
         .map(|_| LayerSpec::conv(1, 3, Activation::Tanh))
         .collect();
@@ -315,7 +319,9 @@ mod tests {
         let (net, params, adjacency) = irregular_fc(24, 10, 0.3, 9);
         let exec = Executor::new(net, params.clone());
         let input = Tensor::from_flat(
-            (0..24).map(|i| Q88::from_f64(i as f64 / 16.0 - 0.7)).collect(),
+            (0..24)
+                .map(|i| Q88::from_f64(i as f64 / 16.0 - 0.7))
+                .collect(),
         );
         let dense = exec.predict(&input);
         // Sparse reference: accumulate only the existing edges, in edge

@@ -4,6 +4,7 @@ use crate::packet::{NodeId, Packet};
 use crate::router::{Flit, Router, BUFFER_DEPTH};
 use crate::stats::NocStats;
 use crate::topology::Topology;
+use neurocube_sim::{ScopedStats, StatSource};
 use std::fmt;
 
 /// A complete NoC: one router per node, each with a PE port and a memory
@@ -238,6 +239,18 @@ impl Network {
                 self.routers[usize::from(neighbor)].inputs[rport].push_back(f);
             }
         }
+    }
+}
+
+impl StatSource for Network {
+    fn report(&self, stats: &mut ScopedStats<'_>) {
+        stats.counter("injected", self.stats.injected);
+        stats.counter("delivered", self.stats.delivered);
+        stats.counter("lateral", self.stats.lateral);
+        stats.counter("total_hops", self.stats.total_hops);
+        stats.counter("total_latency", self.stats.total_latency);
+        stats.counter("inject_stalls", self.stats.inject_stalls);
+        stats.gauge("occupancy", self.occupancy() as f64);
     }
 }
 

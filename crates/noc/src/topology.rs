@@ -94,13 +94,11 @@ impl Topology {
                     3
                 })
             }
-            Topology::FullyConnected { .. } => {
-                Some(if dst < cur {
-                    usize::from(dst)
-                } else {
-                    usize::from(dst) - 1
-                })
-            }
+            Topology::FullyConnected { .. } => Some(if dst < cur {
+                usize::from(dst)
+            } else {
+                usize::from(dst) - 1
+            }),
         }
     }
 

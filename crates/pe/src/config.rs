@@ -100,10 +100,7 @@ impl PeLayerConfig {
     pub fn validate(&self) {
         assert!(self.n_mac > 0, "n_mac must be nonzero");
         assert!(self.conns_per_neuron > 0, "connections must be nonzero");
-        assert!(
-            self.total_neurons() > 0,
-            "a configured PE must own neurons"
-        );
+        assert!(self.total_neurons() > 0, "a configured PE must own neurons");
     }
 }
 

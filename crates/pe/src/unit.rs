@@ -4,6 +4,7 @@ use crate::cache::PacketCache;
 use crate::config::{PeLayerConfig, StateMode, WeightMode};
 use neurocube_fixed::{AccumulatorWidth, MacUnit, Q88};
 use neurocube_noc::{NodeId, Packet, PacketKind};
+use neurocube_sim::{ScopedStats, StatSource};
 use std::collections::VecDeque;
 
 /// Lifetime/layer counters exposed by a PE.
@@ -340,6 +341,18 @@ impl ProcessingElement {
     }
 }
 
+impl StatSource for ProcessingElement {
+    fn report(&self, stats: &mut ScopedStats<'_>) {
+        stats.counter("mac_ops", self.stats.mac_ops);
+        stats.counter("ops_fired", self.stats.ops_fired);
+        stats.counter("groups_done", self.stats.groups_done);
+        stats.counter("starved_cycles", self.stats.starved_cycles);
+        stats.counter("results_emitted", self.stats.results_emitted);
+        stats.counter("cached_packets", self.stats.cached_packets);
+        stats.gauge("cache_high_water", self.cache_high_water() as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,10 +524,7 @@ mod tests {
         }
         let results = run_to_completion(&mut pe, pkts, 10_000);
         assert_eq!(results.len(), 20);
-        assert_eq!(
-            Q88::from_bits(results[19].data as i16).to_f64(),
-            5.0
-        );
+        assert_eq!(Q88::from_bits(results[19].data as i16).to_f64(), 5.0);
         assert_eq!(pe.stats().mac_ops, 20);
     }
 

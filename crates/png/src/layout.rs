@@ -224,9 +224,7 @@ impl VolumeLayout {
     pub fn assigned_count(&self, vault: NodeId) -> u64 {
         let v = usize::from(vault);
         match &self.kind {
-            VolumeKind::Spatial { owned, .. } => {
-                (owned[v].area() * self.shape.channels) as u64
-            }
+            VolumeKind::Spatial { owned, .. } => (owned[v].area() * self.shape.channels) as u64,
             VolumeKind::Flat { starts, .. } => (starts[v + 1] - starts[v]) as u64,
         }
     }
@@ -610,10 +608,7 @@ mod tests {
         assert_eq!(vl.owner(0), 0);
         assert_eq!(vl.owner(99), 15);
         assert_eq!(vl.assigned_count(0), 6); // 100/16 rounding
-        assert_eq!(
-            (0..16).map(|v| vl.assigned_count(v)).sum::<u64>(),
-            100
-        );
+        assert_eq!((0..16).map(|v| vl.assigned_count(v)).sum::<u64>(), 100);
         assert!(vl.local_addr(1, 0).is_none());
         let dup = VolumeLayout {
             shape: Shape::flat(100),

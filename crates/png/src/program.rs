@@ -300,7 +300,13 @@ mod tests {
         // grid_rect(14,14,4,4,0,0) = rows 0..3, cols 0..3.
         assert_eq!(cfg.neurons_per_map, 9);
         assert_eq!(cfg.states, StateMode::PerMac);
-        assert!(matches!(cfg.weights, WeightMode::Local { weights_per_neuron: 9, rows: 2 }));
+        assert!(matches!(
+            cfg.weights,
+            WeightMode::Local {
+                weights_per_neuron: 9,
+                rows: 2
+            }
+        ));
     }
 
     #[test]
@@ -352,9 +358,7 @@ mod tests {
         let foreign: u64 = (0..16).map(|v| prog.expected_foreign_writebacks(v)).sum();
         assert!(foreign > 0, "halo duplication must require copies");
         // A neuron on a tile boundary has at least one copy vault.
-        let boundary = prog
-            .out_vol
-            .owner(0); // neuron 0 sits in the top-left tile corner region
+        let boundary = prog.out_vol.owner(0); // neuron 0 sits in the top-left tile corner region
         let _ = boundary;
         let copies: usize = (0..prog.out_shape.len())
             .map(|n| prog.copy_vaults(n, prog.out_vol.owner(n)).len())
@@ -380,11 +384,8 @@ mod tests {
     fn weight_image_pooling_constant() {
         let (net, layout, _) = build(false);
         let _ = (net, layout);
-        let net = NetworkSpec::new(
-            Shape::new(1, 8, 8),
-            vec![LayerSpec::AvgPool { size: 2 }],
-        )
-        .unwrap();
+        let net =
+            NetworkSpec::new(Shape::new(1, 8, 8), vec![LayerSpec::AvgPool { size: 2 }]).unwrap();
         let map = MemoryConfig::hmc_int().address_map();
         let layout = NetworkLayout::build(&net, 4, 4, false, 16, &map);
         let prog = compile_layer(&net, &layout, 0, Mapping::paper(false));

@@ -249,7 +249,9 @@ fn may_serve(prog: &LayerProgram, vault: NodeId, p: NodeId) -> bool {
     match (&prog.in_vol.kind, &prog.out_vol.kind) {
         (
             crate::layout::VolumeKind::Spatial { owned, stored },
-            crate::layout::VolumeKind::Spatial { owned: out_owned, .. },
+            crate::layout::VolumeKind::Spatial {
+                owned: out_owned, ..
+            },
         ) => {
             let (k, s) = crate::layout::kernel_geometry(&prog.layer)
                 .expect("spatial layer has kernel geometry");
@@ -260,7 +262,9 @@ fn may_serve(prog: &LayerProgram, vault: NodeId, p: NodeId) -> bool {
             // Overlap of (need \ have) with own — conservative: overlap of
             // need with own, minus the case where own ⊆ have.
             rects_overlap(need, own)
-                && !(own.y0 >= have.y0 && own.y1 <= have.y1 && own.x0 >= have.x0
+                && !(own.y0 >= have.y0
+                    && own.y1 <= have.y1
+                    && own.x0 >= have.x0
                     && own.x1 <= have.x1)
         }
         _ => true,
@@ -320,11 +324,7 @@ mod tests {
     use neurocube_fixed::Activation;
     use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
 
-    fn compile(
-        net: &NetworkSpec,
-        duplicate: bool,
-        index: usize,
-    ) -> Arc<LayerProgram> {
+    fn compile(net: &NetworkSpec, duplicate: bool, index: usize) -> Arc<LayerProgram> {
         let map = MemoryConfig::hmc_int().address_map();
         let layout = NetworkLayout::build(net, 4, 4, duplicate, 16, &map);
         compile_layer(net, &layout, index, Mapping::paper(duplicate))
@@ -366,7 +366,8 @@ mod tests {
                 }
             };
             assert_eq!(
-                per_pe[usize::from(p)], expected,
+                per_pe[usize::from(p)],
+                expected,
                 "PE {p} operand count mismatch"
             );
         }
@@ -385,7 +386,11 @@ mod tests {
         let mut total = 0u64;
         for (v, evs) in all.iter().enumerate() {
             for e in evs {
-                assert_eq!(usize::from(e.dst), v, "dup conv must have no lateral traffic");
+                assert_eq!(
+                    usize::from(e.dst),
+                    v,
+                    "dup conv must have no lateral traffic"
+                );
                 assert_eq!(e.kind, PacketKind::State);
             }
             total += evs.len() as u64;

@@ -6,6 +6,7 @@ use crate::schedule::{OperandEvent, OperandStream, WritebackCursor};
 use neurocube_dram::{MemorySystem, Request, RequestKind};
 use neurocube_fixed::{ActivationLut, Q88};
 use neurocube_noc::{NodeId, Packet, PacketKind};
+use neurocube_sim::{ScopedStats, StatSource};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -329,9 +330,7 @@ impl Png {
             let cursor = self.foreign_cursors[usize::from(pkt.src)].get_or_insert_with(|| {
                 WritebackCursor::new(Arc::clone(&prog), pkt.src, self.vault)
             });
-            let (_, addr) = cursor
-                .next()
-                .expect("unexpected extra foreign write-back");
+            let (_, addr) = cursor.next().expect("unexpected extra foreign write-back");
             self.queue_write(addr, pkt.data, now);
             self.foreign_remaining -= 1;
         }
@@ -523,7 +522,6 @@ impl Png {
                 break;
             }
         }
-
     }
 
     /// Whether the next injection comes from the replication (copy) queue
@@ -568,6 +566,20 @@ impl Png {
     }
 }
 
+impl StatSource for Png {
+    fn report(&self, stats: &mut ScopedStats<'_>) {
+        stats.counter("operands_sent", self.stats.operands_sent);
+        stats.counter("reads_issued", self.stats.reads_issued);
+        stats.counter("writebacks_received", self.stats.writebacks_received);
+        stats.counter("copies_forwarded", self.stats.copies_forwarded);
+        stats.counter("writes_issued", self.stats.writes_issued);
+        stats.counter("inject_stalls", self.stats.inject_stalls);
+        stats.counter("gate_stalls", self.stats.gate_stalls);
+        stats.counter("queue_stalls", self.stats.queue_stalls);
+        stats.counter("outq_stalls", self.stats.outq_stalls);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,12 +607,7 @@ mod tests {
         let mut mem = MemorySystem::new(map_cfg);
         let mut net_fab = Network::new(Topology::mesh4x4());
 
-        let input = Tensor::from_vec(
-            1,
-            8,
-            8,
-            (0..64).map(|i| Q88::from_bits(i as i16)).collect(),
-        );
+        let input = Tensor::from_vec(1, 8, 8, (0..64).map(|i| Q88::from_bits(i as i16)).collect());
         load_volume(&layout.volumes[0], input.as_slice(), 16, mem.storage_mut());
 
         let mut pngs: Vec<Png> = (0..16u8).map(Png::hmc).collect();

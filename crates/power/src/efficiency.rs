@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn published_efficiencies_match_paper() {
         // Spot-check the efficiency row of Table III.
-        let eff: Vec<f64> = PUBLISHED_PLATFORMS.iter().map(PlatformRow::efficiency).collect();
+        let eff: Vec<f64> = PUBLISHED_PLATFORMS
+            .iter()
+            .map(PlatformRow::efficiency)
+            .collect();
         assert!((eff[0] - 6.91).abs() < 0.01); // Tegra K1
         assert!((eff[1] - 8.61).abs() < 0.01); // GTX 780
         assert!((eff[3] - 232.8).abs() < 0.1); // NeuFlow ASIC

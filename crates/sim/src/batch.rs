@@ -1,0 +1,147 @@
+//! Parallel execution of independent simulator instances.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// What a worker leaves behind for one job: unfilled, a value, or the
+/// payload of a panic that occurred while computing it.
+type JobSlot<T> = Mutex<Option<Result<T, Box<dyn std::any::Any + Send>>>>;
+
+/// Runs N independent jobs across a bounded pool of scoped threads.
+///
+/// Each job builds and runs its own simulator instance, which remains a
+/// deterministic single-threaded cycle loop — parallelism exists only
+/// *across* instances, so batch output is bitwise identical to running
+/// the same jobs serially. Results come back in job order regardless of
+/// completion order.
+///
+/// Panics inside jobs are captured per job and re-raised in the caller
+/// with the original payload (std's scoped threads would otherwise
+/// replace it with a generic message); when several jobs panic, the
+/// lowest-indexed payload wins, matching what a serial run would raise
+/// first.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        BatchRunner { threads }
+    }
+
+    /// A runner with an explicit worker count (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker-thread count this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(i)` for `i in 0..jobs` and returns results in job order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the lowest-indexed failing job, after all
+    /// workers have stopped.
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let slots: Vec<JobSlot<T>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs.max(1));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
+                    *slots[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(jobs);
+        let mut first_panic = None;
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().unwrap() {
+                Some(Ok(value)) => results.push(value),
+                Some(Err(payload)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+                None => unreachable!("job {i} was never executed"),
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let runner = BatchRunner::with_threads(4);
+        let out = runner.run(32, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        // The same stateful computation run serially and in a batch must
+        // produce identical results (each job owns its state).
+        let compute = |i: usize| {
+            let mut x = i as u64 + 1;
+            for _ in 0..1000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            x
+        };
+        let serial: Vec<u64> = (0..16).map(compute).collect();
+        let batch = BatchRunner::with_threads(8).run(16, compute);
+        assert_eq!(serial, batch);
+    }
+
+    #[test]
+    fn handles_more_workers_than_jobs_and_zero_jobs() {
+        let runner = BatchRunner::with_threads(16);
+        assert_eq!(runner.run(2, |i| i), vec![0, 1]);
+        assert_eq!(runner.run(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 exploded")]
+    fn reraises_lowest_index_panic_payload() {
+        BatchRunner::with_threads(4).run(8, |i| {
+            if i >= 3 {
+                panic!("job {i} exploded");
+            }
+            i
+        });
+    }
+}

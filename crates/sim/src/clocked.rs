@@ -1,0 +1,264 @@
+//! The clocked-stage abstraction and the cycle loop that drives it.
+
+/// One pipeline stage of a cycle-level simulator.
+///
+/// A stage is ticked exactly once per simulated cycle, in the order it was
+/// registered with the [`CycleLoop`]. `B` is the shared bus — typically the
+/// whole system struct — through which stages exchange state. `now` is the
+/// cycle number being simulated (the value *before* the loop advances its
+/// clock for this cycle).
+pub trait Clocked<B: ?Sized> {
+    /// Advances this stage by one cycle.
+    fn tick(&mut self, now: u64, bus: &mut B);
+
+    /// Short name used in progress and diagnostic output.
+    fn name(&self) -> &'static str {
+        "stage"
+    }
+}
+
+/// A boxed closure also works as a stage, which keeps simple systems from
+/// having to define one unit struct per pipeline step.
+impl<B: ?Sized, F: FnMut(u64, &mut B)> Clocked<B> for F {
+    fn tick(&mut self, now: u64, bus: &mut B) {
+        self(now, bus)
+    }
+}
+
+/// Deadlock watchdog configuration for a [`CycleLoop`].
+///
+/// Completion and progress are only sampled every `check_interval` cycles
+/// (sampling them is allowed to be expensive). If the progress measure
+/// stays flat for `idle_budget` consecutive cycles while the run is not
+/// complete, the loop panics with the diagnostic text supplied by the
+/// caller — a stall is always a bug in either the model or the program
+/// being simulated, never a condition to limp through.
+#[derive(Clone, Copy, Debug)]
+pub struct Watchdog {
+    /// Cycles between completion/progress samples.
+    pub check_interval: u64,
+    /// Consecutive no-progress cycles tolerated before panicking.
+    pub idle_budget: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            check_interval: 64,
+            idle_budget: 2_000_000,
+        }
+    }
+}
+
+/// Drives a set of [`Clocked`] stages until a completion predicate holds.
+///
+/// The loop owns the three pieces of bookkeeping every hand-rolled cycle
+/// loop otherwise reimplements: stage ordering, the periodic completion
+/// check, and the stalled-simulation watchdog. Stages run in registration
+/// order within a cycle; the bus's notion of "current cycle" is whatever
+/// the caller passes as `start` plus the number of completed cycles.
+pub struct CycleLoop<B: ?Sized> {
+    stages: Vec<Box<dyn Clocked<B>>>,
+    watchdog: Watchdog,
+}
+
+impl<B: ?Sized> Default for CycleLoop<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: ?Sized> CycleLoop<B> {
+    /// Creates an empty loop with the default [`Watchdog`].
+    pub fn new() -> Self {
+        CycleLoop {
+            stages: Vec::new(),
+            watchdog: Watchdog::default(),
+        }
+    }
+
+    /// Overrides the watchdog configuration.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        assert!(watchdog.check_interval > 0, "check_interval must be > 0");
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Registers a stage; stages tick in registration order each cycle.
+    pub fn stage(mut self, stage: impl Clocked<B> + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Names of the registered stages, in tick order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs the loop starting at cycle `start` and returns the first cycle
+    /// at which `done` held (the bus clock should then equal that value).
+    ///
+    /// * `done` — sampled every `check_interval` cycles; once it returns
+    ///   true the loop exits.
+    /// * `progress` — a monotonic measure of useful work (e.g. total MAC
+    ///   operations). Sampled on the same schedule as `done`; if it is
+    ///   unchanged for longer than `idle_budget` cycles the loop panics.
+    /// * `diagnose` — builds the panic message for a stalled run; it should
+    ///   dump enough component state to localise the deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the `diagnose` text when the watchdog trips.
+    pub fn run(
+        &mut self,
+        bus: &mut B,
+        start: u64,
+        mut done: impl FnMut(&B) -> bool,
+        mut progress: impl FnMut(&B) -> u64,
+        diagnose: impl FnOnce(&B, u64) -> String,
+    ) -> u64 {
+        let mut now = start;
+        let mut last_progress = progress(bus);
+        let mut idle_cycles: u64 = 0;
+        loop {
+            for stage in &mut self.stages {
+                stage.tick(now, bus);
+            }
+            now += 1;
+            if now.is_multiple_of(self.watchdog.check_interval) {
+                if done(bus) {
+                    return now;
+                }
+                let p = progress(bus);
+                if p != last_progress {
+                    last_progress = p;
+                    idle_cycles = 0;
+                } else {
+                    idle_cycles += self.watchdog.check_interval;
+                    assert!(
+                        idle_cycles < self.watchdog.idle_budget,
+                        "{}",
+                        diagnose(bus, idle_cycles)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy bus: a countdown that stage A decrements and stage B observes.
+    struct Countdown {
+        remaining: u64,
+        observed: u64,
+        work: u64,
+    }
+
+    struct Decrement;
+    impl Clocked<Countdown> for Decrement {
+        fn tick(&mut self, _now: u64, bus: &mut Countdown) {
+            if bus.remaining > 0 {
+                bus.remaining -= 1;
+                bus.work += 1;
+            }
+        }
+        fn name(&self) -> &'static str {
+            "decrement"
+        }
+    }
+
+    #[test]
+    fn runs_stages_in_order_until_done() {
+        let mut bus = Countdown {
+            remaining: 100,
+            observed: 0,
+            work: 0,
+        };
+        let mut cl = CycleLoop::new()
+            .stage(Decrement)
+            .stage(|_now: u64, bus: &mut Countdown| bus.observed = bus.remaining);
+        let end = cl.run(
+            &mut bus,
+            0,
+            |b| b.remaining == 0,
+            |b| b.work,
+            |_, idle| format!("stalled for {idle}"),
+        );
+        // Completion is only sampled at multiples of the check interval.
+        assert_eq!(end, 128);
+        assert_eq!(bus.remaining, 0);
+        assert_eq!(bus.observed, 0);
+        assert_eq!(bus.work, 100);
+    }
+
+    #[test]
+    fn resumes_from_nonzero_start() {
+        let mut bus = Countdown {
+            remaining: 10,
+            observed: 0,
+            work: 0,
+        };
+        let mut cl = CycleLoop::new().stage(Decrement);
+        let end = cl.run(
+            &mut bus,
+            1000,
+            |b| b.remaining == 0,
+            |b| b.work,
+            |_, idle| format!("stalled for {idle}"),
+        );
+        assert_eq!(end, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "no progress")]
+    fn watchdog_trips_on_flat_progress() {
+        let mut bus = Countdown {
+            remaining: 0,
+            observed: 0,
+            work: 0,
+        };
+        let mut cl = CycleLoop::new()
+            .with_watchdog(Watchdog {
+                check_interval: 4,
+                idle_budget: 1024,
+            })
+            .stage(Decrement);
+        cl.run(
+            &mut bus,
+            0,
+            |_| false,
+            |b| b.work,
+            |_, idle| format!("no progress for {idle} cycles"),
+        );
+    }
+
+    #[test]
+    fn watchdog_tolerates_slow_but_steady_progress() {
+        // One unit of work every 96 cycles: flat across single checks but
+        // never flat for long enough to exhaust the budget.
+        struct Slow {
+            work: u64,
+        }
+        let mut bus = Slow { work: 0 };
+        let mut cl = CycleLoop::new().with_watchdog(Watchdog {
+            check_interval: 16,
+            idle_budget: 128,
+        });
+        cl = cl.stage(|now: u64, bus: &mut Slow| {
+            if (now + 1).is_multiple_of(96) {
+                bus.work += 1;
+            }
+        });
+        let end = cl.run(
+            &mut bus,
+            0,
+            |b| b.work >= 20,
+            |b| b.work,
+            |_, idle| format!("stalled for {idle}"),
+        );
+        assert!(end >= 20 * 96);
+    }
+}

@@ -1,0 +1,336 @@
+//! A unified registry of named simulation statistics.
+//!
+//! Components report through [`StatSource::report`] into a
+//! [`StatsRegistry`], which distinguishes three kinds of series:
+//!
+//! * **counters** — monotonically non-decreasing `u64` event counts
+//!   (MACs executed, packets delivered, stall cycles). Diffing two
+//!   snapshots subtracts them and asserts monotonicity.
+//! * **metrics** — accumulating `f64` quantities (energy in joules).
+//!   Diffing subtracts.
+//! * **gauges** — instantaneous `f64` levels (cache high-water, link
+//!   occupancy). Diffing keeps the newer value.
+//!
+//! Keys are dotted paths (`pe3.mac_ops`, `noc.delivered`); the
+//! [`ScopedStats`] adapter prefixes everything a component reports so the
+//! component itself only names its local series.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A component that can publish its statistics into a registry.
+pub trait StatSource {
+    /// Writes this component's current totals into `stats`.
+    ///
+    /// Implementations should report *running totals*, not deltas; the
+    /// registry's snapshot/diff machinery derives per-phase numbers.
+    fn report(&self, stats: &mut ScopedStats<'_>);
+}
+
+/// Named statistics, collected uniformly from every component.
+///
+/// `BTreeMap`s keep iteration (and therefore export) order deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsRegistry {
+    counters: BTreeMap<String, u64>,
+    metrics: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects a fresh snapshot from a set of sources.
+    ///
+    /// Each `(prefix, source)` pair reports under `prefix.`; an empty
+    /// prefix reports at top level.
+    pub fn collect<'a>(sources: impl IntoIterator<Item = (&'a str, &'a dyn StatSource)>) -> Self {
+        let mut reg = StatsRegistry::new();
+        for (prefix, source) in sources {
+            source.report(&mut reg.scoped(prefix));
+        }
+        reg
+    }
+
+    /// A recording view that prefixes every key with `prefix.`.
+    pub fn scoped<'a>(&'a mut self, prefix: &'a str) -> ScopedStats<'a> {
+        ScopedStats {
+            registry: self,
+            prefix,
+        }
+    }
+
+    /// Value of one counter (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Value of one metric (0.0 when absent).
+    pub fn metric(&self, key: &str) -> f64 {
+        self.metrics.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Value of one gauge (0.0 when absent).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of every counter whose key ends with `suffix`
+    /// (e.g. `.mac_ops` totals the series across all PEs).
+    pub fn sum_suffix(&self, suffix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates metrics in key order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.metrics.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Per-phase difference `self - earlier`.
+    ///
+    /// Counters and metrics subtract; gauges keep the value in `self`.
+    /// A key absent from `earlier` is treated as 0 there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter decreased between the snapshots — counters
+    /// are monotonic by contract, so a decrease is a component bug.
+    pub fn diff(&self, earlier: &StatsRegistry) -> StatsRegistry {
+        let mut out = StatsRegistry::new();
+        for (key, &now) in &self.counters {
+            let before = earlier.counter(key);
+            assert!(
+                now >= before,
+                "counter {key} decreased: {before} -> {now} (counters are monotonic)"
+            );
+            out.counters.insert(key.clone(), now - before);
+        }
+        for (key, &now) in &self.metrics {
+            out.metrics.insert(key.clone(), now - earlier.metric(key));
+        }
+        out.gauges = self.gauges.clone();
+        out
+    }
+
+    /// Renders every series as `key = value` lines, one per series —
+    /// the uniform replacement for hand-formatted per-crate debug dumps.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        for (k, v) in &self.metrics {
+            let _ = writeln!(out, "{k} = {v:.6e}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        out
+    }
+
+    /// Exports as two-line CSV: a header row of keys and a row of values,
+    /// counters first, then metrics, then gauges, each in key order.
+    pub fn to_csv(&self) -> String {
+        let mut header = String::new();
+        let mut values = String::new();
+        let mut sep = "";
+        for (k, v) in &self.counters {
+            let _ = write!(header, "{sep}{k}");
+            let _ = write!(values, "{sep}{v}");
+            sep = ",";
+        }
+        for (k, v) in &self.metrics {
+            let _ = write!(header, "{sep}{k}");
+            let _ = write!(values, "{sep}{v:.9e}");
+            sep = ",";
+        }
+        for (k, v) in &self.gauges {
+            let _ = write!(header, "{sep}{k}");
+            let _ = write!(values, "{sep}{v}");
+            sep = ",";
+        }
+        format!("{header}\n{values}\n")
+    }
+
+    /// Exports as a flat JSON object (keys sorted, counters as integers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut sep = "";
+        for (k, v) in &self.counters {
+            let _ = write!(out, "{sep}\"{k}\":{v}");
+            sep = ",";
+        }
+        for (k, v) in &self.metrics {
+            let _ = write!(out, "{sep}\"{k}\":{v:e}");
+            sep = ",";
+        }
+        for (k, v) in &self.gauges {
+            let _ = write!(out, "{sep}\"{k}\":{v}");
+            sep = ",";
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A view of a [`StatsRegistry`] that prefixes recorded keys.
+///
+/// Handed to [`StatSource::report`] so components name series locally
+/// (`mac_ops`) while the registry stores them globally (`pe3.mac_ops`).
+pub struct ScopedStats<'a> {
+    registry: &'a mut StatsRegistry,
+    prefix: &'a str,
+}
+
+impl ScopedStats<'_> {
+    fn key(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        }
+    }
+
+    /// Records a monotonic event count.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let key = self.key(name);
+        self.registry.counters.insert(key, value);
+    }
+
+    /// Records an accumulating float quantity (e.g. joules).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        let key = self.key(name);
+        self.registry.metrics.insert(key, value);
+    }
+
+    /// Records an instantaneous level (e.g. an occupancy or high-water).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let key = self.key(name);
+        self.registry.gauges.insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        ops: u64,
+        energy: f64,
+    }
+
+    impl StatSource for Fake {
+        fn report(&self, stats: &mut ScopedStats<'_>) {
+            stats.counter("ops", self.ops);
+            stats.metric("energy_j", self.energy);
+            stats.gauge("level", self.ops as f64 / 2.0);
+        }
+    }
+
+    #[test]
+    fn collect_prefixes_and_reads_back() {
+        let a = Fake {
+            ops: 10,
+            energy: 1.5,
+        };
+        let b = Fake {
+            ops: 32,
+            energy: 0.5,
+        };
+        let reg =
+            StatsRegistry::collect([("a", &a as &dyn StatSource), ("b", &b as &dyn StatSource)]);
+        assert_eq!(reg.counter("a.ops"), 10);
+        assert_eq!(reg.counter("b.ops"), 32);
+        assert_eq!(reg.sum_suffix(".ops"), 42);
+        assert_eq!(reg.metric("a.energy_j"), 1.5);
+        assert_eq!(reg.gauge("b.level"), 16.0);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_metrics_keeps_gauges() {
+        let before = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 10,
+                energy: 1.0,
+            } as &dyn StatSource,
+        )]);
+        let after = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 25,
+                energy: 4.0,
+            } as &dyn StatSource,
+        )]);
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("x.ops"), 15);
+        assert!((delta.metric("x.energy_j") - 3.0).abs() < 1e-12);
+        // Gauges are instantaneous: the diff carries the newer level.
+        assert_eq!(delta.gauge("x.level"), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn diff_rejects_decreasing_counter() {
+        let before = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 10,
+                energy: 0.0,
+            } as &dyn StatSource,
+        )]);
+        let after = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 9,
+                energy: 0.0,
+            } as &dyn StatSource,
+        )]);
+        let _ = after.diff(&before);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_aligned() {
+        let reg = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 7,
+                energy: 2.0,
+            } as &dyn StatSource,
+        )]);
+        let csv = reg.to_csv();
+        let mut lines = csv.lines();
+        let header: Vec<_> = lines.next().unwrap().split(',').collect();
+        let values: Vec<_> = lines.next().unwrap().split(',').collect();
+        assert_eq!(header.len(), values.len());
+        assert_eq!(header[0], "x.ops");
+        assert_eq!(values[0], "7");
+        let json = reg.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"x.ops\":7"));
+        assert!(reg.dump().contains("x.ops = 7"));
+    }
+}

@@ -44,7 +44,10 @@ fn main() {
             correct += 1;
         }
     }
-    println!("training-set accuracy: {correct}/{total} (chance: {})", total / 10);
+    println!(
+        "training-set accuracy: {correct}/{total} (chance: {})",
+        total / 10
+    );
 
     // Now put the trained network on the cube and measure inference +
     // one training step.

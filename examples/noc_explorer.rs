@@ -19,7 +19,9 @@ fn run(cfg: SystemConfig, spec: &NetworkSpec) -> RunReport {
         s.channels,
         s.height,
         s.width,
-        (0..s.len()).map(|i| Q88::from_bits((i % 251) as i16)).collect(),
+        (0..s.len())
+            .map(|i| Q88::from_bits((i % 251) as i16))
+            .collect(),
     );
     let (_, report) = cube.run_inference(&loaded, &input);
     report

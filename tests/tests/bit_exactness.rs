@@ -21,15 +21,15 @@ fn activation_strategy() -> impl Strategy<Value = Activation> {
 /// pool → fc, over a random input volume.
 fn network_strategy() -> impl Strategy<Value = NetworkSpec> {
     (
-        1usize..3,          // input channels
-        10usize..18,        // height
-        10usize..18,        // width
-        2usize..6,          // conv out channels
+        1usize..3,                                   // input channels
+        10usize..18,                                 // height
+        10usize..18,                                 // width
+        2usize..6,                                   // conv out channels
         prop_oneof![Just(2usize), Just(3), Just(5)], // kernel
-        1usize..3,          // stride
-        any::<bool>(),      // all-maps connectivity
-        any::<bool>(),      // pooling present
-        2usize..12,         // fc outputs
+        1usize..3,                                   // stride
+        any::<bool>(),                               // all-maps connectivity
+        any::<bool>(),                               // pooling present
+        2usize..12,                                  // fc outputs
         activation_strategy(),
         activation_strategy(),
     )
@@ -63,7 +63,11 @@ fn input_for(spec: &NetworkSpec, seed: i32) -> Tensor {
         s.height,
         s.width,
         (0..s.len())
-            .map(|i| Q88::from_bits((((i as i32).wrapping_mul(2654435761_u32 as i32) ^ seed) % 700) as i16))
+            .map(|i| {
+                Q88::from_bits(
+                    (((i as i32).wrapping_mul(2654435761_u32 as i32) ^ seed) % 700) as i16,
+                )
+            })
             .collect(),
     )
 }

@@ -52,7 +52,9 @@ fn cellular_network_runs_on_the_cube() {
         1,
         14,
         14,
-        (0..196).map(|i| Q88::from_bits((i * 13 % 400) as i16)).collect(),
+        (0..196)
+            .map(|i| Q88::from_bits((i * 13 % 400) as i16))
+            .collect(),
     );
     let expected = reference.predict(&input);
     let mut cube = Neurocube::new(SystemConfig::paper(true));
@@ -66,7 +68,9 @@ fn irregular_connectivity_runs_on_the_cube() {
     // §V-A-2: irregular connections as an FC layer with zero weights.
     let (spec, params, adjacency) = workloads::irregular_fc(32, 12, 0.25, 7);
     let input = Tensor::from_flat(
-        (0..32).map(|i| Q88::from_f64(i as f64 / 20.0 - 0.8)).collect(),
+        (0..32)
+            .map(|i| Q88::from_f64(i as f64 / 20.0 - 0.8))
+            .collect(),
     );
     let expected = Executor::new(spec.clone(), params.clone()).predict(&input);
     let mut cube = Neurocube::new(SystemConfig::paper(false));

@@ -94,15 +94,9 @@ fn conv_net_trains_on_a_two_class_task() {
 
 #[test]
 fn trainer_loss_matches_manual_mse() {
-    let spec = NetworkSpec::new(
-        Shape::flat(2),
-        vec![LayerSpec::fc(1, Activation::Identity)],
-    )
-    .unwrap();
-    let exec = Executor::new(
-        spec,
-        vec![vec![Q88::from_f64(0.5), Q88::from_f64(-0.5)]],
-    );
+    let spec =
+        NetworkSpec::new(Shape::flat(2), vec![LayerSpec::fc(1, Activation::Identity)]).unwrap();
+    let exec = Executor::new(spec, vec![vec![Q88::from_f64(0.5), Q88::from_f64(-0.5)]]);
     let x = Tensor::from_flat(vec![Q88::ONE, Q88::ONE]);
     let y = Tensor::from_flat(vec![Q88::ONE]);
     let predicted = exec.predict(&x);

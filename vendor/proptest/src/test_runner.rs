@@ -1,0 +1,144 @@
+//! Deterministic case generation and the test loop.
+
+use crate::strategy::Strategy;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The generator behind every strategy sample (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        // SplitMix64 step spreads adjacent seeds across the state space.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// The next pseudo-random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index below `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick below 0");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration (the supported subset: case count).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case (the message carries the `prop_assert*` report).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Samples inputs and runs the test body over them.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `test` over `config.cases` sampled inputs. The seed stream is
+    /// derived from `name`, so a failure reproduces on the next run; the
+    /// failing input is printed both for `Err` results and for panics
+    /// raised by plain `assert!`s inside the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, reporting its input.
+    pub fn run_named<S: Strategy>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::new(base ^ (u64::from(case)).wrapping_mul(0x9E37_79B9));
+            let value = strategy.sample(&mut rng);
+            let shown = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "proptest case failed: {e}\n  test: {name}, case {case}/{total}\n  input: {shown}",
+                    total = self.config.cases
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "proptest case panicked\n  test: {name}, case {case}/{total}\n  input: {shown}",
+                        total = self.config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
