@@ -1,9 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: build, test, format, lint. Run from the repo root.
+#
+#   ci.sh          - standard gate; property tests run a pinned 64-case
+#                    budget so the differential suites are deterministic
+#                    in wall-clock terms.
+#   ci.sh --fuzz   - same gate, then a deeper randomized sweep of the
+#                    property/differential suites (512 cases each).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
+PROPTEST_CASES=64 cargo test -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+    echo "== fuzz sweep (PROPTEST_CASES=512) =="
+    PROPTEST_CASES=512 cargo test -q --release \
+        -p neurocube-fixed \
+        -p neurocube-dram \
+        -p neurocube-noc \
+        -p neurocube-golden \
+        -p neurocube-integration-tests
+fi

@@ -1,0 +1,81 @@
+//! Property-based tests of the address map: decode/encode are a bijection
+//! over every valid geometry, so no two addresses alias and no vault's
+//! data can leak into another vault's region.
+
+use neurocube_dram::{AddressMap, DecodedAddr};
+use proptest::prelude::*;
+
+/// Random valid geometry, keeping the bank count alongside the map (the
+/// map does not expose it). Channel capacity is a whole number of rows.
+fn geometry() -> impl Strategy<Value = (AddressMap, u32)> {
+    (1u32..32, 3u32..10, 1u32..17, 1u64..4096).prop_map(|(channels, row_pow, banks, rows)| {
+        let row_bytes = 1u32 << row_pow;
+        let channel_bytes = rows * u64::from(row_bytes);
+        (
+            AddressMap::new(channels, channel_bytes, banks, row_bytes),
+            banks,
+        )
+    })
+}
+
+/// The inverse of [`AddressMap::decode`] under the partitioned mapping.
+fn encode(map: &AddressMap, banks: u32, d: &DecodedAddr) -> u64 {
+    let row_global = d.row * u64::from(banks) + u64::from(d.bank);
+    map.channel_base(d.channel) + row_global * u64::from(map.row_bytes()) + u64::from(d.col)
+}
+
+proptest! {
+    /// decode → encode round-trips every address: the map is injective
+    /// (no two addresses share DRAM coordinates).
+    #[test]
+    fn decode_encode_roundtrip(
+        g in geometry(),
+        addr_frac in 0.0f64..1.0,
+    ) {
+        let (map, banks) = g;
+        let addr = ((map.total_bytes() - 1) as f64 * addr_frac) as u64;
+        let d = map.decode(addr);
+        prop_assert!(d.channel < map.channels());
+        prop_assert!(d.bank < banks);
+        prop_assert!(u64::from(d.col) < u64::from(map.row_bytes()));
+        prop_assert_eq!(encode(&map, banks, &d), addr);
+    }
+
+    /// `channel_of` agrees with the full decode, and channel regions are
+    /// contiguous, disjoint and exhaustive: an address lies in channel `c`
+    /// iff it falls inside `[channel_base(c), channel_base(c) + bytes)`.
+    #[test]
+    fn no_cross_vault_aliasing(
+        g in geometry(),
+        addr_frac in 0.0f64..1.0,
+    ) {
+        let (map, _banks) = g;
+        let addr = ((map.total_bytes() - 1) as f64 * addr_frac) as u64;
+        let d = map.decode(addr);
+        prop_assert_eq!(map.channel_of(addr), d.channel);
+        let base = map.channel_base(d.channel);
+        prop_assert!(addr >= base);
+        prop_assert!(addr < base + map.channel_bytes());
+    }
+
+    /// Within one channel, consecutive rows land on successive banks —
+    /// the interleave that hides row activations behind open rows.
+    #[test]
+    fn consecutive_rows_interleave_across_banks(
+        g in geometry(),
+        row_frac in 0.0f64..1.0,
+    ) {
+        let (map, banks) = g;
+        let rows = map.channel_bytes() / u64::from(map.row_bytes());
+        if rows < 2 {
+            return Ok(());
+        }
+        let r = ((rows - 2) as f64 * row_frac) as u64;
+        let a = map.decode(r * u64::from(map.row_bytes()));
+        let b = map.decode((r + 1) * u64::from(map.row_bytes()));
+        prop_assert_eq!((a.bank + 1) % banks, b.bank);
+        if banks > 1 {
+            prop_assert_ne!(a.bank, b.bank);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the activation lookup tables: monotonicity,
+//! the odd/complement symmetries of the underlying functions, bypass
+//! exactness, and agreement with the exhaustively computed error
+//! certificate.
+
+use neurocube_fixed::{Activation, ActivationLut, Q88};
+use proptest::prelude::*;
+
+const LSB: f64 = 1.0 / 256.0;
+
+fn any_q88() -> impl Strategy<Value = Q88> {
+    any::<i16>().prop_map(Q88::from_bits)
+}
+
+proptest! {
+    /// Sigmoid and tanh are monotone; their two-segment tables (fine inner,
+    /// coarse outer) must preserve that ordering across every bucket and
+    /// across the segment crossover at ±4.
+    #[test]
+    fn lut_preserves_monotonicity(a in any_q88(), b in any_q88()) {
+        for act in [Activation::Sigmoid, Activation::Tanh] {
+            let lut = ActivationLut::new(act);
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(
+                lut.apply(lo) <= lut.apply(hi),
+                "{act:?} not monotone: f({}) = {} > f({}) = {}",
+                lo.to_f64(), lut.apply(lo).to_f64(), hi.to_f64(), lut.apply(hi).to_f64()
+            );
+        }
+    }
+
+    /// tanh is odd, but the half-open bucket grid is not: `x` and `-x` can
+    /// land in buckets whose midpoints sit one bucket width (2·4/512 = 1/64
+    /// in the fine segment) apart. With tanh 1-Lipschitz plus one rounding
+    /// LSB per entry, oddness holds to one bucket width + 1 LSB.
+    #[test]
+    fn tanh_lut_is_odd_up_to_one_bucket(bits in -32767i16..=32767) {
+        let lut = ActivationLut::new(Activation::Tanh);
+        let x = Q88::from_bits(bits);
+        let fwd = lut.apply(x).to_f64();
+        let mirrored = lut.apply(-x).to_f64();
+        prop_assert!(
+            (fwd + mirrored).abs() <= 1.0 / 64.0 + LSB + 1e-12,
+            "tanh({}) = {fwd} vs tanh({}) = {mirrored}", x.to_f64(), (-x).to_f64()
+        );
+    }
+
+    /// sigmoid(-x) = 1 - sigmoid(x); two independently rounded entries can
+    /// disagree with the identity by at most two rounding LSBs.
+    #[test]
+    fn sigmoid_lut_respects_complement_symmetry(bits in -32767i16..=32767) {
+        let lut = ActivationLut::new(Activation::Sigmoid);
+        let x = Q88::from_bits(bits);
+        let sum = lut.apply(x).to_f64() + lut.apply(-x).to_f64();
+        prop_assert!(
+            (sum - 1.0).abs() <= 2.0 * LSB + 1e-12,
+            "sigmoid({}) + sigmoid({}) = {sum}", x.to_f64(), (-x).to_f64()
+        );
+    }
+
+    /// Identity and ReLU bypass the table and are exact for every
+    /// representable input.
+    #[test]
+    fn identity_and_relu_are_exact(x in any_q88()) {
+        for act in [Activation::Identity, Activation::ReLU] {
+            let lut = ActivationLut::new(act);
+            prop_assert_eq!(lut.apply(x), Q88::from_f64(act.ideal(x.to_f64())));
+        }
+    }
+
+    /// Every output honours the exhaustive error certificate `max_error`.
+    /// The certificate measures distance to the *quantized* ideal, so the
+    /// distance to the real line gains at most half a rounding LSB — the
+    /// relation the golden model's envelope derivation consumes.
+    #[test]
+    fn apply_agrees_with_error_certificate(x in any_q88()) {
+        for act in [
+            Activation::Identity,
+            Activation::ReLU,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            let lut = ActivationLut::new(act);
+            let err = (lut.apply(x).to_f64() - act.ideal(x.to_f64())).abs();
+            prop_assert!(
+                err <= lut.max_error() + LSB / 2.0 + 1e-12,
+                "{act:?}({}) errs {err} > certificate {}", x.to_f64(), lut.max_error()
+            );
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Analytical per-layer cycle bounds for the cycle-level simulator.
+//!
+//! Every term is a *provable lower bound* on the simulator's per-layer
+//! cycle count, derived from hard structural rates of the modeled
+//! hardware (each verified against the pipeline in `neurocube::system`):
+//!
+//! * **MAC occupancy** — the global lockstep schedule fires
+//!   `max_groups` MAC-array groups and every group needs one accumulate
+//!   per connection, so a layer takes at least `max_groups × conns`
+//!   cycles even with infinite bandwidth.
+//! * **PE packet serialization** — a PE accepts at most one NoC packet
+//!   per cycle, and the operand streams deliver exactly one packet per
+//!   MAC operand (conv/pool: one `State` per connection of every
+//!   assigned neuron; FC: one `Weight` per connection of every assigned
+//!   neuron plus one `SharedState` per connection of every group).
+//! * **Port serialization** — each node's memory port ejects at most one
+//!   packet per cycle (write-backs) and injects at most one per cycle
+//!   (operand packets from the vaults attached to it).
+//! * **DRAM channel pacing** — every operand fetch and write-back
+//!   crosses its channel, which moves at most one word per
+//!   `cpw_num/cpw_den` cycles and inserts the `t_CCD` inter-burst gap
+//!   after every full burst ([`channel_stream_cycles`]). Operands are 16
+//!   bits, so at best `word_bits/16` of them share one channel word.
+//!
+//! The bound is the maximum of the terms plus the host programming-phase
+//! cycles when a [`ProgrammingModel`](neurocube::ProgrammingModel) is
+//! configured. An upper *tolerance envelope* (`slack × lower bound`)
+//! catches gross regressions in the other direction; unlike the lower
+//! bound it is calibrated, not derived.
+
+use neurocube::{RunReport, SystemConfig};
+use neurocube_dram::ChannelConfig;
+use neurocube_nn::NetworkSpec;
+use neurocube_png::layout::NetworkLayout;
+use neurocube_png::{compile_layer, LayerProgram};
+use std::fmt;
+
+/// Reference cycles a channel needs to move `words` data words: rational
+/// word pacing plus one inter-burst gap after every completed burst
+/// (a trailing gap after the final word does not delay completion).
+pub fn channel_stream_cycles(ch: &ChannelConfig, words: u64) -> u64 {
+    let pacing = words * u64::from(ch.cpw_num) / u64::from(ch.cpw_den);
+    let gaps = words.saturating_sub(1) / u64::from(ch.burst_len);
+    pacing + gaps * u64::from(ch.inter_burst_gap)
+}
+
+/// The analytical cycle bound of one layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerBound {
+    /// Layer index in the network.
+    pub layer_index: usize,
+    /// MAC-array occupancy term: `max_groups × conns`.
+    pub mac_cycles: u64,
+    /// Worst per-PE operand packet count (one accepted per cycle).
+    pub pe_packet_cycles: u64,
+    /// Worst per-node memory-port ejection (write-backs) or injection
+    /// (operand packets) count.
+    pub port_cycles: u64,
+    /// Worst per-channel DRAM streaming time for the layer's mandatory
+    /// traffic.
+    pub dram_cycles: u64,
+    /// Host programming-phase cycles charged to the layer (0 when the
+    /// configuration models the paper's untimed programming).
+    pub programming_cycles: u64,
+}
+
+/// Fixed additive allowance of the upper envelope, covering per-layer
+/// latency that does not scale with work: pipeline fill/drain across the
+/// mesh, cache retrieval latency (16–64 cycles per operand chain), and
+/// the end-of-layer write-back drain. Calibrated against the paper
+/// workloads (the smallest layers measure ≈120 cycles above `slack ×
+/// lower`); the lower bound needs no such term.
+pub const FIXED_OVERHEAD_CYCLES: u64 = 512;
+
+/// Default multiplicative slack of the upper envelope. Small layers are
+/// *latency*-bound, not throughput-bound: with few operands in flight
+/// each one pays the full cache-retrieval (16–64 cycles) plus DRAM
+/// row-activation round trip, observed at up to ≈20 cycles per operand
+/// against a 1-per-cycle serialization bound. The default therefore
+/// admits latency-bound shapes (observed measured/lower ratios: 1.18–4.0
+/// on large layers, up to ≈19 on shrunk minimal ones); pass a tighter
+/// slack explicitly when checking throughput-bound paper workloads.
+pub const DEFAULT_SLACK: f64 = 24.0;
+
+impl LayerBound {
+    /// The lower bound on the simulator's cycle count for this layer.
+    pub fn lower(&self) -> u64 {
+        self.mac_cycles
+            .max(self.pe_packet_cycles)
+            .max(self.port_cycles)
+            .max(self.dram_cycles)
+            + self.programming_cycles
+    }
+
+    /// Checks a measured cycle count against the lower bound and the
+    /// `slack × lower + FIXED_OVERHEAD_CYCLES` upper tolerance envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimingViolation`] when `measured` falls outside
+    /// the envelope.
+    pub fn check(&self, measured: u64, slack: f64) -> Result<(), TimingViolation> {
+        let lower = self.lower();
+        let upper = (lower as f64 * slack).ceil() as u64 + FIXED_OVERHEAD_CYCLES;
+        if measured < lower || measured > upper {
+            return Err(TimingViolation {
+                layer_index: self.layer_index,
+                measured,
+                lower,
+                upper,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A simulated cycle count outside the analytical envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingViolation {
+    /// The offending layer.
+    pub layer_index: usize,
+    /// The simulator's cycle count.
+    pub measured: u64,
+    /// The analytical lower bound.
+    pub lower: u64,
+    /// The tolerance ceiling (`slack × lower`).
+    pub upper: u64,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "layer {}: measured {} cycles outside analytical envelope [{}, {}]",
+            self.layer_index, self.measured, self.lower, self.upper
+        )
+    }
+}
+
+impl std::error::Error for TimingViolation {}
+
+/// Computes the analytical bound of every layer of `net` under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the layout does not fit the configured memory (the same
+/// condition under which [`Neurocube::load`](neurocube::Neurocube::load)
+/// panics).
+pub fn layer_bounds(cfg: &SystemConfig, net: &NetworkSpec) -> Vec<LayerBound> {
+    let (gw, gh) = cfg.grid();
+    let map = cfg.memory.address_map();
+    let layout = NetworkLayout::build(net, gw, gh, cfg.duplicate, cfg.n_mac as usize, &map);
+    let mapping = cfg.mapping();
+    let nodes = cfg.nodes();
+    let programming = cfg.programming.map_or(0, |m| m.layer_cycles(nodes as u32));
+
+    (0..net.depth())
+        .map(|i| {
+            let prog = compile_layer(net, &layout, i, mapping);
+            let vaults = mapping.vaults();
+            let conns = u64::from(prog.conns());
+            let fc = prog.is_fc();
+
+            let mut pe_packets = 0u64;
+            let mut total_events = 0u64;
+            // Per-vault operand fetches, when the source vault of every
+            // event is known exactly; `None` for non-duplicated spatial
+            // layers, where the per-vault split depends on tile geometry
+            // and only distribution-free floors are sound.
+            let mut events: Option<Vec<u64>> = if fc || cfg.duplicate {
+                Some(vec![0u64; vaults])
+            } else {
+                None
+            };
+            let mut node_eject = vec![0u64; nodes];
+            let mut channel_write_words = vec![0u64; cfg.memory.channels as usize];
+            let items_per_word = u64::from(cfg.memory.channel.word_bits) / 16;
+
+            for v in 0..vaults as u8 {
+                let assigned = prog.out_vol.assigned_count(v);
+                let groups = prog.groups_of(v);
+                let stored_out = prog.out_vol.bytes_in_vault(v) / 2;
+
+                // Operand packets the PE at `v` must accept, one per cycle.
+                let received = if fc {
+                    conns * (assigned + groups)
+                } else {
+                    conns * assigned
+                };
+                pe_packets = pe_packets.max(received);
+                total_events += received;
+
+                if let Some(ev) = events.as_mut() {
+                    if fc {
+                        // Weights always stream from the PE's own vault
+                        // (the layout stores FC weights transposed).
+                        ev[usize::from(v)] += conns * assigned;
+                        // States follow the schedule's source-selection
+                        // rule exactly: a locally stored copy wins,
+                        // otherwise the owner sends. One fetch per
+                        // (group, input) pair.
+                        if groups > 0 {
+                            for idx in 0..prog.in_vol.shape.len() {
+                                let src = if prog.in_vol.local_addr(v, idx).is_some() {
+                                    v
+                                } else {
+                                    prog.in_vol.owner(idx)
+                                };
+                                ev[usize::from(src)] += groups;
+                            }
+                        }
+                    } else {
+                        // Duplicated conv/pool streams are purely local:
+                        // the consuming PE's vault fetches every operand.
+                        ev[usize::from(v)] += conns * assigned;
+                    }
+                }
+
+                let node = usize::from(cfg.attach[usize::from(v)]);
+                node_eject[node] += stored_out;
+                let ch = cfg.memory.channel_of_region(u32::from(v)) as usize;
+                channel_write_words[ch] += stored_out.div_ceil(items_per_word);
+            }
+
+            // Injection/read terms. With exact per-vault events, fold by
+            // attach/channel; otherwise the max over nodes (channels) is
+            // at least the even split of the exact total event count.
+            let (inject_max, dram_words) = match &events {
+                Some(ev) => {
+                    // Exact per-vault sources: fold into nodes via the
+                    // attach table, and add reads to each channel's
+                    // write words (a channel serves both serially).
+                    let mut node_inject = vec![0u64; nodes];
+                    let mut ch_words = channel_write_words.clone();
+                    for (v, &e) in ev.iter().enumerate() {
+                        node_inject[usize::from(cfg.attach[v])] += e;
+                        ch_words[cfg.memory.channel_of_region(v as u32) as usize] +=
+                            e.div_ceil(items_per_word);
+                    }
+                    (
+                        node_inject.into_iter().max().unwrap_or(0),
+                        ch_words.into_iter().max().unwrap_or(0),
+                    )
+                }
+                // Distribution-free floors: the busiest node (channel)
+                // carries at least the even split of the exact event
+                // total, and at least its write-back stream.
+                None => (
+                    total_events.div_ceil(nodes as u64),
+                    total_events
+                        .div_ceil(items_per_word)
+                        .div_ceil(u64::from(cfg.memory.channels))
+                        .max(channel_write_words.iter().copied().max().unwrap_or(0)),
+                ),
+            };
+
+            let port_cycles = node_eject.into_iter().max().unwrap_or(0).max(inject_max);
+            let dram_cycles = channel_stream_cycles(&cfg.memory.channel, dram_words);
+
+            LayerBound {
+                layer_index: i,
+                mac_cycles: prog.max_groups() * conns,
+                pe_packet_cycles: pe_packets,
+                port_cycles,
+                dram_cycles,
+                programming_cycles: programming,
+            }
+        })
+        .collect()
+}
+
+/// Checks every layer of an inference [`RunReport`] against the
+/// analytical envelope.
+///
+/// # Errors
+///
+/// Returns the first [`TimingViolation`] found, scanning layers in order.
+///
+/// # Panics
+///
+/// Panics if the report does not have one forward entry per layer of
+/// `net` (training reports interleave backward passes; check those
+/// layer-by-layer with [`LayerBound::check`] instead).
+pub fn check_inference_report(
+    cfg: &SystemConfig,
+    net: &NetworkSpec,
+    report: &RunReport,
+    slack: f64,
+) -> Result<(), TimingViolation> {
+    let bounds = layer_bounds(cfg, net);
+    assert_eq!(
+        report.layers.len(),
+        bounds.len(),
+        "one report entry per layer"
+    );
+    for (bound, layer) in bounds.iter().zip(&report.layers) {
+        assert_eq!(layer.layer_index, bound.layer_index, "report order");
+        bound.check(layer.cycles, slack)?;
+    }
+    Ok(())
+}
+
+/// A [`LayerProgram`]-level summary used by tests and docs: the exact
+/// number of operand packets the schedule will emit for one layer
+/// (the conservation property the packet-serialization term relies on).
+pub fn operand_packets(prog: &LayerProgram) -> u64 {
+    let vaults = prog.mapping.vaults() as u8;
+    let conns = u64::from(prog.conns());
+    if prog.is_fc() {
+        (0..vaults)
+            .map(|p| conns * (prog.out_vol.assigned_count(p) + prog.groups_of(p)))
+            .sum()
+    } else {
+        (0..vaults)
+            .map(|p| conns * prog.out_vol.assigned_count(p))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurocube_fixed::Activation;
+    use neurocube_nn::{LayerSpec, Shape};
+
+    fn small_net() -> NetworkSpec {
+        NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![
+                LayerSpec::conv(2, 3, Activation::Tanh),
+                LayerSpec::AvgPool { size: 2 },
+                LayerSpec::fc(8, Activation::Sigmoid),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn channel_stream_cycles_counts_bursts() {
+        let ch = ChannelConfig::hmc_int(); // 1 cycle/word, bursts of 8, gap 2
+        assert_eq!(channel_stream_cycles(&ch, 0), 0);
+        assert_eq!(channel_stream_cycles(&ch, 8), 8); // trailing gap free
+        assert_eq!(channel_stream_cycles(&ch, 9), 9 + 2);
+        assert_eq!(channel_stream_cycles(&ch, 16), 16 + 2);
+        assert_eq!(channel_stream_cycles(&ch, 17), 17 + 4);
+        // DDR3: 25/8 cycles per 64-bit word, no gap.
+        let ddr = ChannelConfig::ddr3();
+        assert_eq!(channel_stream_cycles(&ddr, 8), 25);
+    }
+
+    #[test]
+    fn bounds_have_positive_terms() {
+        let cfg = SystemConfig::paper(true);
+        let net = small_net();
+        let bounds = layer_bounds(&cfg, &net);
+        assert_eq!(bounds.len(), 3);
+        for b in &bounds {
+            assert!(b.mac_cycles > 0, "{b:?}");
+            assert!(b.pe_packet_cycles >= b.mac_cycles, "{b:?}");
+            assert!(b.port_cycles > 0, "{b:?}");
+            assert!(b.dram_cycles > 0, "{b:?}");
+            assert_eq!(b.programming_cycles, 0);
+            assert!(b.lower() >= b.pe_packet_cycles);
+        }
+    }
+
+    #[test]
+    fn programming_model_adds_cycles() {
+        let mut cfg = SystemConfig::paper(true);
+        let without = layer_bounds(&cfg, &small_net());
+        cfg.programming = Some(neurocube::ProgrammingModel::typical());
+        let with = layer_bounds(&cfg, &small_net());
+        for (a, b) in without.iter().zip(&with) {
+            assert!(b.programming_cycles > 0);
+            assert_eq!(b.lower(), a.lower() + b.programming_cycles);
+        }
+    }
+
+    #[test]
+    fn check_flags_both_sides_of_the_envelope() {
+        let cfg = SystemConfig::paper(true);
+        let bounds = layer_bounds(&cfg, &small_net());
+        let b = &bounds[0];
+        let lower = b.lower();
+        assert!(b.check(lower, 4.0).is_ok());
+        assert!(b.check(4 * lower + FIXED_OVERHEAD_CYCLES, 4.0).is_ok());
+        let too_fast = b.check(lower - 1, 4.0).unwrap_err();
+        assert_eq!(too_fast.layer_index, 0);
+        assert!(too_fast.to_string().contains("outside analytical envelope"));
+        assert!(b.check(4 * lower + FIXED_OVERHEAD_CYCLES + 1, 4.0).is_err());
+    }
+
+    #[test]
+    fn dropped_tccd_gap_shrinks_the_dram_term() {
+        // The defect-injection scenario: a channel that forgets the
+        // inter-burst gap finishes streams faster than the correct
+        // analytical model allows, so bounds computed from the correct
+        // config catch it.
+        let correct = ChannelConfig::hmc_int();
+        let mut defective = correct;
+        defective.inter_burst_gap = 0;
+        for words in [9u64, 64, 1000] {
+            assert!(
+                channel_stream_cycles(&defective, words) < channel_stream_cycles(&correct, words),
+                "gap must cost cycles at {words} words"
+            );
+        }
+    }
+
+    #[test]
+    fn operand_packet_conservation_for_conv() {
+        // Conv layers deliver exactly one State packet per MAC operand.
+        let cfg = SystemConfig::paper(true);
+        let net = small_net();
+        let (gw, gh) = cfg.grid();
+        let map = cfg.memory.address_map();
+        let layout = NetworkLayout::build(&net, gw, gh, true, 16, &map);
+        let prog = compile_layer(&net, &layout, 0, cfg.mapping());
+        assert_eq!(operand_packets(&prog), net.macs_per_layer()[0]);
+    }
+}

@@ -98,8 +98,9 @@ impl<B: ?Sized> CycleLoop<B> {
     /// Runs the loop starting at cycle `start` and returns the first cycle
     /// at which `done` held (the bus clock should then equal that value).
     ///
-    /// * `done` — sampled every `check_interval` cycles; once it returns
-    ///   true the loop exits.
+    /// * `done` — sampled once at entry (an already-complete bus returns
+    ///   `start` without ticking any stage) and then every `check_interval`
+    ///   cycles; once it returns true the loop exits.
     /// * `progress` — a monotonic measure of useful work (e.g. total MAC
     ///   operations). Sampled on the same schedule as `done`; if it is
     ///   unchanged for longer than `idle_budget` cycles the loop panics.
@@ -117,8 +118,16 @@ impl<B: ?Sized> CycleLoop<B> {
         mut progress: impl FnMut(&B) -> u64,
         diagnose: impl FnOnce(&B, u64) -> String,
     ) -> u64 {
+        if done(bus) {
+            return start;
+        }
         let mut now = start;
         let mut last_progress = progress(bus);
+        // Checks land on absolute multiples of the interval, so the first
+        // window after an unaligned `start` is shorter than the rest;
+        // idleness is charged by elapsed cycles, not per check, so that
+        // short window cannot eat a full interval of the budget.
+        let mut last_check = start;
         let mut idle_cycles: u64 = 0;
         loop {
             for stage in &mut self.stages {
@@ -134,13 +143,14 @@ impl<B: ?Sized> CycleLoop<B> {
                     last_progress = p;
                     idle_cycles = 0;
                 } else {
-                    idle_cycles += self.watchdog.check_interval;
+                    idle_cycles += now - last_check;
                     assert!(
                         idle_cycles < self.watchdog.idle_budget,
                         "{}",
                         diagnose(bus, idle_cycles)
                     );
                 }
+                last_check = now;
             }
         }
     }
@@ -232,6 +242,82 @@ mod tests {
             |_| false,
             |b| b.work,
             |_, idle| format!("no progress for {idle} cycles"),
+        );
+    }
+
+    #[test]
+    fn done_at_entry_returns_start_without_ticking() {
+        let mut bus = Countdown {
+            remaining: 0,
+            observed: 7,
+            work: 0,
+        };
+        let mut cl = CycleLoop::new()
+            .stage(Decrement)
+            .stage(|_now: u64, bus: &mut Countdown| bus.observed = bus.remaining);
+        let end = cl.run(
+            &mut bus,
+            1000,
+            |b| b.remaining == 0,
+            |b| b.work,
+            |_, idle| format!("stalled for {idle}"),
+        );
+        assert_eq!(end, 1000);
+        // No stage ran on the already-complete bus.
+        assert_eq!(bus.observed, 7);
+        assert_eq!(bus.work, 0);
+    }
+
+    #[test]
+    fn unaligned_start_does_not_overcharge_idle() {
+        // Starting at 1000 with a 64-cycle interval, the first check lands
+        // at 1024 — a 24-cycle window. The bus makes its first progress only
+        // at cycle 1024, so that window is genuinely idle; with a 64-cycle
+        // budget, charging the window a full interval (the old off-by-one)
+        // would trip the watchdog even though only 24 idle cycles elapsed.
+        struct LateStart {
+            work: u64,
+        }
+        let mut bus = LateStart { work: 0 };
+        let mut cl = CycleLoop::new().with_watchdog(Watchdog {
+            check_interval: 64,
+            idle_budget: 64,
+        });
+        cl = cl.stage(|now: u64, bus: &mut LateStart| {
+            if now >= 1024 {
+                bus.work += 1;
+            }
+        });
+        let end = cl.run(
+            &mut bus,
+            1000,
+            |b| b.work >= 1,
+            |b| b.work,
+            |_, idle| format!("stalled for {idle}"),
+        );
+        assert_eq!(end, 1088);
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled for 88")]
+    fn unaligned_start_still_charges_true_idle_time() {
+        // Same unaligned geometry, but the bus never progresses: the short
+        // first window (24 cycles) plus one full interval (64) exceeds the
+        // 64-cycle budget at the second check — and the diagnostic reports
+        // the true 88 elapsed idle cycles, not a multiple of the interval.
+        struct Stuck;
+        let mut bus = Stuck;
+        let mut cl = CycleLoop::new().with_watchdog(Watchdog {
+            check_interval: 64,
+            idle_budget: 64,
+        });
+        cl = cl.stage(|_now: u64, _bus: &mut Stuck| {});
+        cl.run(
+            &mut bus,
+            1000,
+            |_| false,
+            |_| 0,
+            |_, idle| format!("stalled for {idle}"),
         );
     }
 

@@ -1,7 +1,8 @@
 //! Collection strategies.
 
-use crate::strategy::Strategy;
+use crate::strategy::{BinarySearch, Strategy, ValueTree};
 use crate::test_runner::TestRng;
+use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 
 /// Lengths a generated collection may take.
@@ -55,10 +56,115 @@ pub struct VecStrategy<S> {
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
+    type Tree = VecTree<S::Tree>;
 
-    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         let span = self.size.max - self.size.min + 1;
         let len = self.size.min + rng.below(span);
-        (0..len).map(|_| self.element.sample(rng)).collect()
+        VecTree {
+            elems: (0..len).map(|_| self.element.new_tree(rng)).collect(),
+            len: BinarySearch::new(self.size.min as i128, len as i128),
+            in_element_phase: false,
+            elem_idx: 0,
+            last_was_len: false,
+        }
+    }
+}
+
+/// Tree for [`vec`]: first binary-searches the length down toward the
+/// minimum (dropping trailing elements), then shrinks the surviving
+/// elements one at a time.
+pub struct VecTree<T> {
+    elems: Vec<T>,
+    len: BinarySearch,
+    in_element_phase: bool,
+    elem_idx: usize,
+    last_was_len: bool,
+}
+
+impl<T: ValueTree> VecTree<T> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn current_len(&self) -> usize {
+        self.len.current() as usize
+    }
+}
+
+impl<T: ValueTree> ValueTree for VecTree<T> {
+    type Value = Vec<T::Value>;
+
+    fn current(&self) -> Vec<T::Value> {
+        self.elems[..self.current_len()]
+            .iter()
+            .map(ValueTree::current)
+            .collect()
+    }
+
+    fn simplify(&mut self) -> bool {
+        if !self.in_element_phase {
+            if self.len.simplify() {
+                self.last_was_len = true;
+                return true;
+            }
+            self.in_element_phase = true;
+        }
+        while self.elem_idx < self.current_len() {
+            if self.elems[self.elem_idx].simplify() {
+                self.last_was_len = false;
+                return true;
+            }
+            self.elem_idx += 1;
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        if self.last_was_len {
+            self.len.complicate()
+        } else if self.elem_idx < self.current_len() {
+            self.elems[self.elem_idx].complicate()
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_tree_shrinks_length_then_elements() {
+        let strat = vec(0u32..100, 3..20);
+        let mut rng = TestRng::new(5);
+        let mut tree = strat.new_tree(&mut rng);
+        while tree.simplify() {}
+        let minimal = tree.current();
+        assert_eq!(minimal.len(), 3, "length must shrink to the minimum");
+        assert!(minimal.iter().all(|&x| x == 0), "elements must shrink to 0");
+    }
+
+    #[test]
+    fn vec_tree_respects_size_bounds() {
+        let strat = vec(0u8..10, 2..=5);
+        let mut rng = TestRng::new(8);
+        for _ in 0..50 {
+            let mut tree = strat.new_tree(&mut rng);
+            loop {
+                let len = tree.current().len();
+                assert!((2..=5).contains(&len), "length {len} out of bounds");
+                if !tree.simplify() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec_skips_length_search() {
+        let strat = vec(0u16..50, 4);
+        let mut rng = TestRng::new(2);
+        let mut tree = strat.new_tree(&mut rng);
+        while tree.simplify() {}
+        assert_eq!(tree.current(), vec![0, 0, 0, 0]);
     }
 }

@@ -7,9 +7,19 @@
 //! `prop_map` / `prop_filter_map`, [`prop_oneof!`],
 //! [`collection::vec`], and the `prop_assert*` macros.
 //!
-//! Differences from real proptest: no shrinking (a failing case reports
-//! its exact input instead), and case generation is deterministic per
-//! test name so failures reproduce across runs.
+//! Unlike the original stub, this is a real property-testing engine:
+//!
+//! * **Shrinking.** Every strategy yields a [`strategy::ValueTree`]; on
+//!   failure the runner binary-searches integers toward their origin,
+//!   drops vector elements, and simplifies tuple components until it
+//!   reports a *minimal* failing input.
+//! * **Seed persistence.** Failures found through the [`proptest!`]
+//!   macro append their seed to
+//!   `<crate>/proptest-regressions/<file>.txt`; those seeds replay
+//!   before new cases on every later run, so a fixed bug stays fixed.
+//! * **Env overrides.** `PROPTEST_CASES=N` scales the case budget (CI
+//!   pins it; `ci.sh --fuzz` raises it); `PROPTEST_SEED=0x…` replays
+//!   exactly one failing case from its reported seed.
 
 #![forbid(unsafe_code)]
 
@@ -19,8 +29,8 @@ pub mod test_runner;
 
 /// The common imports property tests expect.
 pub mod prelude {
-    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
-    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestFailure, TestRunner};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
@@ -41,10 +51,19 @@ macro_rules! proptest {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let strategy = ($($strat,)+);
                 let mut runner = $crate::test_runner::TestRunner::new(config);
-                runner.run_named(stringify!($name), &strategy, |($($arg,)+)| {
-                    $body
-                    Ok(())
-                });
+                // env!() expands in the crate that *uses* the macro, so
+                // regression files land next to that crate's Cargo.toml
+                // regardless of the test process working directory.
+                runner.run_persisted(
+                    stringify!($name),
+                    concat!(env!("CARGO_MANIFEST_DIR"), "/proptest-regressions"),
+                    file!(),
+                    &strategy,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
             }
         )*
     };

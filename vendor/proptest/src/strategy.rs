@@ -1,29 +1,71 @@
-//! Value-generation strategies.
+//! Value-generation strategies with integrated shrinking.
+//!
+//! Every [`Strategy`] produces a [`ValueTree`]: the sampled value plus the
+//! local search space around it. When a case fails, the runner walks the
+//! tree — [`ValueTree::simplify`] moves toward a simpler candidate,
+//! [`ValueTree::complicate`] backs off after an over-shrink — until it
+//! arrives at a minimal failing input.
 
 use crate::test_runner::TestRng;
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generated value together with the shrink search space around it.
+///
+/// The runner's shrink loop alternates the two moves: while the current
+/// value still fails, `simplify`; when a move went too far and the value
+/// passes, `complicate`. Both return `false` once no further candidate
+/// exists in that direction. Implementations must terminate: the sequence
+/// of successful moves is finite for every tree.
+pub trait ValueTree {
+    /// The generated type.
+    type Value: Debug;
+
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+
+    /// Moves to a simpler candidate. `false` if none remains.
+    fn simplify(&mut self) -> bool;
+
+    /// Moves back toward the last known-failing value. `false` if none
+    /// remains.
+    fn complicate(&mut self) -> bool;
+}
 
 /// A recipe for generating values of one type.
 pub trait Strategy {
     /// The generated type.
     type Value: Debug;
 
-    /// Draws one value.
-    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// The tree produced by [`Strategy::new_tree`].
+    type Tree: ValueTree<Value = Self::Value>;
 
-    /// Transforms every generated value through `f`.
+    /// Draws one value together with its shrink search space.
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree;
+
+    /// Draws one value, discarding the shrink information.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        self.new_tree(rng).current()
+    }
+
+    /// Transforms every generated value through `f`. Shrinking happens on
+    /// the underlying strategy; `f` re-applies on every candidate.
     fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f: Arc::new(f),
+        }
     }
 
     /// Keeps resampling until `f` returns `Some`; `reason` names the
-    /// constraint in the exhaustion panic.
-    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+    /// constraint in the exhaustion panic. During shrinking, candidates
+    /// rejected by `f` are skipped.
+    fn prop_filter_map<O: Debug + Clone, F: Fn(Self::Value) -> Option<O>>(
         self,
         reason: &'static str,
         f: F,
@@ -33,7 +75,7 @@ pub trait Strategy {
     {
         FilterMap {
             inner: self,
-            f,
+            f: Arc::new(f),
             reason,
         }
     }
@@ -42,39 +84,169 @@ pub trait Strategy {
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
+        Self::Tree: 'static,
     {
         BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Binary search over an integer magnitude: the engine behind every
+/// numeric shrink. Values are offsets from an *origin* (the simplest
+/// value, usually 0 clamped into range); the search keeps the invariant
+/// `lo <= curr <= hi` on magnitudes, where `hi` tracks the smallest
+/// known-failing magnitude and `lo` bounds the passing region.
+#[derive(Clone, Debug)]
+pub(crate) struct BinarySearch {
+    origin: i128,
+    sign: i128,
+    lo: i128,
+    curr: i128,
+    hi: i128,
+}
+
+impl BinarySearch {
+    pub(crate) fn new(origin: i128, value: i128) -> BinarySearch {
+        let off = value - origin;
+        BinarySearch {
+            origin,
+            sign: off.signum(),
+            lo: 0,
+            curr: off.abs(),
+            hi: off.abs(),
+        }
+    }
+
+    pub(crate) fn current(&self) -> i128 {
+        self.origin + self.sign * self.curr
+    }
+
+    pub(crate) fn simplify(&mut self) -> bool {
+        if self.curr <= self.lo {
+            return false;
+        }
+        self.hi = self.curr;
+        // Midpoint rounds toward `lo`, so `curr` strictly decreases.
+        self.curr = self.lo + (self.hi - self.lo) / 2;
+        true
+    }
+
+    pub(crate) fn complicate(&mut self) -> bool {
+        if self.curr >= self.hi {
+            return false;
+        }
+        self.lo = self.curr + 1;
+        self.curr = self.lo + (self.hi - self.lo) / 2;
+        true
+    }
+}
+
+/// Shrinking tree for a primitive integer type.
+#[derive(Clone, Debug)]
+pub struct IntTree<T> {
+    search: BinarySearch,
+    _marker: PhantomData<T>,
+}
+
+macro_rules! int_tree {
+    ($($t:ty),*) => {$(
+        impl ValueTree for IntTree<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn current(&self) -> $t {
+                self.search.current() as $t
+            }
+
+            fn simplify(&mut self) -> bool {
+                self.search.simplify()
+            }
+
+            fn complicate(&mut self) -> bool {
+                self.search.complicate()
+            }
+        }
+    )*};
+}
+
+int_tree!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn int_tree_in<T>(lo: i128, hi_incl: i128, value: i128) -> IntTree<T> {
+    let origin = 0i128.clamp(lo.min(hi_incl), hi_incl.max(lo));
+    IntTree {
+        search: BinarySearch::new(origin, value),
+        _marker: PhantomData,
     }
 }
 
 /// See [`Strategy::prop_map`].
 pub struct Map<S, F> {
     inner: S,
-    f: F,
+    f: Arc<F>,
+}
+
+/// Tree for [`Map`].
+pub struct MapTree<T, F> {
+    inner: T,
+    f: Arc<F>,
 }
 
 impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
+    type Tree = MapTree<S::Tree, F>;
 
-    fn sample(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.sample(rng))
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: ValueTree, O: Debug, F: Fn(T::Value) -> O> ValueTree for MapTree<T, F> {
+    type Value = O;
+
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
     }
 }
 
 /// See [`Strategy::prop_filter_map`].
 pub struct FilterMap<S, F> {
     inner: S,
-    f: F,
+    f: Arc<F>,
     reason: &'static str,
 }
 
-impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
-    type Value = O;
+/// Tree for [`FilterMap`]: caches the last accepted mapped value so that
+/// rejected shrink candidates can be skipped without losing the current
+/// value.
+pub struct FilterMapTree<T, F, O> {
+    inner: T,
+    f: Arc<F>,
+    curr: O,
+}
 
-    fn sample(&self, rng: &mut TestRng) -> O {
+impl<S: Strategy, O: Debug + Clone, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    type Tree = FilterMapTree<S::Tree, F, O>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         for _ in 0..10_000 {
-            if let Some(v) = (self.f)(self.inner.sample(rng)) {
-                return v;
+            let tree = self.inner.new_tree(rng);
+            if let Some(v) = (self.f)(tree.current()) {
+                return FilterMapTree {
+                    inner: tree,
+                    f: Arc::clone(&self.f),
+                    curr: v,
+                };
             }
         }
         panic!(
@@ -84,25 +256,120 @@ impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap
     }
 }
 
-/// Always produces a clone of the given value.
+impl<T: ValueTree, O: Debug + Clone, F: Fn(T::Value) -> Option<O>> ValueTree
+    for FilterMapTree<T, F, O>
+{
+    type Value = O;
+
+    fn current(&self) -> O {
+        self.curr.clone()
+    }
+
+    fn simplify(&mut self) -> bool {
+        // Skip over candidates the filter rejects; the underlying tree's
+        // own termination bounds this loop.
+        while self.inner.simplify() {
+            if let Some(v) = (self.f)(self.inner.current()) {
+                self.curr = v;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        while self.inner.complicate() {
+            if let Some(v) = (self.f)(self.inner.current()) {
+                self.curr = v;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Always produces a clone of the given value. Does not shrink.
 #[derive(Clone, Copy, Debug)]
 pub struct Just<T>(pub T);
 
+/// Tree for [`Just`].
+#[derive(Clone, Debug)]
+pub struct JustTree<T>(T);
+
 impl<T: Clone + Debug> Strategy for Just<T> {
     type Value = T;
+    type Tree = JustTree<T>;
 
-    fn sample(&self, _rng: &mut TestRng) -> T {
+    fn new_tree(&self, _rng: &mut TestRng) -> JustTree<T> {
+        JustTree(self.0.clone())
+    }
+}
+
+impl<T: Clone + Debug> ValueTree for JustTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
         self.0.clone()
+    }
+
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+trait DynValueTree<V> {
+    fn dyn_current(&self) -> V;
+    fn dyn_simplify(&mut self) -> bool;
+    fn dyn_complicate(&mut self) -> bool;
+}
+
+impl<T: ValueTree> DynValueTree<T::Value> for T {
+    fn dyn_current(&self) -> T::Value {
+        self.current()
+    }
+
+    fn dyn_simplify(&mut self) -> bool {
+        self.simplify()
+    }
+
+    fn dyn_complicate(&mut self) -> bool {
+        self.complicate()
+    }
+}
+
+/// A type-erased value tree.
+pub struct BoxedValueTree<V>(Box<dyn DynValueTree<V>>);
+
+impl<V: Debug> ValueTree for BoxedValueTree<V> {
+    type Value = V;
+
+    fn current(&self) -> V {
+        self.0.dyn_current()
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.0.dyn_simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.0.dyn_complicate()
     }
 }
 
 trait DynStrategy<V> {
-    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+    fn dyn_new_tree(&self, rng: &mut TestRng) -> BoxedValueTree<V>;
 }
 
-impl<S: Strategy> DynStrategy<S::Value> for S {
-    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
-        self.sample(rng)
+impl<S: Strategy> DynStrategy<S::Value> for S
+where
+    S::Tree: 'static,
+{
+    fn dyn_new_tree(&self, rng: &mut TestRng) -> BoxedValueTree<S::Value> {
+        BoxedValueTree(Box::new(self.new_tree(rng)))
     }
 }
 
@@ -111,13 +378,15 @@ pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
 
 impl<V: Debug> Strategy for BoxedStrategy<V> {
     type Value = V;
+    type Tree = BoxedValueTree<V>;
 
-    fn sample(&self, rng: &mut TestRng) -> V {
-        self.0.sample_dyn(rng)
+    fn new_tree(&self, rng: &mut TestRng) -> BoxedValueTree<V> {
+        self.0.dyn_new_tree(rng)
     }
 }
 
 /// Uniform choice among alternatives (built by [`crate::prop_oneof!`]).
+/// Shrinking stays within the chosen alternative.
 pub struct Union<V> {
     options: Vec<BoxedStrategy<V>>,
 }
@@ -134,27 +403,37 @@ impl<V> Union<V> {
     }
 }
 
-impl<V: Debug> Strategy for Union<V> {
+impl<V: Debug + 'static> Strategy for Union<V> {
     type Value = V;
+    type Tree = BoxedValueTree<V>;
 
-    fn sample(&self, rng: &mut TestRng) -> V {
+    fn new_tree(&self, rng: &mut TestRng) -> BoxedValueTree<V> {
         let i = rng.below(self.options.len());
-        self.options[i].sample(rng)
+        self.options[i].new_tree(rng)
     }
 }
 
 /// Types with a canonical whole-domain strategy (see [`any`]).
 pub trait Arbitrary: Debug + Sized {
-    /// Draws one value from the type's full domain.
-    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// The tree [`Arbitrary::arbitrary_tree`] produces.
+    type Tree: ValueTree<Value = Self>;
+
+    /// Draws one value from the type's full domain, with shrink space.
+    fn arbitrary_tree(rng: &mut TestRng) -> Self::Tree;
 }
 
 macro_rules! int_arbitrary {
     ($($t:ty),*) => {$(
         impl Arbitrary for $t {
-            #[allow(clippy::cast_possible_truncation)]
-            fn arbitrary(rng: &mut TestRng) -> $t {
-                rng.next_u64() as $t
+            type Tree = IntTree<$t>;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary_tree(rng: &mut TestRng) -> IntTree<$t> {
+                let value = rng.next_u64() as $t;
+                IntTree {
+                    search: BinarySearch::new(0, value as i128),
+                    _marker: PhantomData,
+                }
             }
         }
     )*};
@@ -162,9 +441,56 @@ macro_rules! int_arbitrary {
 
 int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Tree for `any::<bool>()`: shrinks `true` to `false` exactly once.
+#[derive(Clone, Debug)]
+pub struct BoolTree {
+    curr: bool,
+    state: BoolShrink,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BoolShrink {
+    Untouched,
+    Simplified,
+    Done,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+
+    fn current(&self) -> bool {
+        self.curr
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.curr && self.state == BoolShrink::Untouched {
+            self.curr = false;
+            self.state = BoolShrink::Simplified;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complicate(&mut self) -> bool {
+        if self.state == BoolShrink::Simplified {
+            self.curr = true;
+            self.state = BoolShrink::Done;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 impl Arbitrary for bool {
-    fn arbitrary(rng: &mut TestRng) -> bool {
-        rng.next_u64() & 1 == 1
+    type Tree = BoolTree;
+
+    fn arbitrary_tree(rng: &mut TestRng) -> BoolTree {
+        BoolTree {
+            curr: rng.next_u64() & 1 == 1,
+            state: BoolShrink::Untouched,
+        }
     }
 }
 
@@ -179,9 +505,10 @@ pub struct Any<T>(PhantomData<T>);
 
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
+    type Tree = T::Tree;
 
-    fn sample(&self, rng: &mut TestRng) -> T {
-        T::arbitrary(rng)
+    fn new_tree(&self, rng: &mut TestRng) -> T::Tree {
+        T::arbitrary_tree(rng)
     }
 }
 
@@ -189,24 +516,27 @@ macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
+            type Tree = IntTree<$t>;
 
-            fn sample(&self, rng: &mut TestRng) -> $t {
+            fn new_tree(&self, rng: &mut TestRng) -> IntTree<$t> {
                 assert!(self.start < self.end, "empty range strategy");
-                let span = (self.end as i128 - self.start as i128) as u128;
-                let v = u128::from(rng.next_u64()) % span;
-                (self.start as i128 + v as i128) as $t
+                let (lo, hi) = (self.start as i128, self.end as i128 - 1);
+                let span = (hi - lo) as u128 + 1;
+                let v = lo + (u128::from(rng.next_u64()) % span) as i128;
+                int_tree_in(lo, hi, v)
             }
         }
 
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
+            type Tree = IntTree<$t>;
 
-            fn sample(&self, rng: &mut TestRng) -> $t {
-                let (lo, hi) = (*self.start(), *self.end());
+            fn new_tree(&self, rng: &mut TestRng) -> IntTree<$t> {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
                 assert!(lo <= hi, "empty range strategy");
-                let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = u128::from(rng.next_u64()) % span;
-                (lo as i128 + v as i128) as $t
+                let span = (hi - lo) as u128 + 1;
+                let v = lo + (u128::from(rng.next_u64()) % span) as i128;
+                int_tree_in(lo, hi, v)
             }
         }
     )*};
@@ -214,22 +544,101 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl Strategy for Range<f64> {
+/// Tree for `Range<f64>`: bisection toward the range start, stopping once
+/// the remaining interval drops below a relative epsilon.
+#[derive(Clone, Debug)]
+pub struct F64Tree {
+    lo: f64,
+    curr: f64,
+    hi: f64,
+    eps: f64,
+}
+
+impl ValueTree for F64Tree {
     type Value = f64;
 
-    fn sample(&self, rng: &mut TestRng) -> f64 {
-        assert!(self.start < self.end, "empty range strategy");
-        self.start + rng.unit_f64() * (self.end - self.start)
+    fn current(&self) -> f64 {
+        self.curr
     }
+
+    fn simplify(&mut self) -> bool {
+        if self.curr - self.lo <= self.eps {
+            return false;
+        }
+        self.hi = self.curr;
+        self.curr = self.lo + (self.hi - self.lo) / 2.0;
+        true
+    }
+
+    fn complicate(&mut self) -> bool {
+        if self.hi - self.curr <= self.eps {
+            return false;
+        }
+        self.lo = self.curr;
+        self.curr = self.curr + (self.hi - self.curr) / 2.0;
+        true
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    type Tree = F64Tree;
+
+    fn new_tree(&self, rng: &mut TestRng) -> F64Tree {
+        assert!(self.start < self.end, "empty range strategy");
+        let curr = self.start + rng.unit_f64() * (self.end - self.start);
+        F64Tree {
+            lo: self.start,
+            curr,
+            hi: curr,
+            eps: (self.end - self.start) * 1e-6,
+        }
+    }
+}
+
+/// Tree for tuples: shrinks one component at a time, left to right;
+/// `complicate` undoes the last component simplified.
+pub struct TupleTree<T> {
+    trees: T,
+    last: Option<usize>,
 }
 
 macro_rules! tuple_strategy {
     ($($s:ident . $idx:tt),+) => {
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
             type Value = ($($s::Value,)+);
+            type Tree = TupleTree<($($s::Tree,)+)>;
 
-            fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.sample(rng),)+)
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+                TupleTree {
+                    trees: ($(self.$idx.new_tree(rng),)+),
+                    last: None,
+                }
+            }
+        }
+
+        impl<$($s: ValueTree),+> ValueTree for TupleTree<($($s,)+)> {
+            type Value = ($($s::Value,)+);
+
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+
+            fn simplify(&mut self) -> bool {
+                $(
+                    if self.trees.$idx.simplify() {
+                        self.last = Some($idx);
+                        return true;
+                    }
+                )+
+                false
+            }
+
+            fn complicate(&mut self) -> bool {
+                match self.last {
+                    $(Some($idx) => self.trees.$idx.complicate(),)+
+                    _ => false,
+                }
             }
         }
     };
@@ -247,3 +656,128 @@ tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_search_converges_to_threshold() {
+        // Property "fails iff x >= 42": the search must land exactly on 42.
+        let mut bs = BinarySearch::new(0, 800);
+        let fails = |x: i128| x >= 42;
+        let mut best = bs.current();
+        let mut failed = true;
+        for _ in 0..200 {
+            let moved = if failed {
+                bs.simplify()
+            } else {
+                bs.complicate()
+            };
+            if !moved {
+                break;
+            }
+            failed = fails(bs.current());
+            if failed {
+                best = bs.current();
+            }
+        }
+        assert_eq!(best, 42);
+    }
+
+    #[test]
+    fn int_tree_respects_range_bounds() {
+        let strat = 5usize..17;
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let mut tree = strat.new_tree(&mut rng);
+            loop {
+                let v = tree.current();
+                assert!((5..17).contains(&v), "value {v} escaped range");
+                if !tree.simplify() {
+                    break;
+                }
+            }
+            // Fully simplified value is the range minimum (origin).
+            assert_eq!(tree.current(), 5);
+        }
+    }
+
+    #[test]
+    fn negative_range_shrinks_toward_zero_side() {
+        let strat = -50i32..-9;
+        let mut rng = TestRng::new(9);
+        let mut tree = strat.new_tree(&mut rng);
+        while tree.simplify() {}
+        assert_eq!(tree.current(), -10);
+    }
+
+    #[test]
+    fn bool_tree_simplifies_once() {
+        let mut t = BoolTree {
+            curr: true,
+            state: BoolShrink::Untouched,
+        };
+        assert!(t.simplify());
+        assert!(!t.current());
+        assert!(!t.simplify());
+        assert!(t.complicate());
+        assert!(t.current());
+        assert!(!t.complicate());
+        assert!(!t.simplify(), "bool tree must not oscillate");
+    }
+
+    #[test]
+    fn f64_tree_stays_in_range_and_terminates() {
+        let strat = -2.0f64..2.0;
+        let mut rng = TestRng::new(11);
+        let mut tree = strat.new_tree(&mut rng);
+        let mut steps = 0;
+        while tree.simplify() {
+            steps += 1;
+            assert!((-2.0..2.0).contains(&tree.current()));
+            assert!(steps < 100, "f64 shrink must terminate");
+        }
+    }
+
+    #[test]
+    fn tuple_tree_shrinks_componentwise() {
+        let strat = (0u32..100, 0u32..100);
+        let mut rng = TestRng::new(7);
+        let mut tree = strat.new_tree(&mut rng);
+        while tree.simplify() {}
+        assert_eq!(tree.current(), (0, 0));
+    }
+
+    #[test]
+    fn map_tree_reapplies_function() {
+        let strat = (0i64..100).prop_map(|x| x * 2);
+        let mut rng = TestRng::new(13);
+        let mut tree = strat.new_tree(&mut rng);
+        assert_eq!(tree.current() % 2, 0);
+        while tree.simplify() {}
+        assert_eq!(tree.current(), 0);
+    }
+
+    #[test]
+    fn filter_map_skips_rejected_candidates() {
+        // Only odd values survive; shrinking must land on the smallest odd.
+        let strat = (0u32..1000).prop_filter_map("odd", |x| (x % 2 == 1).then_some(x));
+        let mut rng = TestRng::new(17);
+        let mut tree = strat.new_tree(&mut rng);
+        assert_eq!(tree.current() % 2, 1);
+        while tree.simplify() {
+            assert_eq!(tree.current() % 2, 1, "filter must hold during shrink");
+        }
+        assert_eq!(tree.current(), 1);
+    }
+
+    #[test]
+    fn just_never_shrinks() {
+        let mut rng = TestRng::new(1);
+        let mut tree = Just(7u8).new_tree(&mut rng);
+        assert!(!tree.simplify());
+        assert!(!tree.complicate());
+        assert_eq!(tree.current(), 7);
+    }
+}

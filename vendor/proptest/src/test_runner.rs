@@ -1,8 +1,25 @@
-//! Deterministic case generation and the test loop.
+//! Deterministic case generation, the shrink loop, and failure
+//! persistence.
+//!
+//! A test runs `cases` sampled inputs. The first failing input is shrunk
+//! by walking its [`ValueTree`]: simplify while the case keeps failing,
+//! complicate after an over-shrink, until no move remains (or the
+//! iteration budget runs out). The minimal failing input, its seed and
+//! the failure message are then reported; with persistence enabled the
+//! seed is also appended to a regression file that is replayed first on
+//! every subsequent run.
+//!
+//! Environment overrides:
+//!
+//! * `PROPTEST_CASES=N` — overrides the configured case count.
+//! * `PROPTEST_SEED=0x…` — runs exactly one case from that seed
+//!   (printed in every failure report), skipping normal generation.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use std::fmt;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// The generator behind every strategy sample (xorshift64*).
 #[derive(Clone, Debug)]
@@ -48,23 +65,31 @@ impl TestRng {
     }
 }
 
-/// Runner configuration (the supported subset: case count).
+/// Runner configuration (the supported subset).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProptestConfig {
     /// Number of sampled cases per test.
     pub cases: u32,
+    /// Budget of simplify/complicate steps while shrinking a failure.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A configuration running `cases` cases per test.
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
@@ -77,6 +102,11 @@ impl TestCaseError {
     pub fn fail(msg: impl Into<String>) -> TestCaseError {
         TestCaseError(msg.into())
     }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
 }
 
 impl fmt::Display for TestCaseError {
@@ -85,7 +115,53 @@ impl fmt::Display for TestCaseError {
     }
 }
 
-/// Samples inputs and runs the test body over them.
+/// A shrunk counterexample: what [`TestRunner::run_collect`] returns when
+/// a property fails.
+#[derive(Debug)]
+pub struct TestFailure<V> {
+    /// The minimal failing input found by shrinking.
+    pub value: V,
+    /// Failure message of the minimal input.
+    pub message: String,
+    /// Seed of the original failing case (`PROPTEST_SEED` replays it).
+    pub seed: u64,
+    /// Index of the original failing case.
+    pub case: u32,
+    /// Simplify/complicate steps spent shrinking.
+    pub shrink_iters: u32,
+}
+
+/// Suppresses the panic hook while property bodies run, so the hundreds
+/// of intermediate panics raised during shrinking do not flood the
+/// captured test output. Refcounted: concurrent property tests in the
+/// same process share the suppression window.
+struct QuietPanics;
+
+static QUIET_DEPTH: Mutex<u32> = Mutex::new(0);
+
+impl QuietPanics {
+    fn new() -> QuietPanics {
+        let mut depth = QUIET_DEPTH.lock().expect("quiet-panic lock");
+        if *depth == 0 {
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        *depth += 1;
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let mut depth = QUIET_DEPTH.lock().expect("quiet-panic lock");
+        *depth -= 1;
+        if *depth == 0 {
+            // take_hook removes our silent hook and reinstates the default.
+            drop(std::panic::take_hook());
+        }
+    }
+}
+
+/// Samples inputs, runs the test body over them and shrinks failures.
 #[derive(Clone, Debug)]
 pub struct TestRunner {
     config: ProptestConfig,
@@ -97,40 +173,225 @@ impl TestRunner {
         TestRunner { config }
     }
 
-    /// Runs `test` over `config.cases` sampled inputs. The seed stream is
-    /// derived from `name`, so a failure reproduces on the next run; the
-    /// failing input is printed both for `Err` results and for panics
-    /// raised by plain `assert!`s inside the body.
+    fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.config.cases)
+    }
+
+    fn env_seed() -> Option<u64> {
+        let raw = std::env::var("PROPTEST_SEED").ok()?;
+        let raw = raw.trim();
+        if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            raw.parse().ok()
+        }
+    }
+
+    /// Runs `test` over sampled inputs; panics on the first failure with
+    /// the shrunk minimal input. The seed stream is derived from `name`,
+    /// so a failure reproduces on the next run.
     ///
     /// # Panics
     ///
-    /// Panics on the first failing case, reporting its input.
+    /// Panics on the first failing case, reporting the minimal input.
     pub fn run_named<S: Strategy>(
         &mut self,
         name: &str,
         strategy: &S,
         test: impl Fn(S::Value) -> Result<(), TestCaseError>,
     ) {
+        if let Some(failure) = self.run_collect(name, &[], strategy, &test) {
+            Self::report(name, &failure);
+        }
+    }
+
+    /// Like [`TestRunner::run_named`], but replays seeds persisted in
+    /// `regression_dir/<stem of source_file>.txt` before generating new
+    /// cases, and appends the seed of any new failure to that file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, reporting the minimal input.
+    pub fn run_persisted<S: Strategy>(
+        &mut self,
+        name: &str,
+        regression_dir: &str,
+        source_file: &str,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let path = regression_path(regression_dir, source_file);
+        let replay = load_regression_seeds(&path, name);
+        if let Some(failure) = self.run_collect(name, &replay, strategy, &test) {
+            persist_regression_seed(&path, name, failure.seed, &format!("{:?}", failure.value));
+            Self::report(name, &failure);
+        }
+    }
+
+    /// Runs the property and returns the shrunk counterexample instead of
+    /// panicking — the hook the differential suites use to assert that an
+    /// injected defect is caught *and* minimized. `replay_seeds` run
+    /// first (regression entries); then either the single `PROPTEST_SEED`
+    /// case or the normal generated stream.
+    pub fn run_collect<S: Strategy>(
+        &mut self,
+        name: &str,
+        replay_seeds: &[u64],
+        strategy: &S,
+        test: &impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) -> Option<TestFailure<S::Value>> {
+        let _quiet = QuietPanics::new();
         let base = fnv1a(name.as_bytes());
-        for case in 0..self.config.cases {
-            let mut rng = TestRng::new(base ^ (u64::from(case)).wrapping_mul(0x9E37_79B9));
-            let value = strategy.sample(&mut rng);
-            let shown = format!("{value:?}");
-            match catch_unwind(AssertUnwindSafe(|| test(value))) {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => panic!(
-                    "proptest case failed: {e}\n  test: {name}, case {case}/{total}\n  input: {shown}",
-                    total = self.config.cases
-                ),
-                Err(payload) => {
-                    eprintln!(
-                        "proptest case panicked\n  test: {name}, case {case}/{total}\n  input: {shown}",
-                        total = self.config.cases
-                    );
-                    resume_unwind(payload);
+        let planned: Vec<u64> = if let Some(seed) = Self::env_seed() {
+            vec![seed]
+        } else {
+            replay_seeds
+                .iter()
+                .copied()
+                .chain(
+                    (0..self.effective_cases())
+                        .map(|case| base ^ u64::from(case).wrapping_mul(0x9E37_79B9)),
+                )
+                .collect()
+        };
+        for (case, seed) in planned.into_iter().enumerate() {
+            let mut rng = TestRng::new(seed);
+            let tree = strategy.new_tree(&mut rng);
+            if let Err(message) = run_case(test, tree.current()) {
+                return Some(self.shrink(tree, test, message, seed, case as u32));
+            }
+        }
+        None
+    }
+
+    /// The shrink loop: simplify while failing, complicate after an
+    /// over-shrink; remember the smallest input seen failing.
+    fn shrink<T: ValueTree>(
+        &self,
+        mut tree: T,
+        test: &impl Fn(T::Value) -> Result<(), TestCaseError>,
+        first_message: String,
+        seed: u64,
+        case: u32,
+    ) -> TestFailure<T::Value> {
+        let mut best_value = tree.current();
+        let mut best_message = first_message;
+        let mut failed = true;
+        let mut iters = 0u32;
+        while iters < self.config.max_shrink_iters {
+            let moved = if failed {
+                tree.simplify()
+            } else {
+                tree.complicate()
+            };
+            if !moved {
+                break;
+            }
+            iters += 1;
+            match run_case(test, tree.current()) {
+                Ok(()) => failed = false,
+                Err(message) => {
+                    failed = true;
+                    best_value = tree.current();
+                    best_message = message;
                 }
             }
         }
+        TestFailure {
+            value: best_value,
+            message: best_message,
+            seed,
+            case,
+            shrink_iters: iters,
+        }
+    }
+
+    fn report<V: fmt::Debug>(name: &str, failure: &TestFailure<V>) -> ! {
+        panic!(
+            "proptest: `{name}` failed\n  minimal input: {:?}\n  error: {}\n  \
+             found in case {} after {} shrink steps\n  \
+             rerun just this input with PROPTEST_SEED=0x{:016x}",
+            failure.value, failure.message, failure.case, failure.shrink_iters, failure.seed
+        );
+    }
+}
+
+fn run_case<V: fmt::Debug>(
+    test: &impl Fn(V) -> Result<(), TestCaseError>,
+    value: V,
+) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.0),
+        // `&*payload` derefs through the Box: coercing `&payload` instead
+        // would downcast the Box itself, which is never &str/String.
+        Err(payload) => Err(panic_message(&*payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
+}
+
+/// `<dir>/<source file stem>.txt` — one regression file per test source.
+fn regression_path(dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("regressions");
+    Path::new(dir).join(format!("{stem}.txt"))
+}
+
+/// Seeds previously persisted for `name` (missing file → none).
+fn load_regression_seeds(path: &Path, name: &str) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let mut words = line.split_whitespace();
+            if words.next() != Some(name) {
+                return None;
+            }
+            let token = words.next()?;
+            let hex = token.strip_prefix("0x").unwrap_or(token);
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect()
+}
+
+/// Appends `name 0x<seed> # shrunk: <value>` (deduplicated by seed).
+fn persist_regression_seed(path: &Path, name: &str, seed: u64, shrunk: &str) {
+    if load_regression_seeds(path, name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut shown: String = shrunk.replace('\n', " ");
+    if shown.len() > 200 {
+        shown.truncate(200);
+        shown.push('…');
+    }
+    let line = format!("{name} 0x{seed:016x} # shrunk: {shown}\n");
+    use std::io::Write as _;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = file.write_all(line.as_bytes());
     }
 }
 
@@ -141,4 +402,113 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_threshold_property_to_boundary() {
+        // "x < 42" fails for x >= 42; the minimal counterexample is 42.
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        let failure = runner
+            .run_collect("meta_threshold", &[], &(0u64..100_000), &|x| {
+                if x < 42 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail(format!("{x} >= 42")))
+                }
+            })
+            .expect("property must fail");
+        assert_eq!(failure.value, 42, "shrinking must find the exact boundary");
+        assert!(failure.shrink_iters > 0, "shrinking must have run");
+    }
+
+    #[test]
+    fn shrinks_tuple_to_minimal_pair() {
+        // Fails when the sum crosses a threshold; minimal failing pair
+        // keeps one component at its floor.
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        let failure = runner
+            .run_collect("meta_pair", &[], &(0u32..1000, 0u32..1000), &|(a, b)| {
+                if u64::from(a) + u64::from(b) < 100 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("sum too large"))
+                }
+            })
+            .expect("property must fail");
+        let (a, b) = failure.value;
+        assert_eq!(
+            u64::from(a) + u64::from(b),
+            100,
+            "minimal sum is exactly 100"
+        );
+    }
+
+    #[test]
+    fn shrink_catches_panicking_bodies() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        let failure = runner
+            .run_collect("meta_panic", &[], &(0i32..1000), &|x| {
+                assert!(x < 10, "boom {x}");
+                Ok(())
+            })
+            .expect("property must fail");
+        assert_eq!(failure.value, 10);
+        assert!(failure.message.contains("boom"));
+    }
+
+    #[test]
+    fn passing_property_returns_none() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(128));
+        let ok = runner.run_collect("meta_pass", &[], &(0u8..255), &|_| Ok(()));
+        assert!(ok.is_none());
+    }
+
+    #[test]
+    fn replay_seeds_run_before_generated_cases() {
+        // A property that fails only for one specific planted value; the
+        // replayed seed must reproduce it even with zero generated cases.
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(0));
+        let seed = 0xDEAD_BEEF;
+        let failure = runner
+            .run_collect("meta_replay", &[seed], &(0u64..u64::MAX), &|_| {
+                Err(TestCaseError::fail("always fails"))
+            })
+            .expect("replayed seed must fail");
+        assert_eq!(failure.seed, seed);
+    }
+
+    #[test]
+    fn regression_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("proptest-meta-{}", std::process::id()));
+        let dir_str = dir.to_str().unwrap().to_string();
+        let path = regression_path(&dir_str, "tests/some_suite.rs");
+        let _ = std::fs::remove_file(&path);
+        persist_regression_seed(&path, "prop_a", 0x1234, "(1, 2)");
+        persist_regression_seed(&path, "prop_b", 0x5678, "huge\nvalue");
+        persist_regression_seed(&path, "prop_a", 0x1234, "(1, 2)"); // dup: dropped
+        assert_eq!(load_regression_seeds(&path, "prop_a"), vec![0x1234]);
+        assert_eq!(load_regression_seeds(&path, "prop_b"), vec![0x5678]);
+        assert_eq!(load_regression_seeds(&path, "prop_c"), Vec::<u64>::new());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2, "duplicate seed must dedup");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shrink_budget_caps_iterations() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 4,
+            max_shrink_iters: 3,
+        });
+        let failure = runner
+            .run_collect("meta_budget", &[], &(0u64..u64::MAX), &|_| {
+                Err(TestCaseError::fail("always"))
+            })
+            .expect("must fail");
+        assert!(failure.shrink_iters <= 3);
+    }
 }
