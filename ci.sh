@@ -3,9 +3,20 @@
 #
 #   ci.sh          - standard gate; property tests run a pinned 64-case
 #                    budget so the differential suites are deterministic
-#                    in wall-clock terms.
+#                    in wall-clock terms. (Includes the skip-equivalence
+#                    property suite: skipping vs naive loop, bitwise.)
 #   ci.sh --fuzz   - same gate, then a deeper randomized sweep of the
 #                    property/differential suites (512 cases each).
+#   ci.sh --bench  - same gate, then the simulator wall-clock benchmark
+#                    (fig. 14/15 sweep shapes, BENCH_sim.json). Fails if
+#                    the skipping loop's geomean throughput over the
+#                    sweep falls below 2x the pinned seed baseline's
+#                    naive loop — the wall-clock regression guard. (On
+#                    the saturated fig. 14 shapes the same-binary naive
+#                    loop is within noise of the skipping loop by
+#                    construction, so the durable signal is throughput
+#                    vs the pinned seed; the geomean is gated because
+#                    sub-second workloads jitter ±15% individually.)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,4 +33,10 @@ if [[ "${1:-}" == "--fuzz" ]]; then
         -p neurocube-noc \
         -p neurocube-golden \
         -p neurocube-integration-tests
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== simulator wall-clock benchmark (gate: 2x vs seed baseline) =="
+    NEUROCUBE_BENCH_MIN_SPEEDUP="${NEUROCUBE_BENCH_MIN_SPEEDUP:-2}" \
+        cargo bench -p neurocube-bench --bench bench_sim
 fi

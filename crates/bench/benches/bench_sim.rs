@@ -1,0 +1,304 @@
+//! Simulator wall-clock benchmark: event-horizon fast-forwarding vs the
+//! naive per-cycle loop, on the Fig. 14/15 workload shapes.
+//!
+//! Each workload runs twice on identical cubes — once with skipping forced
+//! off (the oracle) and once forced on — and the harness asserts the two
+//! runs are bitwise identical (same `RunReport`, same statistics
+//! registry) before it reports any speedup, so a fast-but-wrong simulator
+//! can never post a number.
+//!
+//! Results go to `BENCH_sim.json` at the workspace root (override the path
+//! with `NEUROCUBE_BENCH_OUT`). Two speedups are reported per workload:
+//! `speedup` (skip vs naive, same binary — the event-horizon win proper)
+//! and `speedup_vs_seed` (skip vs the pinned PR 2 baseline's naive loop —
+//! the simulator's wall-clock trajectory across PRs, which also captures
+//! the hot-path work skipping rode in with). Setting
+//! `NEUROCUBE_BENCH_MIN_SPEEDUP=<x>` turns the run into a gate: the
+//! process exits non-zero if the sweep's geomean `speedup_vs_seed` falls
+//! below `x` (the `ci.sh --bench` regression guard).
+
+use neurocube::SystemConfig;
+use neurocube_bench::{header, run_inference_mode, SkipTelemetry};
+use neurocube_fixed::Activation;
+use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    cfg: SystemConfig,
+    spec: NetworkSpec,
+    seed: u64,
+}
+
+fn conv_net(input: usize, maps: usize, kernel: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        Shape::new(1, input, input),
+        vec![LayerSpec::conv(maps, kernel, Activation::Tanh)],
+    )
+    .expect("geometry fits")
+}
+
+fn fc_net(inputs: usize, hidden: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        Shape::flat(inputs),
+        vec![LayerSpec::fc(hidden, Activation::Sigmoid)],
+    )
+    .expect("geometry fits")
+}
+
+/// The Fig. 14/15 shapes the sweeps spend their wall-clock on: the conv
+/// kernel sweep's end points (with and without duplication), the FC
+/// hidden-width sweep, the Fig. 15 channel-count extremes and the DDR3
+/// baseline whose two injection points leave the fabric mostly idle —
+/// the workload class event-horizon skipping exists for.
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fig14_conv_k3_dup",
+            cfg: SystemConfig::paper(true),
+            spec: conv_net(128, 16, 3),
+            seed: 14,
+        },
+        Workload {
+            name: "fig14_conv_k7_nodup",
+            cfg: SystemConfig::paper(false),
+            spec: conv_net(128, 16, 7),
+            seed: 14,
+        },
+        Workload {
+            name: "fig14_fc_2048x1024_dup",
+            cfg: SystemConfig::paper(true),
+            spec: fc_net(2048, 1024),
+            seed: 14,
+        },
+        Workload {
+            name: "fig15_conv96_hmc16",
+            cfg: SystemConfig::hmc_with_channels(16),
+            spec: conv_net(96, 16, 7),
+            seed: 15,
+        },
+        Workload {
+            name: "fig15_conv96_ddr3",
+            cfg: SystemConfig::ddr3(),
+            spec: conv_net(96, 16, 7),
+            seed: 15,
+        },
+    ]
+}
+
+/// Naive-loop throughput (simulated cycles per host-second) of the PR 2
+/// baseline, measured with `seed_baseline.rs` (this harness's workload
+/// table run through `run_inference`) on the reference container at
+/// commit `721389d` — before the event-horizon mechanism and the
+/// hot-path work landed. `speedup_vs_seed` tracks the simulator's
+/// wall-clock trajectory across PRs against these pinned constants;
+/// re-measure and update them whenever the reference hardware changes.
+const SEED_COMMIT: &str = "721389d";
+const SEED_NAIVE_CPS: [(&str, f64); 5] = [
+    ("fig14_conv_k3_dup", 126_821.0),
+    ("fig14_conv_k7_nodup", 99_409.0),
+    ("fig14_fc_2048x1024_dup", 143_770.0),
+    ("fig15_conv96_hmc16", 97_230.0),
+    ("fig15_conv96_ddr3", 312_698.0),
+];
+
+struct Row {
+    name: &'static str,
+    cycles: u64,
+    naive_secs: f64,
+    skip_secs: f64,
+    telemetry: SkipTelemetry,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.skip_secs
+    }
+
+    fn skip_cps(&self) -> f64 {
+        self.cycles as f64 / self.skip_secs
+    }
+
+    fn speedup_vs_seed(&self) -> f64 {
+        let (_, seed_cps) = SEED_NAIVE_CPS
+            .iter()
+            .find(|(n, _)| *n == self.name)
+            .expect("workload has a seed baseline");
+        self.skip_cps() / seed_cps
+    }
+}
+
+fn timed(
+    w: &Workload,
+    skip: bool,
+) -> (
+    f64,
+    neurocube::RunReport,
+    neurocube_sim::StatsRegistry,
+    SkipTelemetry,
+) {
+    let start = Instant::now();
+    let (report, stats, telemetry) = run_inference_mode(w.cfg.clone(), &w.spec, w.seed, Some(skip));
+    (start.elapsed().as_secs_f64(), report, stats, telemetry)
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Workload names are static identifiers; keep the exporter honest.
+    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn geomean(rows: &[Row], f: impl Fn(&Row) -> f64) -> f64 {
+    (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
+}
+
+fn write_json(rows: &[Row], path: &PathBuf) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"seed_commit\": \"{SEED_COMMIT}\",\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"simulated_cycles\": {}, \"naive_host_secs\": {:.4}, \
+             \"skip_host_secs\": {:.4}, \"naive_cycles_per_sec\": {:.0}, \
+             \"skip_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"speedup_vs_seed\": {:.2}, \
+             \"skipped_cycles\": {}, \"horizon_jumps\": {}}}{}\n",
+            json_escape_free(r.name),
+            r.cycles,
+            r.naive_secs,
+            r.skip_secs,
+            r.cycles as f64 / r.naive_secs,
+            r.skip_cps(),
+            r.speedup(),
+            r.speedup_vs_seed(),
+            r.telemetry.skipped_cycles,
+            r.telemetry.horizon_jumps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let min = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+    let min_seed = rows
+        .iter()
+        .map(Row::speedup_vs_seed)
+        .fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "  ],\n  \"min_speedup\": {min:.2},\n  \"geomean_speedup\": {:.2},\n  \
+         \"min_speedup_vs_seed\": {min_seed:.2},\n  \"geomean_speedup_vs_seed\": {:.2}\n}}\n",
+        geomean(rows, Row::speedup),
+        geomean(rows, Row::speedup_vs_seed),
+    ));
+    std::fs::write(path, out).expect("write BENCH_sim.json");
+}
+
+fn main() {
+    header(
+        "BENCH_sim",
+        "event-horizon fast-forward vs naive per-cycle loop (Fig. 14/15 workloads)",
+    );
+    println!(
+        "{:<24} {:>12} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "workload",
+        "sim cycles",
+        "naive s",
+        "skip s",
+        "naive c/s",
+        "skip c/s",
+        "speedup",
+        "vs seed"
+    );
+    let mut rows = Vec::new();
+    for w in &workloads() {
+        let (naive_secs, naive_report, naive_stats, naive_tel) = timed(w, false);
+        let (skip_secs, skip_report, skip_stats, skip_tel) = timed(w, true);
+        assert_eq!(
+            naive_tel,
+            SkipTelemetry::default(),
+            "{}: the oracle must not fast-forward",
+            w.name
+        );
+        assert!(
+            skip_tel.horizon_jumps > 0,
+            "{}: fast mode never jumped — the workload no longer exercises skipping",
+            w.name
+        );
+        assert_eq!(
+            naive_report, skip_report,
+            "{}: fast-forward run diverged from the oracle's report",
+            w.name
+        );
+        assert_eq!(
+            naive_stats, skip_stats,
+            "{}: fast-forward run diverged from the oracle's statistics",
+            w.name
+        );
+        let cycles = naive_report.total_cycles();
+        let row = Row {
+            name: w.name,
+            cycles,
+            naive_secs,
+            skip_secs,
+            telemetry: skip_tel,
+        };
+        println!(
+            "{:<24} {:>12} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x {:>7.2}x",
+            w.name,
+            cycles,
+            naive_secs,
+            skip_secs,
+            cycles as f64 / naive_secs,
+            row.skip_cps(),
+            row.speedup(),
+            row.speedup_vs_seed()
+        );
+        rows.push(row);
+    }
+
+    let min = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+    let min_seed = rows
+        .iter()
+        .map(Row::speedup_vs_seed)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nskip vs naive (same binary): min {min:.2}x, geomean {:.2}x \
+         (both modes bitwise identical)",
+        geomean(&rows, Row::speedup)
+    );
+    println!(
+        "skip vs seed naive loop ({SEED_COMMIT}): min {min_seed:.2}x, geomean {:.2}x",
+        geomean(&rows, Row::speedup_vs_seed)
+    );
+
+    let out = std::env::var_os("NEUROCUBE_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_sim.json")
+        });
+    write_json(&rows, &out);
+    println!("wrote {}", out.display());
+
+    if let Some(gate) = std::env::var("NEUROCUBE_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        // The gate compares the skipping loop against the *seed* naive
+        // loop's pinned throughput, not against the same-binary naive
+        // run: on the saturated fig. 14 shapes the two loops in one
+        // binary are within noise of each other by construction (almost
+        // no fully-quiescent cycles to jump), so the regenerable
+        // regression signal is absolute throughput against the pinned
+        // baseline. It gates the geometric mean, not the minimum: the
+        // short workloads run under a second and single-workload
+        // wall-clock jitters ±15% on shared hardware, while the sweep
+        // aggregate is stable.
+        let gm = geomean(&rows, Row::speedup_vs_seed);
+        assert!(
+            gm >= gate,
+            "simulator throughput regression: geomean speedup vs seed {gm:.2}x \
+             < required {gate:.2}x (per-workload: min {min_seed:.2}x)"
+        );
+        println!("speedup gate passed (geomean vs seed {gm:.2}x >= {gate:.2}x)");
+    }
+}

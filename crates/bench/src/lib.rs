@@ -52,13 +52,44 @@ pub fn run_inference_stats(
     spec: &NetworkSpec,
     seed: u64,
 ) -> (RunReport, StatsRegistry) {
+    let (report, stats, _) = run_inference_mode(cfg, spec, seed, None);
+    (report, stats)
+}
+
+/// Fast-forward telemetry from one inference run (see
+/// [`Neurocube::skipped_cycles`] and [`Neurocube::horizon_jumps`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkipTelemetry {
+    /// Simulated cycles crossed by event-horizon jumps instead of ticking.
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub horizon_jumps: u64,
+}
+
+/// Like [`run_inference_stats`], but with explicit control over
+/// event-horizon fast-forwarding: `Some(true)` forces skipping on,
+/// `Some(false)` forces the naive per-cycle oracle, `None` inherits the
+/// `NEUROCUBE_NO_SKIP` process default. Returns the run's fast-forward
+/// telemetry alongside the report — the wall-clock benchmark uses this to
+/// compare both modes and prove they agree bitwise.
+pub fn run_inference_mode(
+    cfg: SystemConfig,
+    spec: &NetworkSpec,
+    seed: u64,
+    skip: Option<bool>,
+) -> (RunReport, StatsRegistry, SkipTelemetry) {
     let params = spec.init_params(seed, 0.25);
     let mut cube = Neurocube::new(cfg);
+    cube.set_cycle_skip(skip);
     let loaded = cube.load(spec.clone(), params);
     let input = ramp_input(spec);
     let (_, report) = cube.run_inference(&loaded, &input);
     let stats = cube.stats_registry();
-    (report, stats)
+    let telemetry = SkipTelemetry {
+        skipped_cycles: cube.skipped_cycles(),
+        horizon_jumps: cube.horizon_jumps(),
+    };
+    (report, stats, telemetry)
 }
 
 /// Runs every sweep point of `jobs` on the kernel's [`BatchRunner`] —

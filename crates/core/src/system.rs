@@ -52,6 +52,16 @@ pub struct Neurocube {
     /// Per mesh node: the regions whose PNGs inject there.
     attach_groups: Vec<Vec<u8>>,
     now: u64,
+    /// Scratch: the PE progress values last broadcast to the PNGs (reused
+    /// across ticks so the credit-return stage never allocates).
+    progress: Vec<u64>,
+    /// Per-cube override of the fast-forward default (`NEUROCUBE_NO_SKIP`);
+    /// `None` inherits the process default.
+    skip_override: Option<bool>,
+    /// Cumulative fast-forward jumps across all passes run on this cube.
+    horizon_jumps: u64,
+    /// Cumulative cycles crossed by fast-forward jumps instead of ticking.
+    skipped_cycles: u64,
 }
 
 impl Neurocube {
@@ -95,6 +105,7 @@ impl Neurocube {
                     .collect()
             })
             .collect();
+        let nodes = cfg.nodes();
         Neurocube {
             cfg,
             mem,
@@ -103,6 +114,10 @@ impl Neurocube {
             pngs,
             attach_groups,
             now: 0,
+            progress: vec![0; nodes],
+            skip_override: None,
+            horizon_jumps: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -124,6 +139,26 @@ impl Neurocube {
     /// Current reference cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Overrides the process-default fast-forward setting for this cube:
+    /// `Some(true)` forces event-horizon skipping on, `Some(false)` forces
+    /// the naive per-cycle loop (the differential oracle), `None` inherits
+    /// the `NEUROCUBE_NO_SKIP` environment default. Both modes produce
+    /// bitwise-identical cycle counts and statistics.
+    pub fn set_cycle_skip(&mut self, enabled: Option<bool>) {
+        self.skip_override = enabled;
+    }
+
+    /// Fast-forward jumps taken across every pass run on this cube.
+    pub fn horizon_jumps(&self) -> u64 {
+        self.horizon_jumps
+    }
+
+    /// Simulated cycles crossed by fast-forward jumps instead of per-cycle
+    /// ticking (a measure of how much work event-horizon skipping saved).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Uniform snapshot of every component's counters in one registry —
@@ -267,13 +302,19 @@ impl Neurocube {
         // dependency order. The kernel's CycleLoop owns the completion
         // check and the stalled-simulation watchdog.
         let exec_start = self.now;
-        Self::pipeline().run(
+        let mut pipeline = Self::pipeline();
+        if let Some(enabled) = self.skip_override {
+            pipeline = pipeline.with_skip(enabled);
+        }
+        pipeline.run(
             self,
             exec_start,
             Neurocube::layer_complete,
             Neurocube::total_mac_ops,
             |cube, idle| cube.stall_diagnostic(index, idle),
         );
+        self.horizon_jumps += pipeline.jumps();
+        self.skipped_cycles += pipeline.skipped_cycles();
 
         let delta = self.stats_registry().diff(&before);
         let delivered = delta.counter("noc.delivered");
@@ -403,10 +444,39 @@ struct PngCreditReturn;
 
 impl Clocked<Neurocube> for PngCreditReturn {
     fn tick(&mut self, now: u64, cube: &mut Neurocube) {
-        let progress: Vec<u64> = cube.pes.iter().map(ProcessingElement::progress).collect();
+        let mut progress = std::mem::take(&mut cube.progress);
+        progress.clear();
+        progress.extend(cube.pes.iter().map(ProcessingElement::progress));
         for png in &mut cube.pngs {
             png.set_pe_progress(&progress);
             png.tick(now, &mut cube.mem);
+        }
+        cube.progress = progress;
+    }
+
+    fn next_event(&self, now: u64, cube: &Neurocube) -> Option<u64> {
+        // A fresh credit broadcast can un-gate a held operand batch, so the
+        // tick is only null while PE progress still matches what the PNGs
+        // last saw.
+        if cube.pes.len() != cube.progress.len()
+            || cube
+                .pes
+                .iter()
+                .zip(&cube.progress)
+                .any(|(pe, &seen)| pe.progress() != seen)
+        {
+            return None;
+        }
+        let mut horizon = u64::MAX;
+        for png in &cube.pngs {
+            horizon = horizon.min(png.next_event(now, &cube.mem)?);
+        }
+        Some(horizon)
+    }
+
+    fn skip(&mut self, from: u64, to: u64, cube: &mut Neurocube) {
+        for png in &mut cube.pngs {
+            png.skip(from, to, &cube.mem);
         }
     }
 
@@ -426,6 +496,17 @@ impl Clocked<Neurocube> for DramChannels {
                 cube.pngs[usize::from(v)].on_completion(c.tag, c.data);
             }
         }
+    }
+
+    fn next_event(&self, now: u64, cube: &Neurocube) -> Option<u64> {
+        // A channel that would serve (and so complete a request into a
+        // PNG) reports `None`; quiescent channels bound the horizon by
+        // their bank-ready and refresh timers.
+        cube.mem.next_event(now)
+    }
+
+    fn skip(&mut self, from: u64, to: u64, cube: &mut Neurocube) {
+        cube.mem.skip(from, to);
     }
 
     fn name(&self) -> &'static str {
@@ -456,6 +537,17 @@ impl Clocked<Neurocube> for MemPortEjection {
                     .expect("peeked packet vanished");
                 cube.pngs[usize::from(handler)].on_result(pkt, now);
             }
+        }
+    }
+
+    fn next_event(&self, _now: u64, cube: &Neurocube) -> Option<u64> {
+        // Ejection only acts while flits are buffered; an empty fabric is
+        // purely reactive. (Any buffered flit already forces the NoC stage
+        // to demand ticks, so a coarse idle check loses nothing.)
+        if cube.net.is_idle() {
+            Some(u64::MAX)
+        } else {
+            None
         }
     }
 
@@ -490,6 +582,17 @@ impl Clocked<Neurocube> for PngInjection {
         }
     }
 
+    fn next_event(&self, _now: u64, cube: &Neurocube) -> Option<u64> {
+        // Injection mutates state exactly when some PNG holds an outgoing
+        // packet (the round-robin offset is derived from `now`, not
+        // stored, so idle cycles leave no trace).
+        if cube.pngs.iter().any(|p| p.peek_outgoing().is_some()) {
+            None
+        } else {
+            Some(u64::MAX)
+        }
+    }
+
     fn name(&self) -> &'static str {
         "png-injection"
     }
@@ -501,6 +604,20 @@ struct NocTick;
 impl Clocked<Neurocube> for NocTick {
     fn tick(&mut self, now: u64, cube: &mut Neurocube) {
         cube.net.tick(now);
+    }
+
+    fn next_event(&self, _now: u64, cube: &Neurocube) -> Option<u64> {
+        // Buffered flits advance every cycle; an empty fabric only rotates
+        // arbitration priorities, which `skip` replays in O(routers).
+        if cube.net.is_idle() {
+            Some(u64::MAX)
+        } else {
+            None
+        }
+    }
+
+    fn skip(&mut self, from: u64, to: u64, cube: &mut Neurocube) {
+        cube.net.skip_cycles(to - from);
     }
 
     fn name(&self) -> &'static str {
@@ -535,6 +652,29 @@ impl Clocked<Neurocube> for PeTick {
         }
     }
 
+    fn next_event(&self, now: u64, cube: &Neurocube) -> Option<u64> {
+        // Operand acceptance needs buffered flits (fabric idle rules that
+        // out); result injection needs a pending result; computation is
+        // each PE's own horizon (its cadence timer).
+        if !cube.net.is_idle() {
+            return None;
+        }
+        let mut horizon = u64::MAX;
+        for pe in &cube.pes {
+            if pe.peek_result().is_some() {
+                return None;
+            }
+            horizon = horizon.min(pe.next_event(now)?);
+        }
+        Some(horizon)
+    }
+
+    fn skip(&mut self, from: u64, to: u64, cube: &mut Neurocube) {
+        for pe in &mut cube.pes {
+            pe.skip(from, to);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "pe"
     }
@@ -547,6 +687,15 @@ struct AdvanceClock;
 impl Clocked<Neurocube> for AdvanceClock {
     fn tick(&mut self, _now: u64, cube: &mut Neurocube) {
         cube.now += 1;
+    }
+
+    fn next_event(&self, _now: u64, _cube: &Neurocube) -> Option<u64> {
+        // Purely mechanical: never vetoes a jump, never bounds one.
+        Some(u64::MAX)
+    }
+
+    fn skip(&mut self, from: u64, to: u64, cube: &mut Neurocube) {
+        cube.now += to - from;
     }
 
     fn name(&self) -> &'static str {
@@ -606,6 +755,66 @@ mod tests {
             msg.contains("noc.delivered"),
             "diagnostic must include the stats dump, got: {msg}"
         );
+    }
+
+    /// Event-horizon fast-forwarding must be invisible in every observable:
+    /// identical output tensor, identical final cycle counter, identical
+    /// statistics registry — while actually skipping a meaningful number
+    /// of cycles (otherwise the test proves nothing).
+    #[test]
+    fn fast_forward_matches_naive_loop_bitwise() {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![
+                LayerSpec::conv(2, 3, Activation::Tanh),
+                LayerSpec::fc(10, Activation::Sigmoid),
+            ],
+        )
+        .unwrap();
+        let params = spec.init_params(1, 0.25);
+        let input = Tensor::from_vec(
+            1,
+            12,
+            12,
+            (0..144)
+                .map(|i| neurocube_fixed::Q88::from_f64(f64::from(i % 7) * 0.1 - 0.3))
+                .collect(),
+        );
+
+        let run = |skip: bool| {
+            let mut cube = Neurocube::new(SystemConfig::paper(true));
+            cube.set_cycle_skip(Some(skip));
+            let loaded = cube.load(spec.clone(), params.clone());
+            let (out, report) = cube.run_inference(&loaded, &input);
+            let cycles: Vec<u64> = report.layers.iter().map(|l| l.cycles).collect();
+            (
+                out,
+                cycles,
+                cube.now(),
+                cube.stats_registry(),
+                cube.skipped_cycles(),
+                cube.horizon_jumps(),
+            )
+        };
+
+        let (out_fast, cyc_fast, now_fast, stats_fast, skipped, jumps) = run(true);
+        let (out_ref, cyc_ref, now_ref, stats_ref, skipped_ref, jumps_ref) = run(false);
+
+        assert_eq!(skipped_ref, 0, "the oracle must not fast-forward");
+        assert_eq!(jumps_ref, 0);
+        assert!(
+            skipped > 0 && jumps > 0,
+            "fast mode never jumped ({skipped} cycles, {jumps} jumps): \
+             the workload no longer exercises skipping"
+        );
+        assert_eq!(now_fast, now_ref, "final cycle counters diverge");
+        assert_eq!(cyc_fast, cyc_ref, "per-layer cycle counts diverge");
+        assert_eq!(
+            out_fast.as_slice(),
+            out_ref.as_slice(),
+            "output tensors diverge"
+        );
+        assert_eq!(stats_fast, stats_ref, "statistics registries diverge");
     }
 
     /// The same configured layer on the full pipeline completes without

@@ -17,7 +17,8 @@
 //! open row of its bank.
 
 use crate::storage::Storage;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// What a memory request does.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -190,6 +191,10 @@ impl ChannelConfig {
 pub struct Channel {
     cfg: ChannelConfig,
     queue: VecDeque<Request>,
+    /// Per-request `(row_global, bank, row)` cached at enqueue, in lockstep
+    /// with `queue` — the FR-FCFS window scans run every busy cycle and
+    /// would otherwise redo two u64 divisions per scanned entry.
+    qmeta: VecDeque<(u64, usize, u64)>,
     /// Absolute cycle at which the next word may cross the channel,
     /// in units of `1/cpw_den` cycles for exact rational pacing.
     ready_units: u64,
@@ -197,9 +202,19 @@ pub struct Channel {
     open_rows: Vec<Option<u64>>,
     /// Cycle at which each bank's activation completes.
     bank_ready: Vec<u64>,
+    /// Min-heap of in-flight activation completion times, so the earliest
+    /// bank wake-up is an O(1) peek instead of a linear bank scan. Stale
+    /// (past) entries are pruned lazily on busy ticks.
+    ready_heap: BinaryHeap<Reverse<u64>>,
     /// End of the current refresh pause, if one is in progress.
     refresh_until: u64,
     refreshes: u64,
+    /// Memoized null-tick horizon: ticks strictly before this cycle are
+    /// known to be null (busy-cycle accounting only), so [`tick`] takes a
+    /// constant-time shortcut instead of rescanning the window. Set when a
+    /// tick turns out null, cleared by [`try_enqueue`]; purely an
+    /// optimization — behaviour is bitwise identical with it disabled.
+    quiet_until: u64,
     // statistics
     words_read: u64,
     words_written: u64,
@@ -212,12 +227,15 @@ impl Channel {
     pub fn new(cfg: ChannelConfig) -> Channel {
         Channel {
             queue: VecDeque::with_capacity(cfg.queue_capacity),
+            qmeta: VecDeque::with_capacity(cfg.queue_capacity),
             ready_units: 0,
             words_in_burst: 0,
             open_rows: vec![None; cfg.banks as usize],
             bank_ready: vec![0; cfg.banks as usize],
+            ready_heap: BinaryHeap::new(),
             refresh_until: 0,
             refreshes: 0,
+            quiet_until: 0,
             words_read: 0,
             words_written: 0,
             row_misses: 0,
@@ -248,16 +266,16 @@ impl Channel {
         if self.queue.len() >= self.cfg.queue_capacity {
             return false;
         }
-        self.queue.push_back(req);
-        true
-    }
-
-    fn bank_row(&self, addr: u64) -> (usize, u64) {
-        let row_global = addr / u64::from(self.cfg.row_bytes);
-        (
+        let row_global = req.addr / u64::from(self.cfg.row_bytes);
+        self.qmeta.push_back((
+            row_global,
             (row_global % u64::from(self.cfg.banks)) as usize,
             row_global / u64::from(self.cfg.banks),
-        )
+        ));
+        self.queue.push_back(req);
+        // A fresh request may be serviceable immediately.
+        self.quiet_until = 0;
+        true
     }
 
     /// Starts an activation for global row `row_global` if its bank is free,
@@ -267,6 +285,22 @@ impl Channel {
     /// bank livelock by ping-ponging activations). Returns `true` if an
     /// activation was issued.
     fn try_activate(&mut self, row_global: u64, now: u64) -> bool {
+        if !self.may_activate(row_global, now) {
+            return false;
+        }
+        let bank = (row_global % u64::from(self.cfg.banks)) as usize;
+        let row = row_global / u64::from(self.cfg.banks);
+        self.open_rows[bank] = Some(row);
+        self.bank_ready[bank] = now + u64::from(self.cfg.row_miss_penalty);
+        self.ready_heap
+            .push(Reverse(now + u64::from(self.cfg.row_miss_penalty)));
+        self.row_misses += 1;
+        true
+    }
+
+    /// Side-effect-free half of [`try_activate`](Self::try_activate): would
+    /// an activation for `row_global` be issued at `now`?
+    fn may_activate(&self, row_global: u64, now: u64) -> bool {
         let bank = (row_global % u64::from(self.cfg.banks)) as usize;
         let row = row_global / u64::from(self.cfg.banks);
         if self.open_rows[bank] == Some(row) || self.bank_ready[bank] > now {
@@ -276,23 +310,121 @@ impl Channel {
             let window = (self.cfg.sched_window as usize)
                 .max(1)
                 .min(self.queue.len());
-            let still_needed = (0..window).any(|i| {
-                let (b, r) = self.bank_row(self.queue[i].addr);
-                b == bank && r == cur
-            });
+            let still_needed = self
+                .qmeta
+                .iter()
+                .take(window)
+                .any(|&(_, b, r)| b == bank && r == cur);
             if still_needed {
                 return false;
             }
         }
-        self.open_rows[bank] = Some(row);
-        self.bank_ready[bank] = now + u64::from(self.cfg.row_miss_penalty);
-        self.row_misses += 1;
         true
     }
 
-    /// A request's bank is open on its row and past its activation time.
-    fn row_ready(&self, addr: u64, now: u64) -> bool {
-        let (bank, row) = self.bank_row(addr);
+    /// The earliest in-flight activation completing strictly after `now`,
+    /// or `u64::MAX` if none is pending. O(1) when the heap head is live;
+    /// falls back to an unordered scan only when stale entries linger
+    /// (e.g. activate-ahead rows no request ever touched again).
+    fn next_bank_ready(&self, now: u64) -> u64 {
+        match self.ready_heap.peek() {
+            Some(&Reverse(t)) if t > now => t,
+            Some(_) => self
+                .ready_heap
+                .iter()
+                .map(|r| r.0)
+                .filter(|&t| t > now)
+                .min()
+                .unwrap_or(u64::MAX),
+            None => u64::MAX,
+        }
+    }
+
+    /// The next refresh-trigger cycle strictly after `now`, or `u64::MAX`
+    /// when refresh is disabled. Assumes a trigger is not due at `now`
+    /// itself (the caller checks that first).
+    fn next_refresh_trigger(&self) -> u64 {
+        match self.cfg.refresh {
+            Some(r) => ((self.refreshes + 1) * r.interval).max(self.refresh_until),
+            None => u64::MAX,
+        }
+    }
+
+    /// The earliest future cycle at which [`tick`](Channel::tick) could do
+    /// anything other than a *null tick* (a tick whose only effect is the
+    /// per-cycle busy accounting [`skip`](Channel::skip) reproduces).
+    ///
+    /// `None` means "tick me this cycle": the channel would issue a refresh
+    /// or an activation, or serve a word, at `now`. `Some(u64::MAX)` means
+    /// the channel is idle and only external enqueues can wake it.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut horizon = u64::MAX;
+        if let Some(r) = self.cfg.refresh {
+            if now >= self.refresh_until && now / r.interval > self.refreshes {
+                return None; // a refresh command fires this cycle
+            }
+            if now < self.refresh_until {
+                // All-bank pause: every tick until then is a pure no-op.
+                return Some(self.refresh_until);
+            }
+            horizon = horizon.min(self.next_refresh_trigger());
+        }
+        if self.queue.is_empty() {
+            return Some(horizon);
+        }
+        let window = (self.cfg.sched_window as usize)
+            .max(1)
+            .min(self.queue.len());
+        // Data path: would a word be served at `now`?
+        if (0..window).any(|i| self.row_ready_idx(i, now)) {
+            let ready_cycle = self.ready_units.div_ceil(u64::from(self.cfg.cpw_den));
+            if now >= ready_cycle {
+                return None;
+            }
+            horizon = horizon.min(ready_cycle);
+        }
+        // Command path: would a demand activation be issued at `now`?
+        for i in 0..window {
+            if !self.row_ready_idx(i, now) && self.may_activate(self.qmeta[i].0, now) {
+                return None;
+            }
+        }
+        // Otherwise the channel can only change state when an in-flight
+        // activation completes (making a request row-ready, or a blocked
+        // bank free for a demand activation).
+        Some(horizon.min(self.next_bank_ready(now)))
+    }
+
+    /// Bulk-charges the per-cycle accounting of the null ticks in
+    /// `[from, to)`, a range this channel declared quiescent via
+    /// [`next_event`](Channel::next_event): ticks inside a refresh pause
+    /// touch nothing; ticks over a non-empty queue charge one busy cycle
+    /// each, exactly as the naive loop would.
+    pub fn skip(&mut self, from: u64, to: u64) {
+        if from < self.refresh_until && self.cfg.refresh.is_some() {
+            return;
+        }
+        if !self.queue.is_empty() {
+            self.busy_cycles += to - from;
+        }
+    }
+
+    /// Records that the tick at `now` turned out null: if (given the
+    /// channel's *post-tick* state) nothing can happen before some future
+    /// cycle, memoize that horizon so the ticks in between shortcut. When
+    /// this tick did issue an activation that unblocks further command-path
+    /// work next cycle, [`next_event`](Channel::next_event) returns `None`
+    /// and no memo is set.
+    fn note_quiet(&mut self, now: u64) {
+        if let Some(h) = self.next_event(now) {
+            self.quiet_until = h;
+        }
+    }
+
+    /// Queued request `i`'s bank is open on its row and past its activation
+    /// time (using the bank/row cached at enqueue).
+    fn row_ready_idx(&self, i: usize, now: u64) -> bool {
+        let (_, bank, row) = self.qmeta[i];
         self.open_rows[bank] == Some(row) && self.bank_ready[bank] <= now
     }
 
@@ -314,6 +446,15 @@ impl Channel {
             return None;
         }
         self.busy_cycles += 1;
+        if now < self.quiet_until {
+            // A previous tick proved every cycle before `quiet_until` is a
+            // null tick (and `try_enqueue` invalidates the proof), so only
+            // the busy-cycle charge above remains.
+            return None;
+        }
+        while self.ready_heap.peek().is_some_and(|&Reverse(t)| t <= now) {
+            self.ready_heap.pop();
+        }
 
         // Command path: issue (at most) one demand activation per cycle,
         // for the oldest request in the scheduling window whose row is not
@@ -322,23 +463,24 @@ impl Channel {
             .max(1)
             .min(self.queue.len());
         for i in 0..window {
-            let addr = self.queue[i].addr;
-            if !self.row_ready(addr, now)
-                && self.try_activate(addr / u64::from(self.cfg.row_bytes), now)
-            {
+            if !self.row_ready_idx(i, now) && self.try_activate(self.qmeta[i].0, now) {
                 break;
             }
         }
 
         // Data path (FR-FCFS): serve the oldest request whose row is open
         // and activated.
-        let pick = (0..window).find(|&i| self.row_ready(self.queue[i].addr, now))?;
+        let Some(pick) = (0..window).find(|&i| self.row_ready_idx(i, now)) else {
+            self.note_quiet(now);
+            return None;
+        };
         let req = self.queue[pick];
 
         // Rational rate pacing: next transfer at ceil(ready_units / cpw_den).
         let den = u64::from(self.cfg.cpw_den);
         let ready_cycle = self.ready_units.div_ceil(den);
         if now < ready_cycle {
+            self.note_quiet(now);
             return None;
         }
         // If the channel has been idle past its scheduled slot (no work, or
@@ -350,6 +492,10 @@ impl Channel {
 
         // Serve the word.
         self.queue.remove(pick);
+        let (row_global, ..) = self
+            .qmeta
+            .remove(pick)
+            .expect("qmeta in lockstep with queue");
         self.busy_cycles += 1;
         let bytes = u64::from(self.cfg.word_bits / 8);
         let data = match req.kind {
@@ -367,9 +513,7 @@ impl Channel {
             }
             RequestKind::Write(v) => {
                 self.words_written += 1;
-                for i in 0..bytes {
-                    storage.write_u8(req.addr + i, (v >> (8 * i)) as u8);
-                }
+                storage.write_bytes(req.addr, &v.to_le_bytes()[..bytes as usize]);
                 v
             }
             RequestKind::Write16(v) => {
@@ -391,7 +535,6 @@ impl Channel {
         // Activate-ahead for sequential streams: while row R streams, make
         // sure rows R+1 and R+2 are opening in their (interleaved) banks so
         // the stream never waits on tCL+tRCD in steady state.
-        let row_global = req.addr / u64::from(self.cfg.row_bytes);
         let _ = self.try_activate(row_global + 1, now);
         let _ = self.try_activate(row_global + 2, now);
 
@@ -642,6 +785,110 @@ mod tests {
             (1.02..1.10).contains(&slowdown),
             "refresh slowdown {slowdown}"
         );
+    }
+
+    /// Drives a channel to completion twice — once ticking every cycle,
+    /// once honoring the `next_event`/`skip` fast-forward protocol — and
+    /// asserts the two runs are bitwise identical in completions and in
+    /// every counter the channel reports.
+    fn assert_skip_equivalent(cfg: ChannelConfig, addrs: &[u64]) {
+        let mut seed = Channel::new(cfg);
+        for (i, &addr) in addrs.iter().enumerate() {
+            assert!(seed.try_enqueue(Request {
+                addr,
+                tag: i as u64,
+                kind: RequestKind::Read,
+            }));
+        }
+        let run = |mut ch: Channel, fast: bool| {
+            let mut storage = Storage::new();
+            let mut completions = Vec::new();
+            let mut now = 0u64;
+            while completions.len() < addrs.len() {
+                if fast {
+                    if let Some(t) = ch.next_event(now) {
+                        assert!(t > now, "horizon must be in the future");
+                        assert_ne!(t, u64::MAX, "channel with work cannot sleep forever");
+                        ch.skip(now, t);
+                        now = t;
+                        continue;
+                    }
+                }
+                if let Some(c) = ch.tick(now, &mut storage) {
+                    completions.push(c);
+                }
+                now += 1;
+                assert!(now < 10_000_000, "channel deadlocked");
+            }
+            (
+                completions,
+                ch.busy_cycles(),
+                ch.words_read(),
+                ch.row_misses(),
+                ch.refreshes(),
+            )
+        };
+        let naive = run(seed.clone(), false);
+        let fast = run(seed, true);
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn next_event_skip_is_bitwise_identical_to_naive_ticking() {
+        // A bank-thrashing pattern (same bank, alternating rows) maximizes
+        // row-activation waits — the regime fast-forward exists for.
+        let thrash: Vec<u64> = (0..32u64)
+            .map(|i| (i % 2) * 16 * 256 + (i / 2) * 4)
+            .collect();
+        assert_skip_equivalent(ChannelConfig::hmc_int(), &thrash);
+        // A sequential stream exercises burst gaps and activate-ahead.
+        let seq: Vec<u64> = (0..64u64).map(|i| i * 4).collect();
+        assert_skip_equivalent(ChannelConfig::hmc_int(), &seq);
+        // DDR3's rational pacing (25/8 cycles per word).
+        assert_skip_equivalent(ChannelConfig::ddr3(), &seq);
+        // Refresh pauses and triggers crossed by jumps. The interval must
+        // comfortably exceed the row-activation penalty or the all-bank
+        // refresh forever closes rows before they finish opening.
+        let mut refreshing = ChannelConfig::hmc_int();
+        refreshing.refresh = Some(RefreshModel {
+            interval: 500,
+            duration: 60,
+        });
+        assert_skip_equivalent(refreshing, &thrash);
+    }
+
+    #[test]
+    fn next_event_horizon_promises_only_null_ticks() {
+        // At every cycle of a run, a reported horizon must mean the naive
+        // tick is a null tick (no completion, busy-only accounting) for
+        // the whole skipped range.
+        let cfg = ChannelConfig::hmc_int();
+        let mut ch = Channel::new(cfg);
+        let mut storage = Storage::new();
+        for i in 0..24u64 {
+            ch.try_enqueue(Request {
+                addr: i * 997 * 4, // scattered: plenty of row misses
+                tag: i,
+                kind: RequestKind::Read,
+            });
+        }
+        let mut done = 0;
+        let mut now = 0u64;
+        while done < 24 {
+            let horizon = ch.next_event(now);
+            let busy_before = ch.busy_cycles();
+            let misses_before = ch.row_misses();
+            let served = ch.tick(now, &mut storage);
+            if let Some(t) = horizon {
+                assert!(t > now);
+                assert!(served.is_none(), "promised null tick served at {now}");
+                assert_eq!(ch.row_misses(), misses_before);
+                assert!(ch.busy_cycles() <= busy_before + 1);
+            }
+            done += u64::from(served.is_some());
+            now += 1;
+            assert!(now < 1_000_000);
+        }
     }
 
     #[test]

@@ -5,9 +5,33 @@
 //! pages allocated on first touch.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 16; // 64 KiB pages
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Multiplicative hasher for page numbers. Every serviced DRAM word goes
+/// through the page table, and page numbers are small dense integers —
+/// SipHash (the `HashMap` default, sized for adversarial keys) would
+/// dominate the channel's data path.
+#[derive(Clone, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
 
 /// A sparse, byte-addressable memory image.
 ///
@@ -27,7 +51,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Storage {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Storage {
@@ -63,39 +87,54 @@ impl Storage {
         page[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
+    /// Reads `N` bytes through a single page lookup when they do not
+    /// straddle a page boundary (the overwhelmingly common case — channel
+    /// words are aligned and pages are 64 KiB).
+    fn read_array<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + N <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => page[off..off + N].try_into().expect("length matches"),
+                None => [0; N],
+            }
+        } else {
+            std::array::from_fn(|i| self.read_u8(addr + i as u64))
+        }
+    }
+
     /// Reads a little-endian `u16` (the size of one `Q1.7.8` item).
     pub fn read_u16(&self, addr: u64) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+        u16::from_le_bytes(self.read_array(addr))
     }
 
     /// Writes a little-endian `u16`.
     pub fn write_u16(&mut self, addr: u64, value: u16) {
-        let [a, b] = value.to_le_bytes();
-        self.write_u8(addr, a);
-        self.write_u8(addr + 1, b);
+        self.write_bytes(addr, &value.to_le_bytes());
     }
 
     /// Reads a little-endian `u32` (one HMC vault word = two data items).
     pub fn read_u32(&self, addr: u64) -> u32 {
-        u32::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr + 1),
-            self.read_u8(addr + 2),
-            self.read_u8(addr + 3),
-        ])
+        u32::from_le_bytes(self.read_array(addr))
     }
 
     /// Writes a little-endian `u32`.
     pub fn write_u32(&mut self, addr: u64, value: u32) {
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
-        }
+        self.write_bytes(addr, &value.to_le_bytes());
     }
 
-    /// Bulk write starting at `addr`.
+    /// Bulk write starting at `addr`, one page lookup per touched page.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + bytes.len() <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + bytes.len()].copy_from_slice(bytes);
+        } else {
+            for (i, &b) in bytes.iter().enumerate() {
+                self.write_u8(addr + i as u64, b);
+            }
         }
     }
 

@@ -211,6 +211,25 @@ impl MemorySystem {
         &self.channels[ch as usize]
     }
 
+    /// The earliest future cycle at which any channel could do more than a
+    /// null tick (see [`Channel::next_event`]); `None` if some channel
+    /// must be ticked at `now`.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut horizon = u64::MAX;
+        for ch in &self.channels {
+            horizon = horizon.min(ch.next_event(now)?);
+        }
+        Some(horizon)
+    }
+
+    /// Bulk-charges every channel's null-tick accounting for `[from, to)`,
+    /// a range [`next_event`](Self::next_event) declared quiescent.
+    pub fn skip(&mut self, from: u64, to: u64) {
+        for ch in &mut self.channels {
+            ch.skip(from, to);
+        }
+    }
+
     /// Total bits transferred across all channels.
     pub fn total_bits_transferred(&self) -> u64 {
         self.channels.iter().map(Channel::bits_transferred).sum()

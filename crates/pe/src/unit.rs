@@ -329,6 +329,48 @@ impl ProcessingElement {
         self.next_fire_at = now + u64::from(cfg.n_mac).max(search_cost);
     }
 
+    /// The earliest future cycle at which [`tick`](Self::tick) could do
+    /// anything beyond its per-cycle starvation accounting (which
+    /// [`skip`](Self::skip) reproduces in bulk).
+    ///
+    /// `None` means "tick me this cycle" (the MAC array would fire).
+    /// `Some(next_fire_at)` while the array drains its latency;
+    /// `Some(u64::MAX)` when unconfigured, done, or starved — in each of
+    /// those states only external input (configuration or an operand
+    /// delivery) can wake the PE.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let Some(cfg) = &self.cfg else {
+            return Some(u64::MAX);
+        };
+        if self.done {
+            return Some(u64::MAX);
+        }
+        if now < self.next_fire_at {
+            return Some(self.next_fire_at);
+        }
+        if self.buffer_complete(cfg.active_macs(self.group)) {
+            None
+        } else {
+            Some(u64::MAX)
+        }
+    }
+
+    /// Bulk-charges the null ticks in `[from, to)`, a range this PE
+    /// declared quiescent via [`next_event`](Self::next_event): a starved
+    /// PE charges one starved cycle per tick; every other quiescent state
+    /// ticks to no effect at all.
+    pub fn skip(&mut self, from: u64, to: u64) {
+        let Some(cfg) = self.cfg else { return };
+        if self.done || from < self.next_fire_at {
+            return;
+        }
+        debug_assert!(
+            !self.buffer_complete(cfg.active_macs(self.group)),
+            "skipped over a fireable PE"
+        );
+        self.stats.starved_cycles += to - from;
+    }
+
     /// The next write-back packet waiting to enter the NoC, if any.
     pub fn peek_result(&self) -> Option<&Packet> {
         self.results.front()

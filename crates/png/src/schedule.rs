@@ -9,7 +9,7 @@
 //! order that keeps every PE's operation counter advancing.
 
 use crate::program::LayerProgram;
-use neurocube_nn::connections;
+use neurocube_nn::{connections, ConvConnectivity, LayerSpec};
 use neurocube_noc::{NodeId, PacketKind};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -161,8 +161,11 @@ impl OperandStream {
                     kind: PacketKind::SharedState,
                 });
             }
-        } else {
-            // Conv/pool: one state per MAC; weights are in PE weight memory.
+        } else if !self.fill_conv_spatial(p, map, gin, active, global_op, op_id) {
+            // Conv/pool generic path: one state per MAC, each connection
+            // resolved through the canonical `connections::resolve`. Only
+            // reached for volume layouts the spatial fast path declines.
+            let prog = &self.prog;
             for m in 0..active {
                 let assigned = map * per_map + gin * n_mac + u64::from(m);
                 let neuron = prog.out_vol.assigned_neuron(p, assigned);
@@ -189,6 +192,122 @@ impl OperandStream {
                 }
             }
         }
+    }
+
+    /// Conv/pool fast path for spatially tiled volumes — the generic loop
+    /// above with the per-MAC division chains hoisted out.
+    ///
+    /// Within one `(group, k)` batch the output channel is constant
+    /// (`map`), so the kernel offset `(ky, kx)` and input channel are too,
+    /// and the batch walks `p`'s owned output tile row-major from
+    /// `gin * n_mac`. The ownership filter collapses to rectangle tests:
+    /// `p` serves itself exactly when its stored rectangle covers the
+    /// input pixel, and a remote vault supplies it exactly when `p` lacks
+    /// a copy and the pixel lies in the vault's owned tile (owners are
+    /// unique and `stored ⊇ owned`, so "owner == vault" ⟺ the vault's
+    /// owned rectangle contains the pixel). For remote pairs a whole batch
+    /// is rejected in O(1) when its input row/column span misses the
+    /// vault's tile — on a 4×4 grid that kills ~14 of the 16 `(vault, p)`
+    /// combinations per step, which is where the bulk of the win over the
+    /// per-MAC `resolve` path comes from.
+    ///
+    /// Returns `false` (caller falls back to the generic loop) for layouts
+    /// it does not cover. Equivalence with the generic path is pinned by
+    /// `spatial_fast_path_matches_resolve_oracle` below.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_conv_spatial(
+        &mut self,
+        p: NodeId,
+        map: u64,
+        gin: u64,
+        active: u32,
+        global_op: u64,
+        op_id: u8,
+    ) -> bool {
+        use crate::layout::VolumeKind;
+        let prog = &self.prog;
+        let k = self.k as usize;
+        let (kernel, stride, ic) = match prog.layer {
+            LayerSpec::Conv2d {
+                kernel,
+                stride,
+                connectivity,
+                ..
+            } => {
+                let ic = match connectivity {
+                    ConvConnectivity::SingleMap => (map as usize) % prog.in_shape.channels,
+                    ConvConnectivity::AllMaps => k / (kernel * kernel),
+                };
+                (kernel, stride, ic)
+            }
+            LayerSpec::AvgPool { size } => (size, size, map as usize),
+            LayerSpec::FullyConnected { .. } => return false,
+        };
+        let (
+            VolumeKind::Spatial {
+                owned: out_owned, ..
+            },
+            VolumeKind::Spatial {
+                owned: in_owned,
+                stored: in_stored,
+            },
+        ) = (&prog.out_vol.kind, &prog.in_vol.kind)
+        else {
+            return false;
+        };
+        if prog.out_vol.shape != prog.out_shape {
+            return false;
+        }
+        let rk = k % (kernel * kernel);
+        let (ky, kx) = (rk / kernel, rk % kernel);
+        let r = out_owned[usize::from(p)];
+        let rw = r.width();
+        let v = usize::from(self.vault);
+        let (sv, ov, sp) = (in_stored[v], in_owned[v], in_stored[usize::from(p)]);
+        let local = p == self.vault;
+        let active = active as usize;
+        let rem0 = (gin * u64::from(prog.mapping.n_mac)) as usize;
+        let (mut oy, mut ox) = (r.y0 + rem0 / rw, r.x0 + rem0 % rw);
+        if !local {
+            // O(1) batch rejection: the input rows/columns this batch can
+            // touch versus the vault's owned tile.
+            let iy_lo = oy * stride + ky;
+            let iy_hi = (r.y0 + (rem0 + active - 1) / rw) * stride + ky;
+            let ix_lo = r.x0 * stride + kx;
+            let ix_hi = (r.x1 - 1) * stride + kx;
+            if iy_hi < ov.y0 || iy_lo >= ov.y1 || ix_hi < ov.x0 || ix_lo >= ov.x1 {
+                return true;
+            }
+        }
+        let (svh, svw) = (sv.height(), sv.width());
+        let base = prog.in_vol.base[v] + 2 * (ic * svh * svw) as u64;
+        for m in 0..active {
+            let (iy, ix) = (oy * stride + ky, ox * stride + kx);
+            let emit = if local {
+                sv.contains(iy, ix)
+            } else {
+                ov.contains(iy, ix) && !sp.contains(iy, ix)
+            };
+            if emit {
+                // `local_addr` of the vault's stored rectangle, with the
+                // channel term folded into `base`.
+                let addr = base + 2 * ((iy - sv.y0) * svw + (ix - sv.x0)) as u64;
+                self.buf.push_back(OperandEvent {
+                    addr,
+                    dst: p,
+                    mac_id: m as u8,
+                    op_id,
+                    global_op,
+                    kind: PacketKind::State,
+                });
+            }
+            ox += 1;
+            if ox == r.x1 {
+                ox = r.x0;
+                oy += 1;
+            }
+        }
+        true
     }
 
     /// The next operand this vault must fetch, or `None` when the layer's
@@ -372,6 +491,119 @@ mod tests {
             );
         }
         all
+    }
+
+    /// Independent re-derivation of one vault's stream with every operand
+    /// resolved through the canonical `connections::resolve` / `owner` /
+    /// `local_addr` chain — the oracle the spatial fast path must match
+    /// event-for-event.
+    fn oracle_events(prog: &Arc<LayerProgram>, vault: u8) -> Vec<OperandEvent> {
+        let s = OperandStream::new(Arc::clone(prog), vault);
+        let n_mac = u64::from(prog.mapping.n_mac);
+        let mut out = Vec::new();
+        for g in 0..s.max_groups {
+            for k in 0..s.conns {
+                for &p in &s.serves {
+                    let per_map = prog.out_vol.assigned_per_map(p);
+                    if per_map == 0 {
+                        continue;
+                    }
+                    let gpm = per_map.div_ceil(n_mac);
+                    if g >= gpm * prog.maps_of() {
+                        continue;
+                    }
+                    let (map, gin) = (g / gpm, g % gpm);
+                    let active = if gin + 1 == gpm {
+                        (per_map - (gpm - 1) * n_mac) as u32
+                    } else {
+                        n_mac as u32
+                    };
+                    let global_op = g * u64::from(s.conns) + u64::from(k);
+                    let op_id = (global_op % 256) as u8;
+                    for m in 0..active {
+                        let assigned = map * per_map + gin * n_mac + u64::from(m);
+                        let neuron = prog.out_vol.assigned_neuron(p, assigned);
+                        let conn =
+                            connections::resolve(&prog.layer, prog.in_shape, neuron, k as usize);
+                        let src = if prog.in_vol.local_addr(p, conn.input_index).is_some() {
+                            p
+                        } else {
+                            prog.in_vol.owner(conn.input_index)
+                        };
+                        if src == vault {
+                            out.push(OperandEvent {
+                                addr: prog.in_vol.local_addr(vault, conn.input_index).unwrap(),
+                                dst: p,
+                                mac_id: m as u8,
+                                op_id,
+                                global_op,
+                                kind: PacketKind::State,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The spatial fast path emits bitwise the same event sequence as the
+    /// per-MAC `resolve` oracle, across uneven tiles, strides, multi-map
+    /// inputs, all-maps connectivity, pooling, and both duplication modes.
+    #[test]
+    fn spatial_fast_path_matches_resolve_oracle() {
+        let cases: Vec<(NetworkSpec, bool)> = [
+            // Odd spatial extents -> ragged 4x4 tiling.
+            NetworkSpec::new(
+                Shape::new(1, 33, 31),
+                vec![LayerSpec::conv(4, 3, Activation::Tanh)],
+            )
+            .unwrap(),
+            // Strided conv with multi-map input (round-robin ic = oc % in_c).
+            NetworkSpec::new(
+                Shape::new(2, 21, 19),
+                vec![LayerSpec::Conv2d {
+                    out_channels: 3,
+                    kernel: 3,
+                    stride: 2,
+                    connectivity: ConvConnectivity::SingleMap,
+                    activation: Activation::Identity,
+                }],
+            )
+            .unwrap(),
+            // All-maps connectivity: ic derived from k.
+            NetworkSpec::new(
+                Shape::new(3, 12, 12),
+                vec![LayerSpec::Conv2d {
+                    out_channels: 2,
+                    kernel: 3,
+                    stride: 1,
+                    connectivity: ConvConnectivity::AllMaps,
+                    activation: Activation::Tanh,
+                }],
+            )
+            .unwrap(),
+            // Average pooling (stride == kernel, constant weights).
+            NetworkSpec::new(Shape::new(4, 16, 16), vec![LayerSpec::AvgPool { size: 2 }]).unwrap(),
+        ]
+        .into_iter()
+        .flat_map(|net| [(net.clone(), false), (net, true)])
+        .collect();
+        for (net, dup) in cases {
+            let prog = compile(&net, dup, 0);
+            for v in 0..16u8 {
+                let mut s = OperandStream::new(Arc::clone(&prog), v);
+                let mut got = Vec::new();
+                while let Some(e) = s.next() {
+                    got.push(e);
+                }
+                assert_eq!(
+                    got,
+                    oracle_events(&prog, v),
+                    "stream diverges from oracle (vault {v}, dup {dup}, net {net:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,33 @@ use neurocube_fixed::{ActivationLut, Q88};
 use neurocube_noc::{NodeId, Packet, PacketKind};
 use neurocube_sim::{ScopedStats, StatSource};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Multiplicative hasher for read-request tags. Tags are sequence numbers
+/// under a fixed vault prefix, so a Fibonacci multiply spreads them
+/// perfectly and the default SipHash (sized for adversarial keys) is pure
+/// overhead on the per-read critical path.
+#[derive(Clone, Default)]
+struct TagHasher(u64);
+
+impl Hasher for TagHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type TagMap = HashMap<u64, (u64, Vec<OperandEvent>), BuildHasherDefault<TagHasher>>;
 
 /// Maximum packets buffered between vault-controller completions and NoC
 /// injection (the PNG's packet-encapsulation FIFO).
@@ -16,6 +42,26 @@ const OUT_QUEUE_CAP: usize = 32;
 
 /// Maximum write-backs buffered while waiting for channel write slots.
 const WRITE_QUEUE_CAP: usize = 32;
+
+/// What the prefetch-read loop would do on the next tick — the outcome of
+/// replaying [`Png::tick`]'s break chain without side effects.
+enum ReadPath {
+    /// The tick issues a read or mutates stream state: not a null tick.
+    Active,
+    /// Output FIFO at its high-water mark; `live` mirrors the condition
+    /// under which the naive loop charges `outq_stalls`.
+    OutqStall {
+        /// Whether the operand stream still has events to deliver.
+        live: bool,
+    },
+    /// No channel queue slot free: the naive loop charges `queue_stalls`.
+    QueueStall,
+    /// Every event of the held word batch is run-ahead gated: the naive
+    /// loop charges `gate_stalls`.
+    GateStall,
+    /// Nothing to do and nothing charged.
+    Idle,
+}
 
 /// Low 48 bits of a write request's tag (the high 16 carry the vault id).
 const WRITE_TAG: u64 = 0xFFFF_FFFF_FFFF;
@@ -94,7 +140,11 @@ pub struct Png {
     stream: Option<OperandStream>,
     pending_group: Option<(u64, Vec<OperandEvent>)>,
     pending_event: Option<OperandEvent>,
-    inflight: HashMap<u64, (u64, Vec<OperandEvent>)>,
+    inflight: TagMap,
+    /// Recycled event-batch buffers: completions return their spent batch
+    /// here and group acquisition reuses them, so steady-state streaming
+    /// never allocates on the per-word path.
+    spare_batches: Vec<Vec<OperandEvent>>,
     next_seq: u64,
     outstanding_reads: usize,
     out_queue: VecDeque<Packet>,
@@ -123,7 +173,8 @@ impl Png {
             stream: None,
             pending_group: None,
             pending_event: None,
-            inflight: HashMap::new(),
+            inflight: TagMap::default(),
+            spare_batches: Vec::new(),
             next_seq: 0,
             outstanding_reads: 0,
             out_queue: VecDeque::new(),
@@ -347,12 +398,12 @@ impl Png {
             self.outstanding_writes -= 1;
             return;
         }
-        let (word, evs) = self
+        let (word, mut evs) = self
             .inflight
             .remove(&tag)
             .expect("completion for unknown tag");
         self.outstanding_reads -= 1;
-        for ev in evs {
+        for ev in evs.drain(..) {
             let shift = (ev.addr - word) * 8;
             let payload = ((data >> shift) & 0xFFFF) as u16;
             self.out_queue.push_back(Packet {
@@ -364,6 +415,9 @@ impl Png {
                 data: payload,
             });
             self.stats.operands_sent += 1;
+        }
+        if self.spare_batches.len() < 64 {
+            self.spare_batches.push(evs);
         }
     }
 
@@ -453,7 +507,11 @@ impl Png {
                         None => break,
                     };
                     let word = first.addr & word_mask;
-                    let mut evs = vec![first];
+                    let mut evs = self
+                        .spare_batches
+                        .pop()
+                        .unwrap_or_else(|| Vec::with_capacity(16));
+                    evs.push(first);
                     while evs.len() < 16 {
                         match self.stream.as_mut().and_then(OperandStream::next) {
                             Some(e) if e.addr & word_mask == word => evs.push(e),
@@ -474,23 +532,15 @@ impl Png {
             // pass — gating only the head would leak a neighbour's operand
             // hundreds of operations early and alias its OP-ID in the
             // receiving PE's cache.
-            let gated = |ev: &OperandEvent| {
-                let progress = self
-                    .pe_progress
-                    .get(usize::from(ev.dst))
-                    .copied()
-                    .unwrap_or(u64::MAX);
-                progress != u64::MAX && ev.global_op > progress + self.hookup.run_ahead_ops
-            };
-            let (pass, held): (Vec<OperandEvent>, Vec<OperandEvent>) =
-                group.1.iter().partition(|ev| !gated(ev));
-            if pass.is_empty() {
+            let gated = group.1.iter().filter(|ev| self.gated(ev)).count();
+            if gated == group.1.len() {
                 // Nothing in the batch may fly yet; hold it (in order).
                 self.pending_group = Some(group);
                 self.stats.gate_stalls += 1;
                 break;
             }
-            let group = if held.is_empty() {
+            let group = if gated == 0 {
+                // Common case: the whole batch flies, nothing to allocate.
                 group
             } else {
                 // A word batch can weld a currently-needed operand to one
@@ -502,8 +552,27 @@ impl Png {
                 // releasing the future ones would alias OP-IDs in the PE
                 // cache. Per-destination ordering is preserved because
                 // `global_op` is monotone along the stream for each PE.
-                self.pending_group = Some((group.0, held));
-                (group.0, pass)
+                let (word, mut evs) = group;
+                let mut pass = self
+                    .spare_batches
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(16));
+                let mut held = self
+                    .spare_batches
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(16));
+                for ev in evs.drain(..) {
+                    if self.gated(&ev) {
+                        held.push(ev);
+                    } else {
+                        pass.push(ev);
+                    }
+                }
+                if self.spare_batches.len() < 64 {
+                    self.spare_batches.push(evs);
+                }
+                self.pending_group = Some((word, held));
+                (word, pass)
             };
             let tag = self.tag_base() | self.next_seq;
             let req = Request {
@@ -521,6 +590,100 @@ impl Png {
                 self.pending_group = Some(group);
                 break;
             }
+        }
+    }
+
+    /// Run-ahead gate predicate: `true` when the destination PE is too far
+    /// behind for its operand cache to absorb this event yet (§V-B). Shared
+    /// by [`tick`](Self::tick)'s batch partition and the event-horizon
+    /// classifier so the two can never disagree.
+    fn gated(&self, ev: &OperandEvent) -> bool {
+        let progress = self
+            .pe_progress
+            .get(usize::from(ev.dst))
+            .copied()
+            .unwrap_or(u64::MAX);
+        progress != u64::MAX && ev.global_op > progress + self.hookup.run_ahead_ops
+    }
+
+    /// Classifies what [`tick`](Self::tick)'s prefetch-read loop would do
+    /// *right now*, mirroring its break chain exactly (same checks, same
+    /// order). Used by [`next_event`](Self::next_event) to decide whether a
+    /// tick is null and by [`skip`](Self::skip) to bulk-charge the stall
+    /// counter the naive loop would have incremented each cycle.
+    fn read_path_state(&self, mem: &MemorySystem) -> ReadPath {
+        if self.out_queue.len() >= OUT_QUEUE_CAP / 2 {
+            return ReadPath::OutqStall {
+                live: self.stream.as_ref().is_some_and(|st| !st.is_exhausted()),
+            };
+        }
+        if self.outstanding_reads >= self.hookup.max_outstanding_reads {
+            return ReadPath::Idle;
+        }
+        if mem.free_slots(u32::from(self.vault)) == 0 {
+            return ReadPath::QueueStall;
+        }
+        if let Some((_, evs)) = &self.pending_group {
+            if evs.iter().all(|ev| self.gated(ev)) {
+                return ReadPath::GateStall;
+            }
+            return ReadPath::Active;
+        }
+        // With no held batch, any available event would be *taken* this
+        // tick (group acquisition mutates the stream even if the result
+        // ends up gated), so a live stream or buffered event means the
+        // tick is not null.
+        if self.pending_event.is_some() || self.stream.as_ref().is_some_and(|st| !st.is_exhausted())
+        {
+            return ReadPath::Active;
+        }
+        ReadPath::Idle
+    }
+
+    /// The earliest future cycle at which [`tick`](Self::tick) could change
+    /// state, or `None` if the tick at `now` is already non-null (the
+    /// event-horizon contract; see `neurocube-sim`'s `Clocked::next_event`).
+    ///
+    /// `Some(t)` promises ticks in `[now, t)` only increment stall
+    /// counters, which [`skip`](Self::skip) bulk-charges. Completions,
+    /// ejected results and credit returns arrive through separate entry
+    /// points whose quiescence the *system* stages account for.
+    pub fn next_event(&self, now: u64, mem: &MemorySystem) -> Option<u64> {
+        if self.prog.is_none() {
+            return Some(u64::MAX);
+        }
+        let mut horizon = u64::MAX;
+        if let Some((_, _, at)) = self.write_pair {
+            if now > at {
+                // flush_stale_pair moves the pair this very tick.
+                return None;
+            }
+            horizon = at + 1;
+        }
+        if !self.pending_writes.is_empty() && mem.free_slots(u32::from(self.vault)) > 0 {
+            return None;
+        }
+        if matches!(self.read_path_state(mem), ReadPath::Active) {
+            return None;
+        }
+        Some(horizon)
+    }
+
+    /// Reproduces the effect of ticking every cycle in `[from, to)` given
+    /// that [`next_event`](Self::next_event) reported all of them null:
+    /// bulk-charges whichever stall counter the naive loop was
+    /// incrementing.
+    pub fn skip(&mut self, from: u64, to: u64, mem: &MemorySystem) {
+        if self.prog.is_none() {
+            return;
+        }
+        let cycles = to - from;
+        match self.read_path_state(mem) {
+            ReadPath::OutqStall { live: true } => self.stats.outq_stalls += cycles,
+            ReadPath::QueueStall => self.stats.queue_stalls += cycles,
+            ReadPath::GateStall => self.stats.gate_stalls += cycles,
+            ReadPath::OutqStall { live: false } | ReadPath::Idle => {}
+            ReadPath::Active => unreachable!("skip() over a non-null PNG tick"),
         }
     }
 
@@ -686,5 +849,133 @@ mod tests {
         assert!(out.iter().all(|&q| q == Q88::from_f64(1.0)));
         let reads: u64 = pngs.iter().map(|p| p.stats().reads_issued).sum();
         assert!(reads < total, "reads {reads} should pack operands {total}");
+    }
+
+    /// Per-tick audit of the event-horizon contract: whenever `next_event`
+    /// reports the coming tick null, a one-cycle `skip` must charge exactly
+    /// the stall counters the naive tick then increments — and the tick
+    /// must touch nothing else.
+    #[test]
+    fn next_event_null_ticks_match_skip_charges() {
+        fn stall_delta(a: &PngStats, b: &PngStats) -> (u64, u64, u64) {
+            (
+                b.gate_stalls - a.gate_stalls,
+                b.queue_stalls - a.queue_stalls,
+                b.outq_stalls - a.outq_stalls,
+            )
+        }
+        fn non_stall(s: &PngStats) -> PngStats {
+            PngStats {
+                gate_stalls: 0,
+                queue_stalls: 0,
+                outq_stalls: 0,
+                ..*s
+            }
+        }
+
+        let net = NetworkSpec::new(
+            Shape::new(1, 8, 8),
+            vec![LayerSpec::conv(1, 3, Activation::Identity)],
+        )
+        .unwrap();
+        let map_cfg = MemoryConfig::hmc_int();
+        let layout = NetworkLayout::build(&net, 4, 4, true, 16, &map_cfg.address_map());
+        let prog = compile_layer(&net, &layout, 0, Mapping::paper(true));
+        let mut mem = MemorySystem::new(map_cfg);
+        let mut net_fab = Network::new(Topology::mesh4x4());
+
+        let input = Tensor::from_vec(1, 8, 8, (0..64).map(|i| Q88::from_bits(i as i16)).collect());
+        load_volume(&layout.volumes[0], input.as_slice(), 16, mem.storage_mut());
+
+        let mut pngs: Vec<Png> = (0..16u8).map(Png::hmc).collect();
+        for p in &mut pngs {
+            p.configure(Arc::clone(&prog));
+        }
+
+        let mut null_ticks = 0u64;
+        let mut group_ops: Vec<u64> = vec![0; 16];
+        let mut groups_sent = [0u64; 16];
+        for now in 0..200_000u64 {
+            for p in &mut pngs {
+                let before = *p.stats();
+                match p.next_event(now, &mem) {
+                    Some(horizon) => {
+                        assert!(
+                            horizon > now,
+                            "horizon {horizon} not in the future of {now}"
+                        );
+                        null_ticks += 1;
+                        p.skip(now, now + 1, &mem);
+                        let mid = *p.stats();
+                        p.tick(now, &mut mem);
+                        let after = *p.stats();
+                        assert_eq!(
+                            stall_delta(&before, &mid),
+                            stall_delta(&mid, &after),
+                            "skip charge differs from the naive tick at cycle {now}"
+                        );
+                        assert_eq!(
+                            non_stall(&before),
+                            non_stall(&after),
+                            "null tick at {now} changed a non-stall counter"
+                        );
+                    }
+                    None => p.tick(now, &mut mem),
+                }
+                if let Some(&pkt) = p.peek_outgoing() {
+                    if net_fab.try_inject_from_mem(p.attach(), pkt, now) {
+                        p.pop_outgoing();
+                    }
+                }
+            }
+            for ch in 0..16 {
+                if let Some(c) = mem.tick_channel(ch, now) {
+                    let v = Png::vault_of_tag(c.tag);
+                    pngs[usize::from(v)].on_completion(c.tag, c.data);
+                }
+            }
+            for node in 0..16u8 {
+                if let Some(&pkt) = net_fab.peek_for_mem(node, now) {
+                    if pngs[usize::from(node)].can_take_result(pkt.src) {
+                        let pkt = net_fab.pop_for_mem(node, now).unwrap();
+                        pngs[usize::from(node)].on_result(pkt, now);
+                    }
+                }
+            }
+            net_fab.tick(now);
+            for node in 0..16u8 {
+                if let Some(pkt) = net_fab.pop_for_pe(node, now) {
+                    group_ops[usize::from(node)] += 1;
+                    if let Some(cfg) = prog.pe_config(node) {
+                        let g = groups_sent[usize::from(node)];
+                        if g < prog.groups_of(node) {
+                            let expected =
+                                u64::from(cfg.active_macs(g)) * u64::from(cfg.conns_per_neuron);
+                            if group_ops[usize::from(node)] == expected {
+                                group_ops[usize::from(node)] = 0;
+                                for m in 0..cfg.active_macs(g) {
+                                    let r = Packet {
+                                        dst: node,
+                                        src: node,
+                                        mac_id: m as u8,
+                                        op_id: (g % 256) as u8,
+                                        kind: PacketKind::Result,
+                                        data: Q88::from_f64(1.0).to_bits() as u16,
+                                    };
+                                    assert!(net_fab.try_inject_from_pe(node, r, now));
+                                }
+                                groups_sent[usize::from(node)] += 1;
+                            }
+                        }
+                    }
+                    let _ = pkt;
+                }
+            }
+            if pngs.iter().all(Png::layer_done) && net_fab.is_idle() {
+                break;
+            }
+        }
+        assert!(pngs.iter().all(Png::layer_done), "PNGs did not finish");
+        assert!(null_ticks > 0, "harness never exercised a null tick");
     }
 }

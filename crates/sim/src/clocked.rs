@@ -1,4 +1,16 @@
 //! The clocked-stage abstraction and the cycle loop that drives it.
+//!
+//! Besides plain per-cycle ticking, the loop supports **event-horizon
+//! fast-forward**: stages that can prove they are quiescent report the
+//! earliest future cycle at which they might change state
+//! ([`Clocked::next_event`]), and the loop jumps the clock straight to
+//! the earliest such horizon, letting each stage bulk-charge the skipped
+//! cycles ([`Clocked::skip`]) so that every counter a run reports is
+//! bitwise identical to the naive cycle-by-cycle loop. Setting
+//! `NEUROCUBE_NO_SKIP=1` in the environment disables fast-forward
+//! process-wide, keeping the naive loop alive as a differential oracle.
+
+use std::sync::OnceLock;
 
 /// One pipeline stage of a cycle-level simulator.
 ///
@@ -10,6 +22,33 @@
 pub trait Clocked<B: ?Sized> {
     /// Advances this stage by one cycle.
     fn tick(&mut self, now: u64, bus: &mut B);
+
+    /// The earliest future cycle at which this stage might change state.
+    ///
+    /// Returning `Some(t)` with `t > now` is a promise: every tick in
+    /// `[now, t)` is a *null tick* — its entire effect on the bus (including
+    /// idle/stall counters that advance every waiting cycle) is exactly
+    /// reproduced by one [`Clocked::skip`] call over the same range.
+    /// `Some(u64::MAX)` means the stage generates no event of its own and
+    /// only reacts to other stages. Returning `None` means "tick me every
+    /// cycle": the stage is (or might be) actively changing state and the
+    /// loop must not fast-forward past it. The default is `None`, so stages
+    /// that never opt in are always ticked naively — safe by construction.
+    fn next_event(&self, now: u64, bus: &B) -> Option<u64> {
+        let _ = (now, bus);
+        None
+    }
+
+    /// Bulk-charges the effect of the null ticks in `[from, to)`.
+    ///
+    /// Called only for ranges this stage itself declared quiescent via
+    /// [`Clocked::next_event`] (the loop never skips past a stage's
+    /// horizon). Implementations must mutate the bus exactly as `to - from`
+    /// consecutive ticks would have. The default does nothing, matching the
+    /// default `next_event` of `None` (which never lets a skip happen).
+    fn skip(&mut self, from: u64, to: u64, bus: &mut B) {
+        let _ = (from, to, bus);
+    }
 
     /// Short name used in progress and diagnostic output.
     fn name(&self) -> &'static str {
@@ -29,10 +68,12 @@ impl<B: ?Sized, F: FnMut(u64, &mut B)> Clocked<B> for F {
 ///
 /// Completion and progress are only sampled every `check_interval` cycles
 /// (sampling them is allowed to be expensive). If the progress measure
-/// stays flat for `idle_budget` consecutive cycles while the run is not
-/// complete, the loop panics with the diagnostic text supplied by the
-/// caller — a stall is always a bug in either the model or the program
-/// being simulated, never a condition to limp through.
+/// stays flat for `idle_budget` consecutive *ticked* cycles while the run
+/// is not complete, the loop panics with the diagnostic text supplied by
+/// the caller — a stall is always a bug in either the model or the program
+/// being simulated, never a condition to limp through. Cycles crossed by a
+/// horizon jump count as progress (the jump proves an event is scheduled),
+/// subject to the [`EVENT_LOOP_LEASH`] backstop.
 #[derive(Clone, Copy, Debug)]
 pub struct Watchdog {
     /// Cycles between completion/progress samples.
@@ -50,6 +91,45 @@ impl Default for Watchdog {
     }
 }
 
+/// Backstop multiplier for event-looping runs: even when every no-progress
+/// window is crossed by horizon jumps (which normally do not charge the
+/// idle budget), a run whose progress measure stays flat for
+/// `idle_budget × EVENT_LOOP_LEASH` cycles is declared stalled. This
+/// catches pathological self-sustaining event loops (e.g. a DRAM refresh
+/// timer firing forever over a wedged queue) that the naive loop would
+/// also have flagged, just sooner.
+pub const EVENT_LOOP_LEASH: u64 = 64;
+
+/// One fast-forward decision taken by the loop, for telemetry/diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JumpRecord {
+    /// Cycle the jump started from.
+    pub from: u64,
+    /// Cycle the jump landed on (exclusive end of the skipped range).
+    pub to: u64,
+    /// Name of the stage (or `"check boundary"`) that bounded the horizon.
+    pub stage: &'static str,
+}
+
+/// True unless `NEUROCUBE_NO_SKIP` is set to a non-empty value other than
+/// `0`. Read once per process: tests that need both modes in one process
+/// must use [`CycleLoop::with_skip`] instead of mutating the environment.
+fn env_skip_enabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    !*DISABLED
+        .get_or_init(|| std::env::var("NEUROCUBE_NO_SKIP").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// True when `NEUROCUBE_STAGE_PROFILE` is set non-empty: every
+/// [`CycleLoop::run`] then accumulates per-stage wall-clock time and
+/// prints a breakdown to stderr when it completes. Costs one `Instant`
+/// pair per stage per cycle while on; a single branch per cycle while off.
+fn stage_profile_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED
+        .get_or_init(|| std::env::var_os("NEUROCUBE_STAGE_PROFILE").is_some_and(|v| !v.is_empty()))
+}
+
 /// Drives a set of [`Clocked`] stages until a completion predicate holds.
 ///
 /// The loop owns the three pieces of bookkeeping every hand-rolled cycle
@@ -57,9 +137,25 @@ impl Default for Watchdog {
 /// check, and the stalled-simulation watchdog. Stages run in registration
 /// order within a cycle; the bus's notion of "current cycle" is whatever
 /// the caller passes as `start` plus the number of completed cycles.
+///
+/// When fast-forward is enabled (the default, unless `NEUROCUBE_NO_SKIP`
+/// is set), the loop asks every stage for its [`Clocked::next_event`]
+/// before ticking a cycle. If all stages report a future horizon, the
+/// clock jumps to the earliest one — capped at the next watchdog check
+/// boundary, so completion and progress are sampled at exactly the same
+/// absolute cycles (with identical bus state) as the naive loop, making
+/// the two modes bitwise identical in everything they report.
 pub struct CycleLoop<B: ?Sized> {
     stages: Vec<Box<dyn Clocked<B>>>,
     watchdog: Watchdog,
+    skip: bool,
+    /// Index the next horizon probe starts from. Move-to-front heuristic:
+    /// the stage that vetoed the last jump is probed first, so an actively
+    /// busy stage (usually the NoC) rejects fast-forward in O(1) per cycle.
+    probe_from: usize,
+    jumps: u64,
+    skipped_cycles: u64,
+    last_jump: Option<JumpRecord>,
 }
 
 impl<B: ?Sized> Default for CycleLoop<B> {
@@ -69,11 +165,17 @@ impl<B: ?Sized> Default for CycleLoop<B> {
 }
 
 impl<B: ?Sized> CycleLoop<B> {
-    /// Creates an empty loop with the default [`Watchdog`].
+    /// Creates an empty loop with the default [`Watchdog`] and the
+    /// process-default fast-forward setting (`NEUROCUBE_NO_SKIP`).
     pub fn new() -> Self {
         CycleLoop {
             stages: Vec::new(),
             watchdog: Watchdog::default(),
+            skip: env_skip_enabled(),
+            probe_from: 0,
+            jumps: 0,
+            skipped_cycles: 0,
+            last_jump: None,
         }
     }
 
@@ -82,6 +184,19 @@ impl<B: ?Sized> CycleLoop<B> {
         assert!(watchdog.check_interval > 0, "check_interval must be > 0");
         self.watchdog = watchdog;
         self
+    }
+
+    /// Overrides the fast-forward setting for this loop, regardless of
+    /// `NEUROCUBE_NO_SKIP`. Tests and differential harnesses use this to
+    /// run both modes inside one process.
+    pub fn with_skip(mut self, enabled: bool) -> Self {
+        self.skip = enabled;
+        self
+    }
+
+    /// Whether this loop fast-forwards over quiescent stretches.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip
     }
 
     /// Registers a stage; stages tick in registration order each cycle.
@@ -95,6 +210,77 @@ impl<B: ?Sized> CycleLoop<B> {
         self.stages.iter().map(|s| s.name()).collect()
     }
 
+    /// Number of horizon jumps taken so far by [`CycleLoop::run`].
+    pub fn jumps(&self) -> u64 {
+        self.jumps
+    }
+
+    /// Total cycles crossed by horizon jumps instead of ticking.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// The most recent fast-forward decision, if any.
+    pub fn last_jump(&self) -> Option<JumpRecord> {
+        self.last_jump
+    }
+
+    /// Probes every stage for its event horizon. Returns the jump target
+    /// (already capped at the next check boundary) and the name of
+    /// whatever bounded it, or `None` if any stage demands a tick, any
+    /// horizon is non-future (a contract violation, tolerated as "tick"),
+    /// or every stage reported `u64::MAX` (a dead machine must fall back
+    /// to naive ticking so the watchdog sees it exactly like the oracle).
+    fn horizon(&mut self, now: u64, bus: &B) -> Option<(u64, &'static str)> {
+        let n = self.stages.len();
+        let mut best = u64::MAX;
+        let mut who = usize::MAX;
+        for k in 0..n {
+            let i = (self.probe_from + k) % n;
+            match self.stages[i].next_event(now, bus) {
+                None => {
+                    self.probe_from = i;
+                    return None;
+                }
+                Some(t) => {
+                    debug_assert!(
+                        t > now,
+                        "stage '{}' promised non-future event {t} at cycle {now}",
+                        self.stages[i].name()
+                    );
+                    if t <= now {
+                        return None;
+                    }
+                    if t < best {
+                        best = t;
+                        who = i;
+                    }
+                }
+            }
+        }
+        if best == u64::MAX {
+            return None;
+        }
+        let cap = (now / self.watchdog.check_interval + 1) * self.watchdog.check_interval;
+        if best <= cap {
+            Some((best, self.stages[who].name()))
+        } else {
+            Some((cap, "check boundary"))
+        }
+    }
+
+    /// Diagnostic suffix describing the last fast-forward decision.
+    fn horizon_note(&self) -> String {
+        match self.last_jump {
+            Some(j) => format!(
+                "\nlast horizon decision: jumped cycle {} -> {} (bounded by '{}'); \
+                 {} jumps, {} cycles skipped this run",
+                j.from, j.to, j.stage, self.jumps, self.skipped_cycles
+            ),
+            None => "\nlast horizon decision: none (no fast-forward jump this run)".to_string(),
+        }
+    }
+
     /// Runs the loop starting at cycle `start` and returns the first cycle
     /// at which `done` held (the bus clock should then equal that value).
     ///
@@ -103,9 +289,12 @@ impl<B: ?Sized> CycleLoop<B> {
     ///   cycles; once it returns true the loop exits.
     /// * `progress` — a monotonic measure of useful work (e.g. total MAC
     ///   operations). Sampled on the same schedule as `done`; if it is
-    ///   unchanged for longer than `idle_budget` cycles the loop panics.
+    ///   unchanged for longer than `idle_budget` ticked cycles (or
+    ///   `idle_budget × EVENT_LOOP_LEASH` total cycles, counting horizon
+    ///   jumps) the loop panics.
     /// * `diagnose` — builds the panic message for a stalled run; it should
-    ///   dump enough component state to localise the deadlock.
+    ///   dump enough component state to localise the deadlock. The loop
+    ///   appends its last horizon decision to the message.
     ///
     /// # Panics
     ///
@@ -125,34 +314,110 @@ impl<B: ?Sized> CycleLoop<B> {
         let mut last_progress = progress(bus);
         // Checks land on absolute multiples of the interval, so the first
         // window after an unaligned `start` is shorter than the rest;
-        // idleness is charged by elapsed cycles, not per check, so that
-        // short window cannot eat a full interval of the budget.
-        let mut last_check = start;
+        // idleness is charged by ticked cycles, not per check, so that
+        // short window cannot eat a full interval of the budget. Windows
+        // crossed purely by horizon jumps charge nothing (the jump proves
+        // an event is scheduled), with `flat_since` as the leashed backstop
+        // against no-progress event loops.
         let mut idle_cycles: u64 = 0;
-        loop {
-            for stage in &mut self.stages {
-                stage.tick(now, bus);
-            }
-            now += 1;
-            if now.is_multiple_of(self.watchdog.check_interval) {
+        let mut ticked_since_check: u64 = 0;
+        let mut flat_since = start;
+        let profile = stage_profile_enabled();
+        let mut stage_nanos = vec![0u64; self.stages.len()];
+        let mut probe_nanos = 0u64;
+        let mut ticked: u64 = 0;
+        // Label passed explicitly: labels are hygienic in macro_rules, so
+        // the macro cannot name the loop's label directly.
+        macro_rules! sample {
+            ($exit:lifetime) => {
                 if done(bus) {
-                    return now;
+                    break $exit now;
                 }
                 let p = progress(bus);
                 if p != last_progress {
                     last_progress = p;
                     idle_cycles = 0;
+                    flat_since = now;
                 } else {
-                    idle_cycles += now - last_check;
-                    assert!(
-                        idle_cycles < self.watchdog.idle_budget,
-                        "{}",
-                        diagnose(bus, idle_cycles)
-                    );
+                    idle_cycles += ticked_since_check;
+                    let leash = self.watchdog.idle_budget.saturating_mul(EVENT_LOOP_LEASH);
+                    if idle_cycles >= self.watchdog.idle_budget || now - flat_since >= leash {
+                        panic!(
+                            "{}{}",
+                            diagnose(bus, idle_cycles.max(now - flat_since)),
+                            self.horizon_note()
+                        );
+                    }
                 }
-                last_check = now;
+                ticked_since_check = 0;
+            };
+        }
+        let end = 'run: loop {
+            if self.skip {
+                let probe_start = profile.then(std::time::Instant::now);
+                let jump = self.horizon(now, bus);
+                if let Some(t0) = probe_start {
+                    probe_nanos += t0.elapsed().as_nanos() as u64;
+                }
+                if let Some((target, stage)) = jump {
+                    for s in &mut self.stages {
+                        s.skip(now, target, bus);
+                    }
+                    self.jumps += 1;
+                    self.skipped_cycles += target - now;
+                    self.last_jump = Some(JumpRecord {
+                        from: now,
+                        to: target,
+                        stage,
+                    });
+                    now = target;
+                    if now.is_multiple_of(self.watchdog.check_interval) {
+                        sample!('run);
+                    }
+                    continue;
+                }
+            }
+            if profile {
+                for (i, stage) in self.stages.iter_mut().enumerate() {
+                    let t0 = std::time::Instant::now();
+                    stage.tick(now, bus);
+                    stage_nanos[i] += t0.elapsed().as_nanos() as u64;
+                }
+                ticked += 1;
+            } else {
+                for stage in &mut self.stages {
+                    stage.tick(now, bus);
+                }
+            }
+            now += 1;
+            ticked_since_check += 1;
+            if now.is_multiple_of(self.watchdog.check_interval) {
+                sample!('run);
+            }
+        };
+        if profile {
+            let total: u64 = stage_nanos.iter().sum();
+            eprintln!(
+                "[stage profile] {} cycles ({} ticked, {} skipped in {} jumps), \
+                 {:.1} ms staged + {:.1} ms horizon probes",
+                end - start,
+                ticked,
+                self.skipped_cycles,
+                self.jumps,
+                total as f64 / 1e6,
+                probe_nanos as f64 / 1e6,
+            );
+            for (i, stage) in self.stages.iter().enumerate() {
+                eprintln!(
+                    "[stage profile]   {:<20} {:>10.1} ms  {:>5.1}%  ({:.0} ns/ticked-cycle)",
+                    stage.name(),
+                    stage_nanos[i] as f64 / 1e6,
+                    100.0 * stage_nanos[i] as f64 / total.max(1) as f64,
+                    stage_nanos[i] as f64 / ticked.max(1) as f64,
+                );
             }
         }
+        end
     }
 }
 
@@ -346,5 +611,197 @@ mod tests {
             |_, idle| format!("stalled for {idle}"),
         );
         assert!(end >= 20 * 96);
+    }
+
+    /// Event-driven toy bus for the fast-forward tests: a periodic stage
+    /// fires every `period` cycles and counts every other cycle as idle;
+    /// a clock stage mirrors the loop's cycle count onto the bus.
+    #[derive(Default, Debug, PartialEq, Eq)]
+    struct EventBus {
+        clock: u64,
+        events: u64,
+        idle_ticks: u64,
+    }
+
+    struct Periodic {
+        period: u64,
+    }
+    impl Clocked<EventBus> for Periodic {
+        fn tick(&mut self, now: u64, bus: &mut EventBus) {
+            if now > 0 && now.is_multiple_of(self.period) {
+                bus.events += 1;
+            } else {
+                bus.idle_ticks += 1;
+            }
+        }
+        fn next_event(&self, now: u64, _bus: &EventBus) -> Option<u64> {
+            if now > 0 && now.is_multiple_of(self.period) {
+                None // fires this very cycle: must be ticked
+            } else {
+                Some((now / self.period + 1) * self.period)
+            }
+        }
+        fn skip(&mut self, from: u64, to: u64, bus: &mut EventBus) {
+            bus.idle_ticks += to - from;
+        }
+        fn name(&self) -> &'static str {
+            "periodic"
+        }
+    }
+
+    struct BusClock;
+    impl Clocked<EventBus> for BusClock {
+        fn tick(&mut self, _now: u64, bus: &mut EventBus) {
+            bus.clock += 1;
+        }
+        fn next_event(&self, _now: u64, _bus: &EventBus) -> Option<u64> {
+            Some(u64::MAX) // purely reactive: never a reason to wake up
+        }
+        fn skip(&mut self, from: u64, to: u64, bus: &mut EventBus) {
+            bus.clock += to - from;
+        }
+        fn name(&self) -> &'static str {
+            "bus clock"
+        }
+    }
+
+    fn run_periodic(skip: bool, period: u64, want_events: u64) -> (u64, EventBus, u64, u64) {
+        let mut bus = EventBus::default();
+        let mut cl = CycleLoop::new()
+            .with_skip(skip)
+            .stage(Periodic { period })
+            .stage(BusClock);
+        let end = cl.run(
+            &mut bus,
+            0,
+            |b| b.events >= want_events,
+            |b| b.events,
+            |_, idle| format!("stalled for {idle}"),
+        );
+        (end, bus, cl.jumps(), cl.skipped_cycles())
+    }
+
+    #[test]
+    fn fast_forward_is_bitwise_identical_to_naive_ticking() {
+        // Period 97 is coprime with the 64-cycle check interval, so jumps
+        // exercise both the event bound and the check-boundary cap.
+        let (naive_end, naive_bus, naive_jumps, _) = run_periodic(false, 97, 5);
+        let (skip_end, skip_bus, skip_jumps, skipped) = run_periodic(true, 97, 5);
+        assert_eq!(naive_end, skip_end);
+        assert_eq!(naive_bus, skip_bus);
+        assert_eq!(naive_jumps, 0);
+        assert!(skip_jumps > 0, "fast-forward must actually engage");
+        assert!(skipped > 0);
+        // The skipping loop only ever ticks the five event cycles; the
+        // rest of the run is crossed by jumps.
+        assert_eq!(skipped, skip_end - 5);
+    }
+
+    #[test]
+    fn horizon_jumps_are_capped_at_check_boundaries() {
+        // The only event sits far beyond the completion point, so a naive
+        // jump straight to it would overshoot `done`. Capping every jump
+        // at the next check boundary samples completion at exactly the
+        // same absolute cycles as the naive loop.
+        struct DoneAtClock(u64);
+        let run = |skip: bool| {
+            let mut bus = EventBus::default();
+            let target = DoneAtClock(640);
+            let mut cl = CycleLoop::new()
+                .with_skip(skip)
+                .stage(Periodic { period: 10_000 })
+                .stage(BusClock);
+            let end = cl.run(
+                &mut bus,
+                0,
+                move |b| b.clock >= target.0,
+                |b| b.clock,
+                |_, idle| format!("stalled for {idle}"),
+            );
+            (end, bus, cl.jumps())
+        };
+        let (naive_end, naive_bus, _) = run(false);
+        let (skip_end, skip_bus, jumps) = run(true);
+        assert_eq!(naive_end, 640);
+        assert_eq!(skip_end, 640);
+        assert_eq!(naive_bus, skip_bus);
+        // 640 cycles crossed in 64-cycle boundary-capped jumps.
+        assert_eq!(jumps, 10);
+    }
+
+    #[test]
+    fn horizon_jump_does_not_trip_the_idle_budget() {
+        // The first event lands far past the idle budget. The naive loop
+        // must declare a stall; the fast-forward loop knows an event is
+        // scheduled and crosses the gap without charging the budget.
+        let run = |skip: bool| {
+            let mut bus = EventBus::default();
+            let mut cl = CycleLoop::new()
+                .with_skip(skip)
+                .with_watchdog(Watchdog {
+                    check_interval: 4,
+                    idle_budget: 100,
+                })
+                .stage(Periodic { period: 1000 })
+                .stage(BusClock);
+            cl.run(
+                &mut bus,
+                0,
+                |b| b.events >= 1,
+                |b| b.events,
+                |_, idle| format!("stalled for {idle}"),
+            )
+        };
+        assert_eq!(run(true), 1004);
+        let naive = std::panic::catch_unwind(|| run(false));
+        assert!(naive.is_err(), "naive loop must trip the watchdog");
+    }
+
+    #[test]
+    fn event_loop_backstop_trips_and_reports_horizon() {
+        // A stage that always promises an event just over the boundary but
+        // never makes progress: every window is crossed by jumps, so the
+        // normal idle budget never charges — the leashed backstop must
+        // trip instead, and the diagnostic must carry the jump telemetry.
+        struct Mirage;
+        impl Clocked<EventBus> for Mirage {
+            fn tick(&mut self, _now: u64, bus: &mut EventBus) {
+                bus.idle_ticks += 1;
+            }
+            fn next_event(&self, now: u64, _bus: &EventBus) -> Option<u64> {
+                Some(now + 1_000_000)
+            }
+            fn skip(&mut self, from: u64, to: u64, bus: &mut EventBus) {
+                bus.idle_ticks += to - from;
+            }
+            fn name(&self) -> &'static str {
+                "mirage"
+            }
+        }
+        let trip = std::panic::catch_unwind(|| {
+            let mut bus = EventBus::default();
+            let mut cl = CycleLoop::new()
+                .with_skip(true)
+                .with_watchdog(Watchdog {
+                    check_interval: 16,
+                    idle_budget: 16,
+                })
+                .stage(Mirage);
+            cl.run(
+                &mut bus,
+                0,
+                |_| false,
+                |_| 0,
+                |_, idle| format!("stalled for {idle}"),
+            )
+        });
+        let msg = *trip
+            .expect_err("backstop must trip")
+            .downcast::<String>()
+            .expect("panic carries the diagnostic string");
+        // idle_budget × EVENT_LOOP_LEASH = 16 × 64 flat cycles.
+        assert!(msg.contains("stalled for 1024"), "got: {msg}");
+        assert!(msg.contains("last horizon decision"), "got: {msg}");
+        assert!(msg.contains("check boundary"), "got: {msg}");
     }
 }

@@ -29,5 +29,5 @@ mod clocked;
 mod stats;
 
 pub use batch::BatchRunner;
-pub use clocked::{Clocked, CycleLoop, Watchdog};
+pub use clocked::{Clocked, CycleLoop, JumpRecord, Watchdog, EVENT_LOOP_LEASH};
 pub use stats::{ScopedStats, StatSource, StatsRegistry};

@@ -134,6 +134,33 @@ impl StatsRegistry {
         out
     }
 
+    /// The first series (in deterministic key order: counters, then
+    /// metrics, then gauges) on which `self` and `other` disagree,
+    /// rendered as a human-readable `key: left vs right` line — the
+    /// message differential tests print instead of two full registry
+    /// dumps. `None` when the registries are equal.
+    pub fn first_difference(&self, other: &StatsRegistry) -> Option<String> {
+        fn scan<V: PartialEq + std::fmt::Display>(
+            kind: &str,
+            a: &BTreeMap<String, V>,
+            b: &BTreeMap<String, V>,
+        ) -> Option<String> {
+            for key in a.keys().chain(b.keys().filter(|k| !a.contains_key(*k))) {
+                match (a.get(key), b.get(key)) {
+                    (Some(x), Some(y)) if x == y => {}
+                    (Some(x), Some(y)) => return Some(format!("{kind} {key}: {x} vs {y}")),
+                    (Some(x), None) => return Some(format!("{kind} {key}: {x} vs <absent>")),
+                    (None, Some(y)) => return Some(format!("{kind} {key}: <absent> vs {y}")),
+                    (None, None) => unreachable!(),
+                }
+            }
+            None
+        }
+        scan("counter", &self.counters, &other.counters)
+            .or_else(|| scan("metric", &self.metrics, &other.metrics))
+            .or_else(|| scan("gauge", &self.gauges, &other.gauges))
+    }
+
     /// Renders every series as `key = value` lines, one per series —
     /// the uniform replacement for hand-formatted per-crate debug dumps.
     pub fn dump(&self) -> String {
@@ -310,6 +337,31 @@ mod tests {
             } as &dyn StatSource,
         )]);
         let _ = after.diff(&before);
+    }
+
+    #[test]
+    fn first_difference_pinpoints_the_diverging_series() {
+        let a = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 7,
+                energy: 2.0,
+            } as &dyn StatSource,
+        )]);
+        assert_eq!(a.first_difference(&a.clone()), None);
+        let b = StatsRegistry::collect([(
+            "x",
+            &Fake {
+                ops: 9,
+                energy: 2.0,
+            } as &dyn StatSource,
+        )]);
+        let diff = a.first_difference(&b).expect("registries differ");
+        assert_eq!(diff, "counter x.ops: 7 vs 9");
+        let mut c = a.clone();
+        c.scoped("y").counter("extra", 1);
+        let diff = c.first_difference(&a).expect("extra key differs");
+        assert_eq!(diff, "counter y.extra: 1 vs <absent>");
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Shared randomized-case generators for the cross-crate differential
+//! suites. Each integration-test binary compiles its own copy (Cargo's
+//! `tests/common` convention), so unused items are expected per binary.
+#![allow(dead_code)]
+
+use neurocube_fixed::Activation;
+use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
+use proptest::prelude::*;
+
+/// One randomized differential case: a small (cycle-simulation-friendly)
+/// network plus the mapping flavor and the parameter seed.
+#[derive(Clone, Debug)]
+pub struct DiffCase {
+    pub net: NetworkSpec,
+    pub dup: bool,
+    pub seed: u64,
+}
+
+pub fn activation(idx: u32) -> Activation {
+    match idx % 4 {
+        0 => Activation::Identity,
+        1 => Activation::ReLU,
+        2 => Activation::Sigmoid,
+        _ => Activation::Tanh,
+    }
+}
+
+/// Random small networks spanning every layer kind, both mapping
+/// flavors (duplicate/partitioned) and all four activations. Shrinking
+/// moves every coordinate toward its minimum, so counterexamples
+/// converge to the smallest geometry that still fails.
+pub fn diff_case() -> impl Strategy<Value = DiffCase> {
+    (
+        6u32..13,      // input height
+        6u32..13,      // input width
+        1u32..3,       // input channels
+        0u32..6,       // architecture pick
+        0u32..4,       // activation of the feature layers
+        0u32..4,       // activation of the classifier layers
+        any::<bool>(), // duplicate input volumes
+        0u64..1 << 32, // parameter seed
+    )
+        .prop_filter_map(
+            "valid network geometry",
+            |(h, w, c, arch, a0, a1, dup, seed)| {
+                let (a0, a1) = (activation(a0), activation(a1));
+                let layers = match arch {
+                    0 => vec![
+                        LayerSpec::conv(1 + (w as usize % 3), 3, a0),
+                        LayerSpec::fc(1 + (h as usize % 8), a1),
+                    ],
+                    1 => vec![
+                        LayerSpec::conv(2, 3, a0),
+                        LayerSpec::AvgPool { size: 2 },
+                        LayerSpec::fc(4, a1),
+                    ],
+                    2 => vec![
+                        LayerSpec::fc(1 + (w as usize % 12), a0),
+                        LayerSpec::fc(1 + (h as usize % 6), a1),
+                    ],
+                    3 => vec![LayerSpec::conv(2, 5, a0), LayerSpec::fc(3, a1)],
+                    4 => vec![LayerSpec::AvgPool { size: 2 }, LayerSpec::fc(5, a1)],
+                    _ => vec![
+                        LayerSpec::conv(1, 3, a0),
+                        LayerSpec::conv(2, 3, a1),
+                        LayerSpec::fc(2, a0),
+                    ],
+                };
+                let net = NetworkSpec::new(Shape::new(c as usize, h as usize, w as usize), layers)
+                    .ok()?;
+                Some(DiffCase { net, dup, seed })
+            },
+        )
+}

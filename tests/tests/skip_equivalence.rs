@@ -1,0 +1,102 @@
+//! Differential property: event-horizon fast-forwarding is observationally
+//! invisible. For random multi-layer networks (the same generator as the
+//! golden-model suite, so counterexamples shrink), a full inference with
+//! skipping forced on must match the naive per-cycle oracle **bitwise** —
+//! per-layer cycle counts, the final cycle counter, the output tensor and
+//! the entire statistics registry.
+//!
+//! The modes are selected through [`Neurocube::set_cycle_skip`], not the
+//! `NEUROCUBE_NO_SKIP` environment variable: the env default is read once
+//! per process and tests run multithreaded, so mutating it mid-run would
+//! race other suites.
+
+mod common;
+
+use common::{diff_case, DiffCase};
+use neurocube::{Neurocube, SystemConfig};
+use neurocube_fixed::Q88;
+use neurocube_sim::StatsRegistry;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+struct Observables {
+    layer_cycles: Vec<u64>,
+    final_cycle: u64,
+    output: Vec<Q88>,
+    stats: StatsRegistry,
+    skipped_cycles: u64,
+    horizon_jumps: u64,
+}
+
+fn run_mode(case: &DiffCase, skip: bool) -> Observables {
+    let cfg = SystemConfig::paper(case.dup);
+    let params = case.net.init_params(case.seed, 0.25);
+    let mut cube = Neurocube::new(cfg);
+    cube.set_cycle_skip(Some(skip));
+    let loaded = cube.load(case.net.clone(), params);
+    let input = neurocube_bench::ramp_input(&case.net);
+    let (output, report) = cube.run_inference(&loaded, &input);
+    Observables {
+        layer_cycles: report.layers.iter().map(|l| l.cycles).collect(),
+        final_cycle: cube.now(),
+        output: output.as_slice().to_vec(),
+        stats: cube.stats_registry(),
+        skipped_cycles: cube.skipped_cycles(),
+        horizon_jumps: cube.horizon_jumps(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Skip vs no-skip runs of the same random network agree on every
+    /// observable. On divergence the failing statistic is named (via
+    /// `StatsRegistry::first_difference`) and the case shrinks toward the
+    /// smallest geometry that still diverges.
+    #[test]
+    fn fast_forward_is_observationally_invisible(case in diff_case()) {
+        let fast = run_mode(&case, true);
+        let naive = run_mode(&case, false);
+        prop_assert_eq!(
+            naive.skipped_cycles, 0,
+            "the naive oracle must not fast-forward"
+        );
+        prop_assert_eq!(
+            &fast.layer_cycles, &naive.layer_cycles,
+            "per-layer cycle counts diverge (dup={}, seed={})", case.dup, case.seed
+        );
+        prop_assert_eq!(fast.final_cycle, naive.final_cycle, "final cycle counters diverge");
+        prop_assert_eq!(&fast.output, &naive.output, "output tensors diverge");
+        if let Some(delta) = fast.stats.first_difference(&naive.stats) {
+            return Err(TestCaseError::fail(format!(
+                "statistics diverge at {delta} (skip run jumped {} times over {} cycles; \
+                 dup={}, seed={})",
+                fast.horizon_jumps, fast.skipped_cycles, case.dup, case.seed
+            )));
+        }
+    }
+}
+
+/// Deterministic anchor: on a paper-style workload the fast mode actually
+/// fast-forwards (a skip implementation that never jumps would pass the
+/// property above vacuously) and still matches the oracle.
+#[test]
+fn fast_forward_engages_on_paper_workload() {
+    let case = DiffCase {
+        net: neurocube_nn::workloads::mnist_mlp(64),
+        dup: true,
+        seed: 7,
+    };
+    let fast = run_mode(&case, true);
+    let naive = run_mode(&case, false);
+    assert!(
+        fast.horizon_jumps > 0 && fast.skipped_cycles > 0,
+        "fast mode never jumped on mnist_mlp"
+    );
+    assert_eq!(fast.final_cycle, naive.final_cycle);
+    assert_eq!(
+        fast.stats.first_difference(&naive.stats),
+        None,
+        "statistics diverge"
+    );
+}
