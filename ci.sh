@@ -7,6 +7,12 @@
 #                    property suite: skipping vs naive loop, bitwise.)
 #   ci.sh --fuzz   - same gate, then a deeper randomized sweep of the
 #                    property/differential suites (512 cases each).
+#   ci.sh --faults - same gate, then the fault suites at depth: the
+#                    fault-determinism fuzz (malformed packets/tags into
+#                    lenient components) and the fault-mode
+#                    skip-equivalence properties at 512 cases each. The
+#                    standard gate already runs both at the pinned
+#                    64-case budget via `cargo test`.
 #   ci.sh --bench  - same gate, then the simulator wall-clock benchmark
 #                    (fig. 14/15 sweep shapes, BENCH_sim.json). Fails if
 #                    the skipping loop's geomean throughput over the
@@ -22,6 +28,10 @@ cd "$(dirname "$0")"
 
 cargo build --release
 PROPTEST_CASES=64 cargo test -q
+# Fault suites at their own pinned budget: malformed-input fuzzing of the
+# lenient paths plus the fault-mode skip-equivalence properties.
+PROPTEST_CASES=32 cargo test -q \
+    -p neurocube-integration-tests --test fault_fuzz --test skip_equivalence
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 
@@ -33,6 +43,12 @@ if [[ "${1:-}" == "--fuzz" ]]; then
         -p neurocube-noc \
         -p neurocube-golden \
         -p neurocube-integration-tests
+fi
+
+if [[ "${1:-}" == "--faults" ]]; then
+    echo "== fault suites (PROPTEST_CASES=512) =="
+    PROPTEST_CASES=512 cargo test -q --release \
+        -p neurocube-integration-tests --test fault_fuzz --test skip_equivalence
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

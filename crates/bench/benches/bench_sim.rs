@@ -18,7 +18,8 @@
 //! below `x` (the `ci.sh --bench` regression guard).
 
 use neurocube::SystemConfig;
-use neurocube_bench::{header, run_inference_mode, SkipTelemetry};
+use neurocube_bench::{header, run_inference_faulty, run_inference_mode, SkipTelemetry};
+use neurocube_fault::FaultConfig;
 use neurocube_fixed::Activation;
 use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
 use std::path::PathBuf;
@@ -208,7 +209,7 @@ fn main() {
         "vs seed"
     );
     let mut rows = Vec::new();
-    for w in &workloads() {
+    for (i, w) in workloads().iter().enumerate() {
         let (naive_secs, naive_report, naive_stats, naive_tel) = timed(w, false);
         let (skip_secs, skip_report, skip_stats, skip_tel) = timed(w, true);
         assert_eq!(
@@ -232,6 +233,30 @@ fn main() {
             "{}: fast-forward run diverged from the oracle's statistics",
             w.name
         );
+        if i == 0 {
+            // A zero-rate fault config must be invisible: same report,
+            // same registry, no `fault` section — the injector normalizes
+            // itself away, so sweep point 0 of the fault sweep is the
+            // fault-free simulator, bit for bit.
+            let zero = run_inference_faulty(
+                w.cfg.clone(),
+                &w.spec,
+                w.seed,
+                Some(FaultConfig::uniform(w.seed, 0.0)),
+            );
+            assert_eq!(
+                zero.report, skip_report,
+                "{}: zero-fault-rate run diverged from the no-injector report",
+                w.name
+            );
+            assert_eq!(
+                zero.stats, skip_stats,
+                "{}: zero-fault-rate run diverged from the no-injector statistics",
+                w.name
+            );
+            assert!(zero.report.fault.is_none());
+            println!("(zero-fault-rate run verified bitwise-identical to the no-injector build)");
+        }
         let cycles = naive_report.total_cycles();
         let row = Row {
             name: w.name,
@@ -279,10 +304,7 @@ fn main() {
     write_json(&rows, &out);
     println!("wrote {}", out.display());
 
-    if let Some(gate) = std::env::var("NEUROCUBE_BENCH_MIN_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-    {
+    if let Some(gate) = neurocube_sim::env_f64("NEUROCUBE_BENCH_MIN_SPEEDUP") {
         // The gate compares the skipping loop against the *seed* naive
         // loop's pinned throughput, not against the same-binary naive
         // run: on the saturated fig. 14 shapes the two loops in one

@@ -12,9 +12,10 @@
 #![forbid(unsafe_code)]
 
 use neurocube::{Neurocube, RunReport, SystemConfig};
+use neurocube_fault::FaultConfig;
 use neurocube_fixed::Q88;
 use neurocube_nn::{NetworkSpec, Tensor};
-use neurocube_sim::{BatchRunner, StatsRegistry};
+use neurocube_sim::{env_str, BatchRunner, StatsRegistry};
 use std::fs::File;
 use std::io::Write;
 use std::path::PathBuf;
@@ -23,9 +24,9 @@ use std::path::PathBuf;
 /// `full` → the paper's 320×240, `fast` (default) → 160×120,
 /// `tiny` → 80×60 (CI smoke runs).
 pub fn scene_scale() -> (usize, usize, &'static str) {
-    match std::env::var("NEUROCUBE_SCALE").as_deref() {
-        Ok("full") => (240, 320, "full (paper 320x240)"),
-        Ok("tiny") => (60, 80, "tiny (80x60)"),
+    match env_str("NEUROCUBE_SCALE").as_deref() {
+        Some("full") => (240, 320, "full (paper 320x240)"),
+        Some("tiny") => (60, 80, "tiny (80x60)"),
         _ => (120, 160, "fast (160x120)"),
     }
 }
@@ -90,6 +91,43 @@ pub fn run_inference_mode(
         horizon_jumps: cube.horizon_jumps(),
     };
     (report, stats, telemetry)
+}
+
+/// One fault-sweep run: the output tensor (the raw material of the
+/// accuracy-under-faults comparison), the run report, and the final
+/// statistics registry.
+pub struct FaultRun {
+    /// The inference output.
+    pub output: Tensor,
+    /// The run's report (with its `fault` summary when an injector ran).
+    pub report: RunReport,
+    /// Final registry snapshot (with `fault.*` counters when an injector
+    /// ran).
+    pub stats: StatsRegistry,
+}
+
+/// Like [`run_inference_stats`], but with an explicit fault configuration
+/// (`None` detaches any environment-attached injector) and the output
+/// tensor returned, so sweeps can measure accuracy degradation against a
+/// zero-fault reference.
+pub fn run_inference_faulty(
+    cfg: SystemConfig,
+    spec: &NetworkSpec,
+    seed: u64,
+    fault: Option<FaultConfig>,
+) -> FaultRun {
+    let params = spec.init_params(seed, 0.25);
+    let mut cube = Neurocube::new(cfg);
+    cube.set_fault_config(fault);
+    let loaded = cube.load(spec.clone(), params);
+    let input = ramp_input(spec);
+    let (output, report) = cube.run_inference(&loaded, &input);
+    let stats = cube.stats_registry();
+    FaultRun {
+        output,
+        report,
+        stats,
+    }
 }
 
 /// Runs every sweep point of `jobs` on the kernel's [`BatchRunner`] —

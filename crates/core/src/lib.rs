@@ -41,6 +41,6 @@ mod training;
 
 pub use config::{ProgrammingModel, SystemConfig};
 pub use multicube::{LinkModel, MultiCube, MultiCubeReport, MultiLayerReport};
-pub use report::{LayerReport, RunReport};
+pub use report::{FaultSummary, LayerReport, RunReport};
 pub use system::{LoadedNetwork, Neurocube};
 pub use training::{training_ops, training_passes, PassKind};

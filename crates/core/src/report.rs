@@ -83,6 +83,75 @@ impl fmt::Display for LayerReport {
     }
 }
 
+/// Fault-injection outcome of a run — present only when an injector (or
+/// ECC) was attached, so fault-free runs stay bitwise identical to builds
+/// that never heard of the fault crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// DRAM read words with at least one transient bit-flip applied.
+    pub dram_read_flips: u64,
+    /// DRAM read words that hit a stuck-at cell.
+    pub dram_stuck_bits: u64,
+    /// Background upsets landed on resident pages.
+    pub dram_upsets: u64,
+    /// Faulty DRAM words corrected by SECDED (single-bit).
+    pub ecc_corrected: u64,
+    /// Faulty DRAM words detected but uncorrectable (multi-bit).
+    pub ecc_detected: u64,
+    /// Words that paid the SECDED check-bit/decode cost.
+    pub ecc_words: u64,
+    /// NoC flits caught by link parity (retransmitted).
+    pub noc_corrupt: u64,
+    /// NoC flits dropped in flight (retransmitted after timeout).
+    pub noc_drops: u64,
+    /// NoC flits forwarded out the wrong mesh port.
+    pub noc_misroutes: u64,
+    /// Link-level retransmissions (corrupt + dropped flits).
+    pub noc_retransmits: u64,
+    /// PE MAC operations with a flipped operand bit.
+    pub pe_mac_faults: u64,
+    /// Malformed/unroutable packets consumed as counted drops instead of
+    /// panics (NoC + PE + PNG, including unknown completion tags).
+    pub dropped_packets: u64,
+}
+
+impl FaultSummary {
+    /// True when no fault of any kind materialized (ECC may still have
+    /// charged its per-word overhead).
+    pub fn is_clean(&self) -> bool {
+        self.dram_read_flips == 0
+            && self.dram_stuck_bits == 0
+            && self.dram_upsets == 0
+            && self.noc_corrupt == 0
+            && self.noc_drops == 0
+            && self.noc_misroutes == 0
+            && self.pe_mac_faults == 0
+            && self.dropped_packets == 0
+    }
+}
+
+impl fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults: dram {} flips/{} stuck/{} upsets, ecc {}/{} of {} words, \
+             noc {} corrupt/{} drops/{} misroutes ({} retx), {} mac faults, {} dropped",
+            self.dram_read_flips,
+            self.dram_stuck_bits,
+            self.dram_upsets,
+            self.ecc_corrected,
+            self.ecc_detected,
+            self.ecc_words,
+            self.noc_corrupt,
+            self.noc_drops,
+            self.noc_misroutes,
+            self.noc_retransmits,
+            self.pe_mac_faults,
+            self.dropped_packets
+        )
+    }
+}
+
 /// Statistics of a whole run (inference or one training step).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
@@ -92,6 +161,8 @@ pub struct RunReport {
     pub memory_bytes: u64,
     /// Bytes a duplication-free layout would need.
     pub memory_minimal_bytes: u64,
+    /// Fault-injection summary; `None` when no injector was attached.
+    pub fault: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -169,7 +240,11 @@ impl fmt::Display for RunReport {
             self.total_ops(),
             self.throughput_gops(),
             100.0 * self.memory_overhead()
-        )
+        )?;
+        if let Some(fault) = &self.fault {
+            writeln!(f, "{fault}")?;
+        }
+        Ok(())
     }
 }
 
@@ -210,6 +285,7 @@ mod tests {
             layers: vec![layer(1000, 8000), layer(3000, 8000)],
             memory_bytes: 150,
             memory_minimal_bytes: 100,
+            fault: None,
         };
         assert_eq!(r.total_cycles(), 4000);
         assert_eq!(r.total_ops(), 32_000);
@@ -237,9 +313,22 @@ mod tests {
             layers: vec![layer(1000, 8000)],
             memory_bytes: 100,
             memory_minimal_bytes: 100,
+            fault: None,
         };
         let s = r.to_string();
         assert!(s.contains("L1 conv"));
         assert!(s.contains("total:"));
+        assert!(!s.contains("faults:"));
+        let faulty = RunReport {
+            fault: Some(FaultSummary {
+                noc_corrupt: 3,
+                noc_retransmits: 3,
+                ..FaultSummary::default()
+            }),
+            ..r
+        };
+        assert!(faulty.to_string().contains("3 retx"));
+        assert!(!faulty.fault.unwrap().is_clean());
+        assert!(FaultSummary::default().is_clean());
     }
 }

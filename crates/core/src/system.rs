@@ -1,9 +1,10 @@
 //! The assembled Neurocube and its cycle loop.
 
 use crate::config::SystemConfig;
-use crate::report::{LayerReport, RunReport};
+use crate::report::{FaultSummary, LayerReport, RunReport};
 use crate::training::{training_passes, PassKind};
 use neurocube_dram::MemorySystem;
+use neurocube_fault::{FaultConfig, PeFaultCounts};
 use neurocube_nn::{NetworkSpec, Tensor};
 use neurocube_noc::Network;
 use neurocube_pe::ProcessingElement;
@@ -62,6 +63,11 @@ pub struct Neurocube {
     horizon_jumps: u64,
     /// Cumulative cycles crossed by fast-forward jumps instead of ticking.
     skipped_cycles: u64,
+    /// The attached fault-injection configuration, if any. `None` (and any
+    /// all-zero-rate, ECC-off config, which is normalized to `None`) leaves
+    /// every component untouched and every statistic bitwise identical to a
+    /// build without the injector.
+    faults: Option<FaultConfig>,
 }
 
 impl Neurocube {
@@ -106,7 +112,7 @@ impl Neurocube {
             })
             .collect();
         let nodes = cfg.nodes();
-        Neurocube {
+        let mut cube = Neurocube {
             cfg,
             mem,
             net,
@@ -118,7 +124,74 @@ impl Neurocube {
             skip_override: None,
             horizon_jumps: 0,
             skipped_cycles: 0,
+            faults: None,
+        };
+        // Environment default: NEUROCUBE_FAULT_RATE / _SEED / _ECC attach
+        // an injector at construction (explicit `set_fault_config` wins).
+        if let Some(fault_cfg) = FaultConfig::from_env() {
+            cube.set_fault_config(Some(fault_cfg));
         }
+        cube
+    }
+
+    /// Attaches (or detaches, with `None`) a deterministic fault injector:
+    /// per-channel DRAM lenses, the NoC link lens, one lens per PE, and
+    /// lenient packet handling throughout. A config with all rates zero
+    /// and ECC off is normalized to `None`, so a zero-rate sweep point is
+    /// bitwise identical to a run without any injector.
+    pub fn set_fault_config(&mut self, cfg: Option<FaultConfig>) {
+        self.faults = cfg.filter(|c| c.enabled() || c.ecc);
+        let attach = self.faults.as_ref();
+        self.mem.set_faults(attach);
+        self.net.set_faults(attach);
+        for pe in &mut self.pes {
+            pe.set_faults(attach);
+        }
+        let lenient = attach.is_some();
+        self.net.set_lenient(lenient);
+        for pe in &mut self.pes {
+            pe.set_lenient(lenient);
+        }
+        for png in &mut self.pngs {
+            png.set_lenient(lenient);
+        }
+    }
+
+    /// The attached fault configuration, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
+    }
+
+    /// Aggregated fault counters across every component, or `None` when no
+    /// injector is attached.
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        self.faults.as_ref()?;
+        let d = self.mem.fault_counts();
+        let n = self.net.fault_counts();
+        let mut pe = PeFaultCounts::default();
+        for p in &self.pes {
+            pe.merge(&p.fault_counts());
+        }
+        let png_dropped: u64 = self.pngs.iter().map(Png::dropped_packets).sum();
+        let png_unknown: u64 = self.pngs.iter().map(Png::unknown_completions).sum();
+        Some(FaultSummary {
+            dram_read_flips: d.read_flips,
+            dram_stuck_bits: d.stuck_bits,
+            dram_upsets: d.upsets,
+            ecc_corrected: d.ecc_corrected,
+            ecc_detected: d.ecc_detected,
+            ecc_words: d.ecc_words,
+            noc_corrupt: n.corrupt,
+            noc_drops: n.drops,
+            noc_misroutes: n.misroutes,
+            noc_retransmits: n.retransmits,
+            pe_mac_faults: pe.mac_faults,
+            dropped_packets: n.unroutable
+                + n.dropped_packets
+                + pe.dropped_packets
+                + png_dropped
+                + png_unknown,
+        })
     }
 
     /// The configuration.
@@ -174,6 +247,41 @@ impl Neurocube {
         }
         self.net.report(&mut reg.scoped("noc"));
         self.mem.report(&mut reg.scoped("mem"));
+        // The `fault` scope exists only while an injector is attached, so
+        // fault-free registries stay bitwise identical to builds that never
+        // heard of fault injection.
+        if self.faults.is_some() {
+            let mut s = reg.scoped("fault");
+            let d = self.mem.fault_counts();
+            s.counter("dram.read_flips", d.read_flips);
+            s.counter("dram.stuck_bits", d.stuck_bits);
+            s.counter("dram.upsets", d.upsets);
+            s.counter("dram.upsets_absorbed", d.upsets_absorbed);
+            s.counter("dram.ecc_corrected", d.ecc_corrected);
+            s.counter("dram.ecc_detected", d.ecc_detected);
+            s.counter("dram.ecc_words", d.ecc_words);
+            let n = self.net.fault_counts();
+            s.counter("noc.corrupt", n.corrupt);
+            s.counter("noc.drops", n.drops);
+            s.counter("noc.misroutes", n.misroutes);
+            s.counter("noc.retransmits", n.retransmits);
+            s.counter("noc.unroutable", n.unroutable);
+            s.counter("noc.dropped_packets", n.dropped_packets);
+            let mut pe = PeFaultCounts::default();
+            for p in &self.pes {
+                pe.merge(&p.fault_counts());
+            }
+            s.counter("pe.mac_faults", pe.mac_faults);
+            s.counter("pe.dropped_packets", pe.dropped_packets);
+            s.counter(
+                "png.dropped_packets",
+                self.pngs.iter().map(Png::dropped_packets).sum(),
+            );
+            s.counter(
+                "png.unknown_completions",
+                self.pngs.iter().map(Png::unknown_completions).sum(),
+            );
+        }
         reg
     }
 
@@ -401,10 +509,12 @@ impl Neurocube {
             layers: Vec::with_capacity(loaded.spec.depth()),
             memory_bytes: loaded.layout.total_bytes(),
             memory_minimal_bytes: loaded.layout.minimal_bytes(),
+            fault: None,
         };
         for i in 0..loaded.spec.depth() {
             report.layers.push(self.run_layer(loaded, i));
         }
+        report.fault = self.fault_summary();
         let output = self.read_volume(loaded, loaded.spec.depth());
         (output, report)
     }
@@ -419,6 +529,7 @@ impl Neurocube {
             layers: Vec::new(),
             memory_bytes: loaded.layout.total_bytes(),
             memory_minimal_bytes: loaded.layout.minimal_bytes(),
+            fault: None,
         };
         // Forward sweep (activations must be stored for backprop).
         for i in 0..loaded.spec.depth() {
@@ -815,6 +926,85 @@ mod tests {
             "output tensors diverge"
         );
         assert_eq!(stats_fast, stats_ref, "statistics registries diverge");
+    }
+
+    fn tiny_net() -> (NetworkSpec, Vec<Vec<neurocube_fixed::Q88>>, Tensor) {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![
+                LayerSpec::conv(2, 3, Activation::Tanh),
+                LayerSpec::fc(10, Activation::Sigmoid),
+            ],
+        )
+        .unwrap();
+        let params = spec.init_params(1, 0.25);
+        let input = Tensor::from_vec(
+            1,
+            12,
+            12,
+            (0..144)
+                .map(|i| neurocube_fixed::Q88::from_f64(f64::from(i % 7) * 0.1 - 0.3))
+                .collect(),
+        );
+        (spec, params, input)
+    }
+
+    /// A zero-rate, ECC-off fault config is normalized away: the run is
+    /// bitwise identical to one on a cube that never saw the fault crate
+    /// (same registry key set, same values, no `fault` report section).
+    #[test]
+    fn zero_rate_fault_config_is_bitwise_identical_to_no_injector() {
+        let (spec, params, input) = tiny_net();
+        let run = |cfg: Option<FaultConfig>| {
+            let mut cube = Neurocube::new(SystemConfig::paper(true));
+            cube.set_fault_config(cfg);
+            let loaded = cube.load(spec.clone(), params.clone());
+            let (out, report) = cube.run_inference(&loaded, &input);
+            (out, report, cube.stats_registry())
+        };
+        let (out_ref, rep_ref, stats_ref) = run(None);
+        let (out_zero, rep_zero, stats_zero) = run(Some(FaultConfig::uniform(7, 0.0)));
+        assert_eq!(out_zero.as_slice(), out_ref.as_slice());
+        assert_eq!(rep_zero, rep_ref);
+        assert!(rep_zero.fault.is_none(), "zero-rate config must detach");
+        assert_eq!(stats_zero, stats_ref, "registries diverge at rate 0");
+        assert!(
+            !stats_zero.counters().any(|(k, _)| k.starts_with("fault.")),
+            "no fault scope without an injector"
+        );
+    }
+
+    /// With faults enabled, event-horizon skipping must still be invisible:
+    /// skip and naive runs see the *same* faults at the same cycles and end
+    /// with bitwise-identical outputs, reports, and registries.
+    #[test]
+    fn faulty_run_skip_matches_naive_bitwise() {
+        let (spec, params, input) = tiny_net();
+        let cfg = FaultConfig::uniform(0xFA017, 2e-5);
+        let run = |skip: bool| {
+            let mut cube = Neurocube::new(SystemConfig::paper(true));
+            cube.set_cycle_skip(Some(skip));
+            cube.set_fault_config(Some(cfg.clone()));
+            let loaded = cube.load(spec.clone(), params.clone());
+            let (out, report) = cube.run_inference(&loaded, &input);
+            (out, report, cube.stats_registry(), cube.horizon_jumps())
+        };
+        let (out_fast, rep_fast, stats_fast, jumps) = run(true);
+        let (out_ref, rep_ref, stats_ref, jumps_ref) = run(false);
+        assert_eq!(jumps_ref, 0, "the oracle must not fast-forward");
+        assert!(jumps > 0, "fault mode no longer exercises skipping");
+        let summary = rep_fast.fault.expect("injector attached");
+        assert!(
+            !summary.is_clean(),
+            "rate 2e-5 must materialize at least one fault: {summary}"
+        );
+        assert_eq!(out_fast.as_slice(), out_ref.as_slice());
+        assert_eq!(rep_fast, rep_ref, "reports diverge under faults");
+        assert_eq!(stats_fast, stats_ref, "registries diverge under faults");
+        assert!(
+            stats_fast.counters().any(|(k, _)| k.starts_with("fault.")),
+            "fault scope missing from the registry"
+        );
     }
 
     /// The same configured layer on the full pipeline completes without

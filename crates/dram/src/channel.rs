@@ -17,6 +17,7 @@
 //! open row of its bank.
 
 use crate::storage::Storage;
+use neurocube_fault::DramFaults;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -215,6 +216,15 @@ pub struct Channel {
     /// tick turns out null, cleared by [`try_enqueue`]; purely an
     /// optimization — behaviour is bitwise identical with it disabled.
     quiet_until: u64,
+    /// Fault-injection lens, when the run has one attached. Read faults
+    /// ride the data path; the lens's background-upset schedule clamps
+    /// [`next_event`](Channel::next_event) so the fast-forward loop can
+    /// never skip over a scheduled fault.
+    faults: Option<DramFaults>,
+    /// Address region `[fault_base, fault_base + fault_span)` background
+    /// upsets land in (the channel's slice of the address map).
+    fault_base: u64,
+    fault_span: u64,
     // statistics
     words_read: u64,
     words_written: u64,
@@ -236,6 +246,9 @@ impl Channel {
             refresh_until: 0,
             refreshes: 0,
             quiet_until: 0,
+            faults: None,
+            fault_base: 0,
+            fault_span: 0,
             words_read: 0,
             words_written: 0,
             row_misses: 0,
@@ -247,6 +260,22 @@ impl Channel {
     /// The channel's configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.cfg
+    }
+
+    /// Attaches (or detaches) a fault lens, with the address region
+    /// `[base, base + span)` that this channel's background upsets land
+    /// in. Clears the null-tick memo: it was proven without the lens's
+    /// horizon clamp.
+    pub fn set_faults(&mut self, faults: Option<DramFaults>, base: u64, span: u64) {
+        self.faults = faults;
+        self.fault_base = base;
+        self.fault_span = span;
+        self.quiet_until = 0;
+    }
+
+    /// The attached fault lens, if any (counter access for reporting).
+    pub fn faults(&self) -> Option<&DramFaults> {
+        self.faults.as_ref()
     }
 
     /// Remaining request-queue slots.
@@ -357,7 +386,21 @@ impl Channel {
     /// `None` means "tick me this cycle": the channel would issue a refresh
     /// or an activation, or serve a word, at `now`. `Some(u64::MAX)` means
     /// the channel is idle and only external enqueues can wake it.
+    ///
+    /// With a fault lens attached, **every** return path is additionally
+    /// clamped to the lens's next scheduled background upset: a fault due
+    /// inside a promised quiet window would otherwise be jumped over by
+    /// the fast-forward loop and the skipping/naive runs would diverge.
     pub fn next_event(&self, now: u64) -> Option<u64> {
+        let base = self.next_event_unfaulted(now);
+        match &self.faults {
+            Some(f) => f.clamp(now, base),
+            None => base,
+        }
+    }
+
+    /// [`next_event`](Channel::next_event) before fault clamping.
+    fn next_event_unfaulted(&self, now: u64) -> Option<u64> {
         let mut horizon = u64::MAX;
         if let Some(r) = self.cfg.refresh {
             if now >= self.refresh_until && now / r.interval > self.refreshes {
@@ -431,6 +474,26 @@ impl Channel {
     /// Advances one reference cycle. Returns the completion if a word
     /// crossed the channel this cycle.
     pub fn tick(&mut self, now: u64, storage: &mut Storage) -> Option<Completion> {
+        // Background upsets fire first: they are scheduled at absolute
+        // cycles independent of channel activity (next_event clamps to
+        // them, so this tick happens in both loop modes). An upset flips
+        // one stored bit in the channel's region; upsets aimed at pages
+        // the host never wrote hit cells no request will ever read, and
+        // are counted without materializing the page.
+        if let Some(f) = &mut self.faults {
+            while f.upset_due(now) {
+                let (sel, bit) = f.pop_upset();
+                let words = (self.fault_span / 4).max(1);
+                let addr = self.fault_base + (sel % words) * 4;
+                if storage.page_resident(addr) {
+                    let flipped = storage.read_u32(addr) ^ (1 << bit);
+                    storage.write_u32(addr, flipped);
+                    f.counts.upsets += 1;
+                } else {
+                    f.counts.upsets_absorbed += 1;
+                }
+            }
+        }
         // Refresh: all-bank pause every t_REFI, closing every row.
         if let Some(r) = self.cfg.refresh {
             if now >= self.refresh_until && now / r.interval > self.refreshes {
@@ -501,7 +564,7 @@ impl Channel {
         let data = match req.kind {
             RequestKind::Read => {
                 self.words_read += 1;
-                match self.cfg.word_bits {
+                let raw = match self.cfg.word_bits {
                     32 => u64::from(storage.read_u32(req.addr)),
                     64 => {
                         u64::from(storage.read_u32(req.addr))
@@ -509,6 +572,20 @@ impl Channel {
                     }
                     16 => u64::from(storage.read_u16(req.addr)),
                     other => panic!("unsupported word size {other}"),
+                };
+                match &mut self.faults {
+                    None => raw,
+                    Some(f) => match self.cfg.word_bits {
+                        64 => {
+                            u64::from(f.filter_read(now, req.addr, raw as u32))
+                                | (u64::from(f.filter_read(now, req.addr + 4, (raw >> 32) as u32))
+                                    << 32)
+                        }
+                        bits => {
+                            let mask = (1u64 << bits) - 1;
+                            u64::from(f.filter_read(now, req.addr, raw as u32)) & mask
+                        }
+                    },
                 }
             }
             RequestKind::Write(v) => {
@@ -577,8 +654,18 @@ impl Channel {
     }
 
     /// DRAM access energy consumed so far, in joules (pJ/bit × bits).
+    /// When the SECDED model is on, every decoded word moves 7 check bits
+    /// alongside its 32 data bits and those bits are charged at the same
+    /// pJ/bit (decode-logic energy is accounted separately — see
+    /// `neurocube_power::secded_overhead_j`).
     pub fn energy_joules(&self) -> f64 {
-        self.bits_transferred() as f64 * self.cfg.energy_pj_per_bit * 1e-12
+        let mut bits = self.bits_transferred();
+        if let Some(f) = &self.faults {
+            if f.ecc_enabled() {
+                bits += f.counts.ecc_words * u64::from(neurocube_fault::SECDED_CHECK_BITS);
+            }
+        }
+        bits as f64 * self.cfg.energy_pj_per_bit * 1e-12
     }
 }
 
@@ -855,6 +942,103 @@ mod tests {
             duration: 60,
         });
         assert_skip_equivalent(refreshing, &thrash);
+    }
+
+    #[test]
+    fn fault_mode_skip_is_bitwise_identical_and_horizons_clamp_to_upsets() {
+        use neurocube_fault::{DramFaults, FaultConfig};
+        let mut fcfg = FaultConfig::uniform(0x5EED, 1e-4);
+        fcfg.dram_upset_rate = 1e-2; // several scheduled upsets per run
+        fcfg.ecc = true;
+        let cfg = ChannelConfig::hmc_int();
+        let mut seed = Channel::new(cfg);
+        seed.set_faults(Some(DramFaults::new(&fcfg, 0)), 0, 1 << 16);
+        // A thrashing pattern with long activation waits: quiet windows
+        // that scheduled upsets must cut short.
+        let addrs: Vec<u64> = (0..32u64)
+            .map(|i| (i % 2) * 16 * 256 + (i / 2) * 4)
+            .collect();
+        for (i, &addr) in addrs.iter().enumerate() {
+            assert!(seed.try_enqueue(Request {
+                addr,
+                tag: i as u64,
+                kind: RequestKind::Read,
+            }));
+        }
+        let run = |mut ch: Channel, fast: bool| {
+            let mut storage = Storage::new();
+            // Materialize the upset window so background flips land on
+            // resident pages and are observable through later reads.
+            for a in (0u64..(1 << 16)).step_by(4) {
+                storage.write_u32(a, (a as u32).wrapping_mul(0x9E37_79B9));
+            }
+            let mut completions = Vec::new();
+            let mut now = 0u64;
+            while completions.len() < addrs.len() {
+                if fast {
+                    if let Some(t) = ch.next_event(now) {
+                        assert!(t > now, "horizon must be in the future");
+                        assert!(
+                            t <= ch.faults().unwrap().next_upset(),
+                            "a quiet window may never cross a scheduled upset"
+                        );
+                        ch.skip(now, t);
+                        now = t;
+                        continue;
+                    }
+                }
+                if let Some(c) = ch.tick(now, &mut storage) {
+                    completions.push(c);
+                }
+                now += 1;
+                assert!(now < 10_000_000, "channel deadlocked");
+            }
+            let counts = ch.faults().unwrap().counts;
+            (completions, ch.busy_cycles(), ch.row_misses(), counts)
+        };
+        let naive = run(seed.clone(), false);
+        let fast = run(seed, true);
+        assert_eq!(naive, fast, "fault-mode skip diverged from naive");
+        assert!(
+            naive.3.upsets > 0,
+            "the schedule must actually fire inside the run"
+        );
+        assert_eq!(naive.3.ecc_words, 32, "every read word is ECC-decoded");
+    }
+
+    #[test]
+    fn zero_rate_lens_leaves_the_channel_bitwise_unchanged() {
+        use neurocube_fault::{DramFaults, FaultConfig};
+        let addrs: Vec<u64> = (0..48u64).map(|i| i * 4).collect();
+        let build = |lens: bool| {
+            let mut ch = Channel::new(ChannelConfig::hmc_int());
+            if lens {
+                let fcfg = FaultConfig::uniform(7, 0.0);
+                ch.set_faults(Some(DramFaults::new(&fcfg, 0)), 0, 1 << 16);
+            }
+            for (i, &addr) in addrs.iter().enumerate() {
+                assert!(ch.try_enqueue(Request {
+                    addr,
+                    tag: i as u64,
+                    kind: RequestKind::Read,
+                }));
+            }
+            let mut storage = Storage::new();
+            for (i, &addr) in addrs.iter().enumerate() {
+                storage.write_u32(addr, i as u32 * 3);
+            }
+            let mut completions = Vec::new();
+            let mut now = 0u64;
+            while completions.len() < addrs.len() {
+                if let Some(c) = ch.tick(now, &mut storage) {
+                    completions.push(c);
+                }
+                now += 1;
+                assert!(now < 1_000_000);
+            }
+            (completions, ch.busy_cycles(), ch.energy_joules().to_bits())
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

@@ -70,6 +70,14 @@ impl Storage {
         self.pages.len() * PAGE_SIZE
     }
 
+    /// Whether the page holding `addr` has been materialized. Never-written
+    /// pages read as zero without existing; callers that would *write*
+    /// (e.g. fault injection flipping a stored bit) can use this to avoid
+    /// materializing a 64 KiB page for a cell nothing will ever read.
+    pub fn page_resident(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr >> PAGE_SHIFT))
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_SHIFT)) {

@@ -10,6 +10,7 @@
 use crate::address::AddressMap;
 use crate::channel::{Channel, ChannelConfig, Completion, Request};
 use crate::storage::Storage;
+use neurocube_fault::{DramFaultCounts, DramFaults, FaultConfig};
 use neurocube_sim::{ScopedStats, StatSource};
 use std::fmt;
 
@@ -209,6 +210,38 @@ impl MemorySystem {
     /// Read-only view of physical channel `ch` (statistics).
     pub fn channel(&self, ch: u32) -> &Channel {
         &self.channels[ch as usize]
+    }
+
+    /// Attaches a fault lens to every physical channel (or detaches them
+    /// all with `None`). Each channel's background upsets land in the
+    /// contiguous slice of the address space its regions occupy, and its
+    /// lens draws from a per-channel PRNG domain so channels fault
+    /// independently.
+    pub fn set_faults(&mut self, cfg: Option<&FaultConfig>) {
+        let per = self.config.regions / self.config.channels;
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            match cfg {
+                Some(c) => {
+                    let first = i as u32 * per;
+                    let base = self.map.channel_base(first);
+                    let span = self.config.region_bytes * u64::from(per);
+                    ch.set_faults(Some(DramFaults::new(c, i as u16)), base, span);
+                }
+                None => ch.set_faults(None, 0, 0),
+            }
+        }
+    }
+
+    /// Aggregated DRAM fault counters across all channels (all zero when
+    /// no lens is attached).
+    pub fn fault_counts(&self) -> DramFaultCounts {
+        let mut total = DramFaultCounts::default();
+        for ch in &self.channels {
+            if let Some(f) = ch.faults() {
+                total.merge(&f.counts);
+            }
+        }
+        total
     }
 
     /// The earliest future cycle at which any channel could do more than a

@@ -4,6 +4,7 @@ use crate::packet::{NodeId, Packet};
 use crate::router::{Flit, Router, BUFFER_DEPTH};
 use crate::stats::NocStats;
 use crate::topology::Topology;
+use neurocube_fault::{FaultConfig, LinkFault, NocFaultCounts, NocFaults};
 use neurocube_sim::{ScopedStats, StatSource};
 use std::fmt;
 
@@ -49,6 +50,20 @@ pub struct Network {
     /// output's priority pointer. Reused across ticks so the critical path
     /// never allocates.
     grant: Vec<Option<(usize, usize)>>,
+    /// Optional link-fault lens. Link faults are conditioned on a flit
+    /// actually traversing a link, so the fabric needs no event-horizon
+    /// clamping: a busy fabric never skips, and an idle one draws nothing.
+    faults: Option<NocFaults>,
+    /// In lenient mode malformed packets become counted drops instead of
+    /// panics. Fault-free runs keep `debug_assert!` teeth so golden suites
+    /// still catch logic errors.
+    lenient: bool,
+    /// Drops counted by the fabric itself (unroutable destinations), kept
+    /// separate from the lens so they are visible even without an injector.
+    drop_counts: NocFaultCounts,
+    /// One-shot flag: the first unroutable packet emits a rich diagnostic;
+    /// later ones only count.
+    diagnosed_unroutable: bool,
 }
 
 impl Network {
@@ -69,8 +84,39 @@ impl Network {
             busy: 0,
             occ: vec![0; usize::from(topo.nodes())],
             grant: Vec::with_capacity(ports),
+            faults: None,
+            lenient: false,
+            drop_counts: NocFaultCounts::default(),
+            diagnosed_unroutable: false,
             topo,
         }
+    }
+
+    /// Attaches (or detaches) the link-fault lens. Attaching also switches
+    /// the fabric to lenient packet handling, since injected faults make
+    /// otherwise-impossible packet states reachable.
+    pub fn set_faults(&mut self, cfg: Option<&FaultConfig>) {
+        self.faults = cfg.map(NocFaults::new);
+        if self.faults.is_some() {
+            self.lenient = true;
+        }
+    }
+
+    /// Switches malformed-packet handling between panicking (strict, the
+    /// default) and counted drops (lenient). Independent of the fault lens
+    /// so hosts can harden against untrusted inputs without injecting.
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.lenient = lenient;
+    }
+
+    /// Aggregated fault counters: lens-injected link events plus the
+    /// fabric's own unroutable-packet drops.
+    pub fn fault_counts(&self) -> NocFaultCounts {
+        let mut c = self.drop_counts;
+        if let Some(f) = &self.faults {
+            c.merge(&f.counts);
+        }
+        c
     }
 
     fn note_gain(&mut self, node: usize) {
@@ -142,23 +188,69 @@ impl Network {
         true
     }
 
+    /// Graceful-degradation path for a packet whose destination does not
+    /// exist in this fabric: count it, emit one rich diagnostic per fabric,
+    /// and report the packet consumed (returning `false` would look like
+    /// backpressure and make the producer retry forever). Still a
+    /// `debug_assert!` failure in strict mode, so fault-free golden suites
+    /// keep catching real routing logic errors.
+    fn consume_unroutable(&mut self, node: NodeId, pkt: Packet, now: u64, from: &str) -> bool {
+        debug_assert!(
+            self.lenient,
+            "unroutable packet from {from} port of node {node}: \
+             dst {} outside 0..{} ({pkt:?})",
+            pkt.dst,
+            self.routers.len(),
+        );
+        self.drop_counts.unroutable += 1;
+        if !self.diagnosed_unroutable {
+            self.diagnosed_unroutable = true;
+            eprintln!(
+                "neurocube-noc: dropping unroutable packet at cycle {now}: \
+                 dst {} outside 0..{} (src {}, {from} port of node {node}, \
+                 kind {:?}, mac {}, op {}, data {:#06x}); counted under \
+                 fault.noc.unroutable, further drops are silent",
+                pkt.dst,
+                self.routers.len(),
+                pkt.src,
+                pkt.kind,
+                pkt.mac_id,
+                pkt.op_id,
+                pkt.data,
+            );
+        }
+        true
+    }
+
     /// Injects a packet from node `node`'s vault/PNG.
+    ///
+    /// An unroutable destination is a counted drop in lenient mode (see
+    /// [`set_lenient`](Self::set_lenient)).
     ///
     /// # Panics
     ///
-    /// Panics if `node` or `pkt.dst` is out of range.
+    /// Panics if `node` is out of range, or — in strict debug builds —
+    /// if `pkt.dst` is.
     pub fn try_inject_from_mem(&mut self, node: NodeId, pkt: Packet, now: u64) -> bool {
-        assert!(usize::from(pkt.dst) < self.routers.len(), "bad destination");
+        if usize::from(pkt.dst) >= self.routers.len() {
+            return self.consume_unroutable(node, pkt, now, "mem");
+        }
         self.inject(node, self.mem_port, pkt, now)
     }
 
     /// Injects a packet from node `node`'s PE (write-back results).
     ///
+    /// An unroutable destination is a counted drop in lenient mode (see
+    /// [`set_lenient`](Self::set_lenient)).
+    ///
     /// # Panics
     ///
-    /// Panics if `node` or `pkt.dst` is out of range.
+    /// Panics if `node` is out of range, or — in strict debug builds —
+    /// if `pkt.dst` is.
     pub fn try_inject_from_pe(&mut self, node: NodeId, pkt: Packet, now: u64) -> bool {
-        assert!(usize::from(pkt.dst) < self.routers.len(), "bad destination");
+        if usize::from(pkt.dst) >= self.routers.len() {
+            return self.consume_unroutable(node, pkt, now, "pe");
+        }
         self.inject(node, self.pe_port, pkt, now)
     }
 
@@ -305,14 +397,61 @@ impl Network {
                 if self.routers[usize::from(neighbor)].inputs[rport].len() >= BUFFER_DEPTH {
                     continue; // no credit
                 }
+                // Link-fault hook: faults strike only traversals that were
+                // about to happen, so the clean schedule of link events is
+                // identical with the lens detached — and identical between
+                // skip and naive loops, which both tick every busy cycle.
+                let (mut target, mut tport) = (neighbor, rport);
+                if let Some(lens) = &mut self.faults {
+                    let link = (node * ports + port) as u64;
+                    match lens.link_event(now, link) {
+                        LinkFault::None => {}
+                        LinkFault::Corrupt => {
+                            // Parity at the receiver rejects the flit; the
+                            // sender's copy retries next cycle.
+                            continue;
+                        }
+                        LinkFault::Drop => {
+                            // Lost on the wire. The ack timeout holds the
+                            // sender's copy for DROP_TIMEOUT cycles, then
+                            // retransmits; the flit stays buffered, so the
+                            // busy mask keeps the fabric unskippable.
+                            let f = self.routers[node].outputs[port]
+                                .front_mut()
+                                .expect("checked movable");
+                            f.entered = now + NocFaults::DROP_TIMEOUT - 1;
+                            continue;
+                        }
+                        LinkFault::Misroute => {
+                            // Deliver out a wrong mesh port with capacity;
+                            // per-hop routing recovers from the detour. With
+                            // no usable wrong turn the flit proceeds
+                            // correctly (the misroute is still counted as
+                            // the lens saw the event fire).
+                            let mesh = self.topo.mesh_ports();
+                            for off in 1..mesh {
+                                let cand = (port + off) % mesh;
+                                let Some(alt) = self.topo.neighbor(node as NodeId, cand) else {
+                                    continue;
+                                };
+                                let rp = self.topo.reverse_port(node as NodeId, cand);
+                                if self.routers[usize::from(alt)].inputs[rp].len() < BUFFER_DEPTH {
+                                    target = alt;
+                                    tport = rp;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
                 let mut f = self.routers[node].outputs[port]
                     .pop_front()
                     .expect("checked movable");
                 f.entered = now;
                 f.hops += 1;
-                self.routers[usize::from(neighbor)].inputs[rport].push_back(f);
+                self.routers[usize::from(target)].inputs[tport].push_back(f);
                 self.note_loss(node);
-                self.note_gain(usize::from(neighbor));
+                self.note_gain(usize::from(target));
             }
         }
     }
@@ -587,6 +726,123 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unroutable_packet_is_a_counted_drop_in_lenient_mode() {
+        let mut net = Network::new(Topology::mesh4x4());
+        net.set_lenient(true);
+        // Consumed (true), not backpressured: a `false` would make the
+        // producer spin on an undeliverable packet forever.
+        assert!(net.try_inject_from_mem(0, pkt(0, 200, PacketKind::State, 1), 5));
+        assert!(net.try_inject_from_pe(3, pkt(3, 99, PacketKind::Result, 2), 6));
+        assert_eq!(net.fault_counts().unroutable, 2);
+        // Nothing entered the fabric.
+        assert!(net.is_idle());
+        assert_eq!(net.stats().injected, 0);
+    }
+
+    /// Injects `n` random packets under the given fault config and runs to
+    /// completion, returning the fabric for inspection.
+    fn run_faulty(seed: u64, n: u32) -> Network {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let cfg = neurocube_fault::FaultConfig {
+            seed,
+            noc_corrupt_rate: 0.02,
+            noc_drop_rate: 0.02,
+            noc_misroute_rate: 0.02,
+            ..Default::default()
+        };
+        let mut net = Network::new(Topology::mesh4x4());
+        net.set_faults(Some(&cfg));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut to_send = n;
+        let mut received = 0;
+        let mut now = 0u64;
+        while received < n {
+            if to_send > 0 {
+                let src: u8 = rng.random_range(0..16);
+                let dst: u8 = rng.random_range(0..16);
+                if net.try_inject_from_mem(src, pkt(src, dst, PacketKind::State, 0), now) {
+                    to_send -= 1;
+                }
+            }
+            net.tick(now);
+            for node in 0..16u8 {
+                if net.pop_for_pe(node, now).is_some() {
+                    received += 1;
+                }
+            }
+            now += 1;
+            assert!(now < 200_000, "lost packets under faults: {received}/{n}");
+        }
+        net
+    }
+
+    #[test]
+    fn link_faults_delay_but_never_lose_packets() {
+        let net = run_faulty(0xDEAD, 1000);
+        assert!(net.is_idle());
+        assert_eq!(net.stats().in_flight(), 0);
+        let c = net.fault_counts();
+        // ~3 hops/packet × 1000 packets × 2% per class: every fault class
+        // must have fired many times.
+        assert!(c.corrupt > 0, "no corruption events: {c:?}");
+        assert!(c.drops > 0, "no drop events: {c:?}");
+        assert!(c.misroutes > 0, "no misroute events: {c:?}");
+        assert_eq!(c.retransmits, c.corrupt + c.drops);
+        assert_eq!(c.unroutable, 0);
+        // Detours cost extra hops relative to minimal routing.
+        assert!(net.stats().delivered == 1000);
+    }
+
+    #[test]
+    fn link_faults_are_seed_deterministic() {
+        let a = run_faulty(0xFEED, 400);
+        let b = run_faulty(0xFEED, 400);
+        assert_eq!(a.fault_counts(), b.fault_counts());
+        assert_eq!(a.stats().total_hops, b.stats().total_hops);
+        assert_eq!(a.stats().total_latency, b.stats().total_latency);
+        let c = run_faulty(0xBEEF, 400);
+        assert_ne!(
+            (a.fault_counts(), a.stats().total_latency),
+            (c.fault_counts(), c.stats().total_latency),
+            "different fault seeds produced identical runs"
+        );
+    }
+
+    #[test]
+    fn zero_rate_lens_leaves_the_fabric_bitwise_unchanged() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let cfg = neurocube_fault::FaultConfig::uniform(0x11, 0.0);
+        let mut plain = Network::new(Topology::mesh4x4());
+        let mut lensed = Network::new(Topology::mesh4x4());
+        lensed.set_faults(Some(&cfg));
+        let mut rng = SmallRng::seed_from_u64(3);
+        for now in 0..2000u64 {
+            if now < 1000 {
+                let src: u8 = rng.random_range(0..16);
+                let dst: u8 = rng.random_range(0..16);
+                let p = pkt(src, dst, PacketKind::State, now as u16);
+                assert_eq!(
+                    plain.try_inject_from_mem(src, p, now),
+                    lensed.try_inject_from_mem(src, p, now)
+                );
+            }
+            plain.tick(now);
+            lensed.tick(now);
+            for node in 0..16u8 {
+                assert_eq!(plain.pop_for_pe(node, now), lensed.pop_for_pe(node, now));
+            }
+        }
+        assert!(plain.is_idle() && lensed.is_idle());
+        assert_eq!(plain.stats().total_latency, lensed.stats().total_latency);
+        assert_eq!(
+            lensed.fault_counts(),
+            neurocube_fault::NocFaultCounts::default()
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::cache::PacketCache;
 use crate::config::{PeLayerConfig, StateMode, WeightMode};
+use neurocube_fault::{FaultConfig, PeFaultCounts, PeFaults};
 use neurocube_fixed::{AccumulatorWidth, MacUnit, Q88};
 use neurocube_noc::{NodeId, Packet, PacketKind};
 use neurocube_sim::{ScopedStats, StatSource};
@@ -49,6 +50,16 @@ pub struct ProcessingElement {
     results: VecDeque<Packet>,
     done: bool,
     stats: PeStats,
+    /// Optional transient-MAC-fault lens. MAC faults strike only fires
+    /// that were about to happen, so no event-horizon clamping is needed.
+    faults: Option<PeFaults>,
+    /// In lenient mode malformed packets become counted drops instead of
+    /// panics; fault-free runs keep `debug_assert!` teeth.
+    lenient: bool,
+    /// Drops counted by the PE itself, visible even without a lens.
+    drop_counts: PeFaultCounts,
+    /// One-shot flag: the first dropped packet emits a rich diagnostic.
+    diagnosed_drop: bool,
 }
 
 impl ProcessingElement {
@@ -82,12 +93,41 @@ impl ProcessingElement {
             results: VecDeque::new(),
             done: true,
             stats: PeStats::default(),
+            faults: None,
+            lenient: false,
+            drop_counts: PeFaultCounts::default(),
+            diagnosed_drop: false,
         }
     }
 
     /// The mesh node this PE sits at.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Attaches (or detaches) the transient-MAC-fault lens. Attaching also
+    /// switches the PE to lenient packet handling.
+    pub fn set_faults(&mut self, cfg: Option<&FaultConfig>) {
+        self.faults = cfg.map(|c| PeFaults::new(c, u16::from(self.node)));
+        if self.faults.is_some() {
+            self.lenient = true;
+        }
+    }
+
+    /// Switches malformed-packet handling between panicking (strict, the
+    /// default) and counted drops (lenient).
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.lenient = lenient;
+    }
+
+    /// Aggregated fault counters: lens-injected MAC faults plus the PE's
+    /// own dropped-packet counts.
+    pub fn fault_counts(&self) -> PeFaultCounts {
+        let mut c = self.drop_counts;
+        if let Some(f) = &self.faults {
+            c.merge(&f.counts);
+        }
+        c
     }
 
     /// Loads a layer configuration and (for [`WeightMode::Local`]) the
@@ -204,27 +244,63 @@ impl ProcessingElement {
                     return true;
                 }
             }
-            PacketKind::Result => unreachable!("PEs never receive Result packets"),
+            // Result packets are intercepted (dropped or asserted on) in
+            // `try_accept` and never cached, so none can reach here.
+            PacketKind::Result => {
+                debug_assert!(false, "Result packet reached slot_fill");
+                return false;
+            }
         }
         false
+    }
+
+    /// Graceful-degradation path for a packet this PE cannot meaningfully
+    /// process: count it, emit one rich diagnostic per PE, and report it
+    /// consumed (returning `false` would leave it queued in the router
+    /// forever, wedging the fabric).
+    fn drop_packet(&mut self, pkt: Packet, why: &str) -> bool {
+        self.drop_counts.dropped_packets += 1;
+        if !self.diagnosed_drop {
+            self.diagnosed_drop = true;
+            eprintln!(
+                "neurocube-pe: PE {} dropping packet at group {} op {}: {why} \
+                 ({pkt:?}); counted under fault.pe.dropped_packets, further \
+                 drops are silent",
+                self.node, self.group, self.op,
+            );
+        }
+        true
     }
 
     /// Offers a packet delivered by the NoC. Returns `false` when the packet
     /// cannot be accepted this cycle (temporal-buffer slot busy *and* its
     /// cache sub-bank full) — the caller must leave it queued in the router.
     ///
+    /// A packet the PE cannot meaningfully process (unconfigured or finished
+    /// PE, out-of-range MAC-ID, a misdelivered `Result`) is a counted drop
+    /// in lenient mode (see [`set_lenient`](Self::set_lenient)).
+    ///
     /// # Panics
     ///
-    /// Panics if the PE is unconfigured, already done, or the packet names a
-    /// MAC outside the configured array.
+    /// In strict debug builds, panics if the PE is unconfigured, already
+    /// done, or the packet names a MAC outside the configured array.
     pub fn try_accept(&mut self, pkt: Packet) -> bool {
-        let cfg = self.cfg.as_ref().expect("PE not configured");
-        assert!(!self.done, "packet for a finished layer");
-        assert!(
-            u32::from(pkt.mac_id) < cfg.n_mac,
-            "MAC-ID {} out of range",
-            pkt.mac_id
-        );
+        let Some(cfg) = self.cfg else {
+            debug_assert!(self.lenient, "PE {} not configured", self.node);
+            return self.drop_packet(pkt, "PE not configured");
+        };
+        if self.done {
+            debug_assert!(self.lenient, "packet for a finished layer");
+            return self.drop_packet(pkt, "layer already finished");
+        }
+        if u32::from(pkt.mac_id) >= cfg.n_mac {
+            debug_assert!(self.lenient, "MAC-ID {} out of range", pkt.mac_id);
+            return self.drop_packet(pkt, "MAC-ID out of range");
+        }
+        if pkt.kind == PacketKind::Result {
+            debug_assert!(self.lenient, "PEs never receive Result packets");
+            return self.drop_packet(pkt, "Result packet delivered to a PE");
+        }
         if pkt.op_id == self.current_op_id() && self.slot_fill(pkt) {
             return true;
         }
@@ -279,10 +355,17 @@ impl ProcessingElement {
                 }
                 WeightMode::Stream => self.weight_slots[m].take().expect("checked complete"),
             };
-            let x = match cfg.states {
+            let mut x = match cfg.states {
                 StateMode::PerMac => self.state_slots[m].take().expect("checked complete"),
                 StateMode::Shared => self.shared_state.expect("checked complete"),
             };
+            // Transient MAC fault: a single-event upset flips one bit of
+            // the state operand as it enters the multiplier.
+            if let Some(lens) = &mut self.faults {
+                if let Some(bit) = lens.mac_upset(now, m as u64) {
+                    x = Q88::from_bits(x.to_bits() ^ (1 << bit));
+                }
+            }
             self.macs[m].accumulate(w, x);
         }
         self.shared_state = None;
@@ -641,6 +724,66 @@ mod tests {
     fn accept_requires_configuration() {
         let mut pe = ProcessingElement::new(0, AccumulatorWidth::Wide32);
         let _ = pe.try_accept(state(0, 0, 1.0));
+    }
+
+    #[test]
+    fn lenient_mode_counts_drops_instead_of_panicking() {
+        let mut pe = ProcessingElement::new(2, AccumulatorWidth::Wide32);
+        pe.set_lenient(true);
+        // Unconfigured: consumed, counted.
+        assert!(pe.try_accept(state(0, 0, 1.0)));
+        pe.configure(conv_cfg(16, 1, 1), vec![Q88::ONE]);
+        // Out-of-range MAC and a misdelivered Result: consumed, counted.
+        assert!(pe.try_accept(state(200, 0, 1.0)));
+        let result = Packet {
+            dst: 2,
+            src: 9,
+            mac_id: 0,
+            op_id: 0,
+            kind: PacketKind::Result,
+            data: 0,
+        };
+        assert!(pe.try_accept(result));
+        assert_eq!(pe.fault_counts().dropped_packets, 3);
+        // The layer still completes normally afterwards.
+        let pkts = (0..16u8).map(|mac| state(mac, 0, 1.0)).collect();
+        let results = run_to_completion(&mut pe, pkts, 10_000);
+        assert_eq!(results.len(), 16);
+    }
+
+    #[test]
+    fn mac_faults_are_deterministic_and_perturb_results() {
+        let run = |rate: f64, seed: u64| {
+            let mut pe = ProcessingElement::new(0, AccumulatorWidth::Wide32);
+            let cfg = neurocube_fault::FaultConfig {
+                seed,
+                pe_mac_rate: rate,
+                ..Default::default()
+            };
+            pe.set_faults(Some(&cfg));
+            pe.configure(conv_cfg(16, 1, 4), vec![Q88::ONE; 4]);
+            let mut pkts = Vec::new();
+            for op in 0..4u8 {
+                for mac in 0..16u8 {
+                    pkts.push(state(mac, op, 1.0));
+                }
+            }
+            let out: Vec<u16> = run_to_completion(&mut pe, pkts, 10_000)
+                .iter()
+                .map(|p| p.data)
+                .collect();
+            (out, pe.fault_counts())
+        };
+        let (clean, c0) = run(0.0, 1);
+        assert_eq!(c0, PeFaultCounts::default());
+        let (a, ca) = run(0.25, 1);
+        let (b, cb) = run(0.25, 1);
+        assert_eq!(a, b, "same seed must reproduce bitwise");
+        assert_eq!(ca, cb);
+        assert!(ca.mac_faults > 0, "no MAC faults fired at rate 0.25");
+        assert_ne!(a, clean, "faults left every result untouched");
+        let (c, _) = run(0.25, 2);
+        assert_ne!(a, c, "different seeds produced identical faulty runs");
     }
 
     #[test]

@@ -160,6 +160,15 @@ pub struct Png {
     outstanding_writes: u64,
     pe_progress: Vec<u64>,
     stats: PngStats,
+    /// In lenient mode malformed packets/completions become counted drops
+    /// instead of panics; fault-free runs keep `debug_assert!` teeth.
+    lenient: bool,
+    /// Mem-port packets the PNG could not attribute and dropped.
+    dropped_packets: u64,
+    /// Channel completions whose tag this PNG never issued.
+    unknown_completions: u64,
+    /// One-shot flag: the first drop emits a rich diagnostic.
+    diagnosed: bool,
 }
 
 impl Png {
@@ -190,6 +199,58 @@ impl Png {
             outstanding_writes: 0,
             pe_progress: vec![u64::MAX; 64],
             stats: PngStats::default(),
+            lenient: false,
+            dropped_packets: 0,
+            unknown_completions: 0,
+            diagnosed: false,
+        }
+    }
+
+    /// Switches malformed-input handling between panicking (strict, the
+    /// default) and counted drops (lenient). The core system enables this
+    /// whenever a fault injector is attached, since injected faults make
+    /// otherwise-impossible packet states reachable.
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.lenient = lenient;
+    }
+
+    /// Mem-port packets dropped by the lenient paths.
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    /// Channel completions ignored because their tag was unknown.
+    pub fn unknown_completions(&self) -> u64 {
+        self.unknown_completions
+    }
+
+    /// Graceful-degradation path for a mem-port packet this PNG cannot
+    /// attribute to its expected write-back sequence: count and drop.
+    fn drop_result(&mut self, pkt: Packet, why: &str) {
+        self.dropped_packets += 1;
+        if !self.diagnosed {
+            self.diagnosed = true;
+            eprintln!(
+                "neurocube-png: PNG {} dropping mem-port packet: {why} \
+                 ({pkt:?}); counted under fault.png.dropped_packets, \
+                 further drops are silent",
+                self.vault,
+            );
+        }
+    }
+
+    /// Graceful-degradation path for a channel completion this PNG never
+    /// issued (or has no record of): count and ignore.
+    fn drop_completion(&mut self, tag: u64, why: &str) {
+        self.unknown_completions += 1;
+        if !self.diagnosed {
+            self.diagnosed = true;
+            eprintln!(
+                "neurocube-png: PNG {} ignoring channel completion with tag \
+                 {tag:#x}: {why}; counted under fault.png.unknown_completions, \
+                 further drops are silent",
+                self.vault,
+            );
         }
     }
 
@@ -344,22 +405,30 @@ impl Png {
     /// the activation LUT (own results), writes the state to DRAM and
     /// forwards duplication copies.
     ///
+    /// A packet that does not match the expected write-back sequence is a
+    /// counted drop in lenient mode (see [`set_lenient`](Self::set_lenient)).
+    ///
     /// # Panics
     ///
-    /// Panics if the PNG is unconfigured or the packet does not match the
-    /// expected write-back sequence.
+    /// In strict debug builds, panics if the PNG is unconfigured or the
+    /// packet does not match the expected write-back sequence.
     pub fn on_result(&mut self, pkt: Packet, now: u64) {
-        let prog = self.prog.as_ref().expect("PNG not configured").clone();
-        debug_assert_eq!(pkt.kind, PacketKind::Result);
+        let Some(prog) = self.prog.clone() else {
+            debug_assert!(self.lenient, "PNG {} not configured", self.vault);
+            return self.drop_result(pkt, "PNG not configured");
+        };
+        if pkt.kind != PacketKind::Result {
+            debug_assert!(self.lenient, "{:?} packet at the mem port", pkt.kind);
+            return self.drop_result(pkt, "non-Result packet at the mem port");
+        }
         self.stats.writebacks_received += 1;
         if pkt.src == self.vault {
             // Own PE's pre-activation result: LUT, write, replicate.
-            let (neuron, addr) = self
-                .own_cursor
-                .as_mut()
-                .expect("configured")
-                .next()
-                .expect("unexpected extra own write-back");
+            let next = self.own_cursor.as_mut().expect("configured").next();
+            let Some((neuron, addr)) = next else {
+                debug_assert!(self.lenient, "unexpected extra own write-back");
+                return self.drop_result(pkt, "unexpected extra own write-back");
+            };
             let y = Q88::from_bits(pkt.data as i16);
             let x = self.lut.as_ref().expect("configured").apply(y);
             self.queue_write(addr, x.to_bits() as u16, now);
@@ -378,10 +447,17 @@ impl Png {
             self.copy_high_water = self.copy_high_water.max(self.copy_queue.len());
         } else {
             // A forwarded (already activated) copy from another vault.
+            if usize::from(pkt.src) >= self.foreign_cursors.len() {
+                debug_assert!(self.lenient, "write-back from unknown vault {}", pkt.src);
+                return self.drop_result(pkt, "write-back from an unknown vault");
+            }
             let cursor = self.foreign_cursors[usize::from(pkt.src)].get_or_insert_with(|| {
                 WritebackCursor::new(Arc::clone(&prog), pkt.src, self.vault)
             });
-            let (_, addr) = cursor.next().expect("unexpected extra foreign write-back");
+            let Some((_, addr)) = cursor.next() else {
+                debug_assert!(self.lenient, "unexpected extra foreign write-back");
+                return self.drop_result(pkt, "unexpected extra foreign write-back");
+            };
             self.queue_write(addr, pkt.data, now);
             self.foreign_remaining -= 1;
         }
@@ -390,18 +466,26 @@ impl Png {
     /// Handles a completion from this PNG's physical channel (dispatched by
     /// the system by tag).
     ///
+    /// A completion whose tag this PNG never issued is a counted drop in
+    /// lenient mode (see [`set_lenient`](Self::set_lenient)).
+    ///
     /// # Panics
     ///
-    /// Panics on a completion whose tag this PNG never issued.
+    /// In strict debug builds, panics on a completion whose tag this PNG
+    /// never issued.
     pub fn on_completion(&mut self, tag: u64, data: u64) {
         if tag & WRITE_TAG == WRITE_TAG {
+            if self.outstanding_writes == 0 {
+                debug_assert!(self.lenient, "write completion with none outstanding");
+                return self.drop_completion(tag, "no write is outstanding");
+            }
             self.outstanding_writes -= 1;
             return;
         }
-        let (word, mut evs) = self
-            .inflight
-            .remove(&tag)
-            .expect("completion for unknown tag");
+        let Some((word, mut evs)) = self.inflight.remove(&tag) else {
+            debug_assert!(self.lenient, "completion for unknown tag {tag:#x}");
+            return self.drop_completion(tag, "completion for unknown tag");
+        };
         self.outstanding_reads -= 1;
         for ev in evs.drain(..) {
             let shift = (ev.addr - word) * 8;
@@ -849,6 +933,50 @@ mod tests {
         assert!(out.iter().all(|&q| q == Q88::from_f64(1.0)));
         let reads: u64 = pngs.iter().map(|p| p.stats().reads_issued).sum();
         assert!(reads < total, "reads {reads} should pack operands {total}");
+    }
+
+    /// The de-panicked paths: malformed packets and spurious completions
+    /// must become counted drops in lenient mode, never crashes, and must
+    /// leave the PNG able to operate normally.
+    #[test]
+    fn lenient_mode_counts_drops_instead_of_panicking() {
+        let mut png = Png::hmc(0);
+        png.set_lenient(true);
+        // Unconfigured: any mem-port packet is dropped.
+        let stray = Packet {
+            dst: 0,
+            src: 3,
+            mac_id: 0,
+            op_id: 0,
+            kind: PacketKind::Result,
+            data: 7,
+        };
+        png.on_result(stray, 5);
+        assert_eq!(png.dropped_packets(), 1);
+        // Spurious completions: unknown read tag, write with none pending.
+        png.on_completion(0x1234, 0);
+        png.on_completion(WRITE_TAG, 0);
+        assert_eq!(png.unknown_completions(), 2);
+
+        // Configure, then feed write-backs from impossible sources.
+        let net = NetworkSpec::new(
+            Shape::new(1, 8, 8),
+            vec![LayerSpec::conv(1, 3, Activation::Identity)],
+        )
+        .unwrap();
+        let map_cfg = MemoryConfig::hmc_int();
+        let layout = NetworkLayout::build(&net, 4, 4, true, 16, &map_cfg.address_map());
+        let prog = compile_layer(&net, &layout, 0, Mapping::paper(true));
+        png.configure(Arc::clone(&prog));
+        let from_mars = Packet { src: 200, ..stray };
+        png.on_result(from_mars, 6);
+        let wrong_kind = Packet {
+            kind: PacketKind::State,
+            ..stray
+        };
+        png.on_result(wrong_kind, 7);
+        assert_eq!(png.dropped_packets(), 3);
+        assert!(!png.layer_done(), "drops must not fake completion");
     }
 
     /// Per-tick audit of the event-horizon contract: whenever `next_event`

@@ -61,6 +61,30 @@ pub fn system_power_w(node: ProcessNode) -> f64 {
     compute_power_w(node) + logic_die_power_w(node) + dram_dies_power_w(node)
 }
 
+/// SECDED(39,32) check bits stored and moved per protected 32-bit word.
+pub const SECDED_CHECK_BITS: f64 = 7.0;
+
+/// Decode-logic energy per SECDED-protected word (syndrome generation +
+/// correction mux), on top of moving the check bits themselves. XOR-tree
+/// syndrome logic over 39 bits is a few hundred gates — small next to the
+/// 3.7 pJ/bit DRAM access, but not free.
+pub const SECDED_DECODE_PJ_PER_WORD: f64 = 0.8;
+
+/// ECC energy overhead of a run, in joules: `ecc_words` words decoded with
+/// their check bits moved at `dram_pj_per_bit` (the channel's access cost)
+/// plus the decode logic. The simulator's channel model already folds the
+/// check-bit *transfer* into its measured energy; use
+/// [`secded_decode_j`] when combining with that measurement to avoid
+/// double-charging the transfer.
+pub fn secded_overhead_j(ecc_words: u64, dram_pj_per_bit: f64) -> f64 {
+    ecc_words as f64 * (SECDED_CHECK_BITS * dram_pj_per_bit + SECDED_DECODE_PJ_PER_WORD) * 1e-12
+}
+
+/// Decode-logic-only ECC energy, in joules (check-bit transfer excluded).
+pub fn secded_decode_j(ecc_words: u64) -> f64 {
+    ecc_words as f64 * SECDED_DECODE_PJ_PER_WORD * 1e-12
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +104,19 @@ mod tests {
     fn dram_rows_match_table2() {
         assert!((dram_dies_power_w(ProcessNode::Cmos28) - 0.568).abs() < 0.005);
         assert!((dram_dies_power_w(ProcessNode::FinFet15) - 9.47).abs() < 0.01);
+    }
+
+    #[test]
+    fn secded_overhead_scales_linearly_and_decomposes() {
+        assert_eq!(secded_overhead_j(0, DRAM_PJ_PER_BIT), 0.0);
+        let one = secded_overhead_j(1, DRAM_PJ_PER_BIT);
+        let million = secded_overhead_j(1_000_000, DRAM_PJ_PER_BIT);
+        assert!((million - one * 1e6).abs() < 1e-18);
+        // transfer + decode parts add up
+        let transfer = SECDED_CHECK_BITS * DRAM_PJ_PER_BIT * 1e-12;
+        assert!((one - transfer - secded_decode_j(1)).abs() < 1e-24);
+        // Overhead per word stays well under the 32 data bits' cost.
+        assert!(one < 32.0 * DRAM_PJ_PER_BIT * 1e-12);
     }
 
     #[test]

@@ -111,23 +111,22 @@ pub struct JumpRecord {
     pub stage: &'static str,
 }
 
-/// True unless `NEUROCUBE_NO_SKIP` is set to a non-empty value other than
-/// `0`. Read once per process: tests that need both modes in one process
-/// must use [`CycleLoop::with_skip`] instead of mutating the environment.
+/// True unless the `NEUROCUBE_NO_SKIP` flag is on (see [`crate::env`] for
+/// the one truthiness rule all `NEUROCUBE_*` flags share). Read once per
+/// process: tests that need both modes in one process must use
+/// [`CycleLoop::with_skip`] instead of mutating the environment.
 fn env_skip_enabled() -> bool {
     static DISABLED: OnceLock<bool> = OnceLock::new();
-    !*DISABLED
-        .get_or_init(|| std::env::var("NEUROCUBE_NO_SKIP").is_ok_and(|v| !v.is_empty() && v != "0"))
+    !*DISABLED.get_or_init(|| crate::env::env_flag("NEUROCUBE_NO_SKIP"))
 }
 
-/// True when `NEUROCUBE_STAGE_PROFILE` is set non-empty: every
+/// True when the `NEUROCUBE_STAGE_PROFILE` flag is on (same rule): every
 /// [`CycleLoop::run`] then accumulates per-stage wall-clock time and
 /// prints a breakdown to stderr when it completes. Costs one `Instant`
 /// pair per stage per cycle while on; a single branch per cycle while off.
 fn stage_profile_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED
-        .get_or_init(|| std::env::var_os("NEUROCUBE_STAGE_PROFILE").is_some_and(|v| !v.is_empty()))
+    *ENABLED.get_or_init(|| crate::env::env_flag("NEUROCUBE_STAGE_PROFILE"))
 }
 
 /// Drives a set of [`Clocked`] stages until a completion predicate holds.

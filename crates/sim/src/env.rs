@@ -1,0 +1,105 @@
+//! Unified parsing for `NEUROCUBE_*` environment variables.
+//!
+//! Every knob in the workspace goes through this module so that one
+//! truthiness rule holds everywhere:
+//!
+//! * **Flags** ([`env_flag`]): a variable is ON iff it is set to a
+//!   non-empty value other than `"0"`. Unset, empty, or `"0"` is OFF.
+//!   A value that is not valid UTF-8 is still *set* and non-`"0"`, so it
+//!   counts as ON (historically `env::var`-based readers silently treated
+//!   such values as unset while `var_os`-based readers did not — this
+//!   module exists to end that divergence).
+//! * **Values** ([`env_u64`], [`env_f64`], [`env_str`]): unset, empty, or
+//!   unparseable reads as `None`; callers apply their own defaults.
+//!   `"0"` is a legitimate value here, not an off switch — rate/seed
+//!   semantics (e.g. `NEUROCUBE_FAULT_RATE=0` meaning "no faults") belong
+//!   to the caller.
+//!
+//! Known variables routed through here: `NEUROCUBE_NO_SKIP`,
+//! `NEUROCUBE_STAGE_PROFILE`, `NEUROCUBE_FAULT_ECC` (flags);
+//! `NEUROCUBE_FAULT_SEED` (u64); `NEUROCUBE_FAULT_RATE`,
+//! `NEUROCUBE_BENCH_MIN_SPEEDUP` (f64); `NEUROCUBE_SCALE` (string).
+//! Path-valued variables (`NEUROCUBE_CSV`, `NEUROCUBE_BENCH_OUT`) stay on
+//! `var_os` — paths may legitimately be non-UTF-8.
+
+use std::ffi::OsString;
+
+/// Raw lookup shared by all readers: `None` when unset or set to the
+/// empty string; otherwise the value, UTF-8 or not.
+fn raw(name: &str) -> Option<OsString> {
+    std::env::var_os(name).filter(|v| !v.is_empty())
+}
+
+/// Boolean flag: ON iff set to a non-empty value other than `"0"`.
+/// Non-UTF-8 values count as ON.
+#[must_use]
+pub fn env_flag(name: &str) -> bool {
+    raw(name).is_some_and(|v| v.to_str() != Some("0"))
+}
+
+/// String value: `None` when unset, empty, or not valid UTF-8.
+#[must_use]
+pub fn env_str(name: &str) -> Option<String> {
+    raw(name)?.into_string().ok()
+}
+
+/// Unsigned integer value: `None` when unset, empty, or unparseable.
+#[must_use]
+pub fn env_u64(name: &str) -> Option<u64> {
+    env_str(name)?.trim().parse().ok()
+}
+
+/// Floating-point value: `None` when unset, empty, or unparseable.
+#[must_use]
+pub fn env_f64(name: &str) -> Option<f64> {
+    env_str(name)?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global environment: each test uses a distinct variable name
+    // so the suite stays order- and thread-independent.
+
+    #[test]
+    fn flag_truthiness_rule() {
+        std::env::remove_var("NC_TEST_FLAG_UNSET");
+        assert!(!env_flag("NC_TEST_FLAG_UNSET"));
+        std::env::set_var("NC_TEST_FLAG_EMPTY", "");
+        assert!(!env_flag("NC_TEST_FLAG_EMPTY"));
+        std::env::set_var("NC_TEST_FLAG_ZERO", "0");
+        assert!(!env_flag("NC_TEST_FLAG_ZERO"));
+        std::env::set_var("NC_TEST_FLAG_ONE", "1");
+        assert!(env_flag("NC_TEST_FLAG_ONE"));
+        std::env::set_var("NC_TEST_FLAG_WORD", "yes");
+        assert!(env_flag("NC_TEST_FLAG_WORD"));
+        // "00" is non-empty and not exactly "0": ON, by the documented rule.
+        std::env::set_var("NC_TEST_FLAG_00", "00");
+        assert!(env_flag("NC_TEST_FLAG_00"));
+    }
+
+    #[test]
+    fn numeric_values_parse_or_none() {
+        std::env::set_var("NC_TEST_U64", " 42 ");
+        assert_eq!(env_u64("NC_TEST_U64"), Some(42));
+        std::env::set_var("NC_TEST_U64_BAD", "4x2");
+        assert_eq!(env_u64("NC_TEST_U64_BAD"), None);
+        std::env::set_var("NC_TEST_F64", "1e-7");
+        assert_eq!(env_f64("NC_TEST_F64"), Some(1e-7));
+        std::env::set_var("NC_TEST_F64_ZERO", "0");
+        assert_eq!(env_f64("NC_TEST_F64_ZERO"), Some(0.0));
+        assert_eq!(env_f64("NC_TEST_F64_UNSET_XYZ"), None);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_counts_as_set_for_flags_and_none_for_values() {
+        use std::os::unix::ffi::OsStringExt;
+        let bad = OsString::from_vec(vec![0xFF, 0xFE]);
+        std::env::set_var("NC_TEST_NON_UTF8", &bad);
+        assert!(env_flag("NC_TEST_NON_UTF8"));
+        assert_eq!(env_str("NC_TEST_NON_UTF8"), None);
+        assert_eq!(env_u64("NC_TEST_NON_UTF8"), None);
+    }
+}

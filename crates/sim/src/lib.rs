@@ -26,8 +26,10 @@
 
 mod batch;
 mod clocked;
+pub mod env;
 mod stats;
 
 pub use batch::BatchRunner;
 pub use clocked::{Clocked, CycleLoop, JumpRecord, Watchdog, EVENT_LOOP_LEASH};
+pub use env::{env_f64, env_flag, env_str, env_u64};
 pub use stats::{ScopedStats, StatSource, StatsRegistry};

@@ -1,0 +1,91 @@
+//! `Q88::from_f64` boundary pinning.
+//!
+//! The golden model's error envelope (`golden::func`) is *derived* from a
+//! handful of datapath certificates; the one `from_f64` owes it is
+//! round-to-nearest: quantizing any in-range real adds at most half an
+//! LSB (`1/512`), and the format boundaries saturate instead of wrapping.
+//! These properties pin that certificate exactly — including the
+//! round-half direction (ties away from zero, `f64::round` semantics) at
+//! every representable midpoint and the first values that saturate at
+//! ±full scale — so a quantizer change that silently widens the envelope
+//! cannot land without tripping a named test.
+
+use neurocube_fixed::Q88;
+use proptest::prelude::*;
+
+/// One `Q1.7.8` least significant bit, as the golden model defines it.
+const LSB: f64 = 1.0 / 256.0;
+
+/// Exact real value of the largest/smallest representable `Q88`.
+const MAX_F: f64 = 32767.0 / 256.0; // 127.99609375
+const MIN_F: f64 = -32768.0 / 256.0; // -128.0
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The quantization certificate the error envelope is built on:
+    /// everything strictly inside the saturation band round-trips within
+    /// half an LSB, bitwise-reproducibly.
+    #[test]
+    fn in_range_values_quantize_within_half_lsb(v in MIN_F..MAX_F) {
+        let q = Q88::from_f64(v);
+        let err = (q.to_f64() - v).abs();
+        prop_assert!(
+            err <= LSB / 2.0 + 1e-12,
+            "quantization error {err} exceeds the half-LSB certificate for {v}"
+        );
+        prop_assert_eq!(Q88::from_f64(v), q, "quantization must be deterministic");
+    }
+
+    /// Ties land away from zero at *every* representable midpoint: the
+    /// midpoint between raw `k` and `k+1` quantizes to `k+1` for
+    /// non-negative `k` and to `k` for negative `k` (both the larger
+    /// magnitude). `k = i16::MAX` is excluded — that midpoint saturates.
+    #[test]
+    fn round_half_goes_away_from_zero(k in i16::MIN..i16::MAX) {
+        let midpoint = (f64::from(k) + 0.5) / 256.0;
+        let expected = if k >= 0 { i32::from(k) + 1 } else { i32::from(k) };
+        let got = Q88::from_f64(midpoint);
+        prop_assert_eq!(
+            i32::from(got.to_bits()), expected,
+            "midpoint {} rounded to raw {} instead of {}",
+            midpoint, got.to_bits(), expected
+        );
+    }
+
+    /// Values at or beyond full scale saturate; nothing wraps.
+    #[test]
+    fn out_of_range_values_saturate(mag in 0.0f64..1e6) {
+        prop_assert_eq!(Q88::from_f64(MAX_F + mag), Q88::MAX);
+        prop_assert_eq!(Q88::from_f64(MIN_F - mag), Q88::MIN);
+    }
+}
+
+/// The exact saturation edges, pinned one value at a time: full scale is
+/// representable and exact; the first midpoint above it is the first input
+/// that saturates high; −128 is representable while anything below the
+/// half-LSB band under it pins to `MIN`.
+#[test]
+fn saturation_edges_are_exact() {
+    assert_eq!(Q88::from_f64(MAX_F), Q88::MAX);
+    assert_eq!(Q88::MAX.to_f64(), MAX_F);
+    // One half-LSB below full scale still rounds *up* into MAX (ties away
+    // from zero), so MAX_F - LSB/2 is the smallest input reaching MAX.
+    assert_eq!(Q88::from_f64(MAX_F - LSB / 2.0), Q88::MAX);
+    // Just inside that midpoint stays below MAX.
+    let below = Q88::from_f64(MAX_F - LSB / 2.0 - 1e-9);
+    assert_eq!(below.to_bits(), i16::MAX - 1);
+
+    assert_eq!(Q88::from_f64(MIN_F), Q88::MIN);
+    assert_eq!(Q88::MIN.to_f64(), MIN_F);
+    // The midpoint under MIN's neighbor rounds away from zero into MIN.
+    assert_eq!(Q88::from_f64(MIN_F + LSB / 2.0), Q88::MIN);
+    let above = Q88::from_f64(MIN_F + LSB / 2.0 + 1e-9);
+    assert_eq!(above.to_bits(), i16::MIN + 1);
+
+    // Non-finite inputs: NaN is defined to quantize to zero, infinities
+    // saturate like any out-of-range magnitude.
+    assert_eq!(Q88::from_f64(f64::NAN), Q88::ZERO);
+    assert_eq!(Q88::from_f64(f64::INFINITY), Q88::MAX);
+    assert_eq!(Q88::from_f64(f64::NEG_INFINITY), Q88::MIN);
+}
