@@ -23,15 +23,25 @@
 #                    construction, so the durable signal is throughput
 #                    vs the pinned seed; the geomean is gated because
 #                    sub-second workloads jitter ±15% individually.)
+#   ci.sh --serve  - same gate, then the serving-layer suites at depth
+#                    (scheduler-vs-oracle, determinism, malformed fuzz at
+#                    512 cases each) and the serving load benchmark
+#                    (BENCH_serve.json), whose built-in sanity gates
+#                    require a finite p99 under underload and a nonzero
+#                    shed rate at 2x saturation. The standard gate already
+#                    runs the serve suites at the pinned 32-case budget.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 PROPTEST_CASES=64 cargo test -q
-# Fault suites at their own pinned budget: malformed-input fuzzing of the
-# lenient paths plus the fault-mode skip-equivalence properties.
+# Fault and serving suites at their own pinned budget: malformed-input
+# fuzzing of the lenient paths, the fault-mode skip-equivalence
+# properties, and the scheduler-vs-oracle serving properties.
 PROPTEST_CASES=32 cargo test -q \
     -p neurocube-integration-tests --test fault_fuzz --test skip_equivalence
+PROPTEST_CASES=32 cargo test -q \
+    -p neurocube-serve --test serve_properties
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 
@@ -55,4 +65,14 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== simulator wall-clock benchmark (gate: 2x vs seed baseline) =="
     NEUROCUBE_BENCH_MIN_SPEEDUP="${NEUROCUBE_BENCH_MIN_SPEEDUP:-2}" \
         cargo bench -p neurocube-bench --bench bench_sim
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+    echo "== serving suites (PROPTEST_CASES=512) =="
+    PROPTEST_CASES=512 cargo test -q --release \
+        -p neurocube-serve --test serve_properties
+    cargo test -q --release \
+        -p neurocube-integration-tests --test serve_system
+    echo "== serving load benchmark (gates: finite p99 underloaded, shed > 0 at 2x) =="
+    cargo bench -p neurocube-bench --bench serve_load
 fi

@@ -5,11 +5,14 @@
 //! linked by HMC external SERDES: aggregate throughput, scaling
 //! efficiency, and the link share of the critical path. The FC stage's
 //! input all-gather is the scaling hazard — visible as the link share
-//! rising with cube count.
+//! rising with cube count, and in the per-layer latency percentiles:
+//! the p90/max layer cycles stop shrinking with cube count long before
+//! the p50 does, because the gather-bound layers don't band.
 
 use neurocube::{LinkModel, MultiCube, SystemConfig};
 use neurocube_bench::{csv_f, header, ramp_input, scene_scale, CsvSink};
 use neurocube_nn::workloads;
+use neurocube_sim::Histogram;
 
 fn main() {
     let (h, w, label) = scene_scale();
@@ -23,12 +26,29 @@ fn main() {
 
     let mut csv = CsvSink::create(
         "scaling_multicube",
-        &["cubes", "cycles", "gops", "link_cycles", "efficiency"],
+        &[
+            "cubes",
+            "cycles",
+            "gops",
+            "link_cycles",
+            "efficiency",
+            "layer_p50",
+            "layer_p90",
+            "layer_max",
+        ],
     );
     let mut single_cycles = 0u64;
     println!(
-        "{:<7} {:>14} {:>12} {:>12} {:>12} {:>10}",
-        "cubes", "cycles", "GOPs/s", "link cycles", "link share", "efficiency"
+        "{:<7} {:>14} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "cubes",
+        "cycles",
+        "GOPs/s",
+        "link cycles",
+        "link share",
+        "efficiency",
+        "layer p50",
+        "layer p90",
+        "layer max"
     );
     for cubes in [1usize, 2, 4, 8] {
         let cluster = MultiCube::new(SystemConfig::paper(true), cubes, LinkModel::hmc_ext());
@@ -36,21 +56,37 @@ fn main() {
         if cubes == 1 {
             single_cycles = report.total_cycles();
         }
+        // Per-layer critical-path distribution: the exact-multiset
+        // histogram kind the serving layer uses for request latencies,
+        // here exposing which layers stop scaling with cube count.
+        let mut layers = Histogram::new();
+        for l in &report.layers {
+            layers.record(l.cycles());
+        }
+        let p50 = layers.percentile(0.50).unwrap_or(0);
+        let p90 = layers.percentile(0.90).unwrap_or(0);
+        let lmax = layers.max().unwrap_or(0);
         csv.row(&[
             cubes.to_string(),
             report.total_cycles().to_string(),
             csv_f(report.throughput_gops()),
             report.link_cycles().to_string(),
             csv_f(report.scaling_efficiency(single_cycles)),
+            p50.to_string(),
+            p90.to_string(),
+            lmax.to_string(),
         ]);
         println!(
-            "{:<7} {:>14} {:>12.1} {:>12} {:>11.2}% {:>9.2}",
+            "{:<7} {:>14} {:>12.1} {:>12} {:>11.2}% {:>9.2} {:>10} {:>10} {:>10}",
             cubes,
             report.total_cycles(),
             report.throughput_gops(),
             report.link_cycles(),
             100.0 * report.link_cycles() as f64 / report.total_cycles() as f64,
             report.scaling_efficiency(single_cycles),
+            p50,
+            p90,
+            lmax,
         );
     }
     println!(

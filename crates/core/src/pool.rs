@@ -1,0 +1,205 @@
+//! A pool of Neurocubes with model-affinity tracking.
+//!
+//! The serving layer schedules batches onto many cubes; what makes
+//! placement interesting is that a cube *keeps its last-programmed PNG
+//! configuration* — dispatching a batch of the model a cube already
+//! holds skips the host's reprogramming phase entirely, while switching
+//! models pays the full per-layer configuration-register write time
+//! (Fig. 8(c), [`crate::ProgrammingModel`]). [`PoolCube`] models exactly
+//! that: it caches the [`LoadedNetwork`] under an opaque model tag and
+//! reports whether each `ensure_loaded` was an affinity hit or a
+//! reprogram.
+//!
+//! Cubes in a pool are fully independent deterministic simulators, so a
+//! pool can be driven serially or with one cube per
+//! [`neurocube_sim::BatchRunner`] job and produce bitwise-identical
+//! results — the property the serving layer's determinism contract
+//! builds on.
+
+use crate::{LoadedNetwork, Neurocube, RunReport, SystemConfig};
+use neurocube_fixed::Q88;
+use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_sim::StatsRegistry;
+
+/// One cube of a serving pool, remembering which model it last
+/// programmed.
+pub struct PoolCube {
+    cube: Neurocube,
+    loaded: Option<(u64, LoadedNetwork)>,
+}
+
+impl PoolCube {
+    /// A fresh cube with nothing programmed.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> PoolCube {
+        PoolCube {
+            cube: Neurocube::new(cfg),
+            loaded: None,
+        }
+    }
+
+    /// The tag of the model currently programmed, `None` when fresh.
+    #[must_use]
+    pub fn loaded_tag(&self) -> Option<u64> {
+        self.loaded.as_ref().map(|(tag, _)| *tag)
+    }
+
+    /// Ensures the model `tag` is programmed, reloading (layout, weights
+    /// and layer programs) only when the cube holds a different model.
+    /// Returns `true` on an affinity hit — the caller charges the
+    /// reprogramming time on `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not fit the cube or `params` does not
+    /// match the spec (see [`Neurocube::load`]).
+    pub fn ensure_loaded(&mut self, tag: u64, spec: &NetworkSpec, params: &[Vec<Q88>]) -> bool {
+        if self.loaded_tag() == Some(tag) {
+            return true;
+        }
+        let loaded = self.cube.load(spec.clone(), params.to_vec());
+        self.loaded = Some((tag, loaded));
+        false
+    }
+
+    /// Runs one inference on the currently programmed model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model has been programmed yet.
+    pub fn run(&mut self, input: &Tensor) -> (Tensor, RunReport) {
+        let (_, loaded) = self.loaded.as_ref().expect("a model is programmed");
+        self.cube.run_inference(loaded, input)
+    }
+
+    /// Forces fast-forwarding on/off for this cube (see
+    /// [`Neurocube::set_cycle_skip`]).
+    pub fn set_cycle_skip(&mut self, enabled: Option<bool>) {
+        self.cube.set_cycle_skip(enabled);
+    }
+
+    /// Snapshot of the underlying cube's statistics registry.
+    #[must_use]
+    pub fn stats_registry(&self) -> StatsRegistry {
+        self.cube.stats_registry()
+    }
+
+    /// Read access to the underlying cube.
+    #[must_use]
+    pub fn cube(&self) -> &Neurocube {
+        &self.cube
+    }
+}
+
+/// A fixed-size pool of identical [`PoolCube`]s.
+pub struct CubePool {
+    cubes: Vec<PoolCube>,
+}
+
+impl CubePool {
+    /// Builds `n` fresh cubes sharing one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero — an empty pool can never serve.
+    #[must_use]
+    pub fn new(cfg: &SystemConfig, n: usize) -> CubePool {
+        assert!(n > 0, "a serving pool needs at least one cube");
+        CubePool {
+            cubes: (0..n).map(|_| PoolCube::new(cfg.clone())).collect(),
+        }
+    }
+
+    /// Number of cubes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Always false — the constructor rejects empty pools.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// One cube by index.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &PoolCube {
+        &self.cubes[i]
+    }
+
+    /// Mutable access to one cube by index.
+    pub fn get_mut(&mut self, i: usize) -> &mut PoolCube {
+        &mut self.cubes[i]
+    }
+
+    /// The model tag each cube currently holds, in cube order.
+    #[must_use]
+    pub fn loaded_tags(&self) -> Vec<Option<u64>> {
+        self.cubes.iter().map(PoolCube::loaded_tag).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurocube_nn::workloads;
+
+    #[test]
+    fn affinity_hit_skips_reload_and_miss_reprograms() {
+        let a = workloads::tiny_convnet();
+        let pa = a.init_params(1, 0.25);
+        let b = workloads::mnist_mlp(8);
+        let pb = b.init_params(2, 0.25);
+        let mut cube = PoolCube::new(SystemConfig::paper(true));
+        assert_eq!(cube.loaded_tag(), None);
+        assert!(!cube.ensure_loaded(10, &a, &pa), "first load is a miss");
+        assert!(cube.ensure_loaded(10, &a, &pa), "same tag is a hit");
+        assert!(
+            !cube.ensure_loaded(20, &b, &pb),
+            "switching models is a miss"
+        );
+        assert_eq!(cube.loaded_tag(), Some(20));
+        assert!(!cube.ensure_loaded(10, &a, &pa), "switching back reloads");
+    }
+
+    #[test]
+    fn reloaded_model_matches_a_fresh_cube_bitwise() {
+        let a = workloads::tiny_convnet();
+        let pa = a.init_params(1, 0.25);
+        let b = workloads::mnist_mlp(8);
+        let pb = b.init_params(2, 0.25);
+        let input = Tensor::zeros(1, 12, 12);
+
+        // Fresh cube running model A once.
+        let mut fresh = PoolCube::new(SystemConfig::paper(true));
+        fresh.ensure_loaded(10, &a, &pa);
+        let (fresh_out, fresh_report) = fresh.run(&input);
+
+        // Pool cube that served model B in between: reprogramming back to
+        // A reproduces the output bit for bit and the same work counts.
+        // Timing fields (cycles, row misses) legitimately differ — DRAM
+        // row-buffer state persists across runs, so a warm cube is not a
+        // cold cube; value-accuracy is what reloading must preserve.
+        let mut reused = PoolCube::new(SystemConfig::paper(true));
+        reused.ensure_loaded(10, &a, &pa);
+        let _ = reused.run(&input);
+        reused.ensure_loaded(20, &b, &pb);
+        let mnist_in = Tensor::zeros(1, 28, 28);
+        let _ = reused.run(&mnist_in);
+        reused.ensure_loaded(10, &a, &pa);
+        let (out, report) = reused.run(&input);
+        assert_eq!(out, fresh_out);
+        assert_eq!(report.layers.len(), fresh_report.layers.len());
+        for (l, f) in report.layers.iter().zip(&fresh_report.layers) {
+            assert_eq!(l.macs, f.macs);
+            assert_eq!(l.packets, f.packets);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cube")]
+    fn empty_pool_is_rejected() {
+        let _ = CubePool::new(&SystemConfig::paper(true), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The model catalog: per-model timing profiles and network payloads.
+//!
+//! A serving pool schedules in *virtual* time, so it needs each model's
+//! service time before any request arrives. Because the cycle model's
+//! timing is input-independent (operand values never change control
+//! flow), one profiling inference per model captures it exactly: the
+//! catalog runs each registered network once on a fresh cube and memoizes
+//! the report's total cycles as the model's `service_cycles`. The
+//! affinity-miss charge comes from the `golden::timing` host term — the
+//! sum of per-layer `programming_cycles` under a [`ProgrammingModel`] —
+//! so the scheduler and the analytical timing model can never disagree
+//! about what a reprogram costs.
+//!
+//! Scheduler-only tests can skip the expensive profiling run with
+//! [`ModelCatalog::register_synthetic`], which installs a model that has
+//! timing but no network; such models schedule normally but cannot be
+//! executed.
+
+use neurocube::{Neurocube, ProgrammingModel, SystemConfig};
+use neurocube_fixed::Q88;
+use neurocube_nn::{NetworkSpec, Tensor};
+
+/// One registered model.
+pub struct ModelEntry {
+    /// Catalog-unique name tenants address the model by.
+    pub name: String,
+    /// Dense numeric tag (the index in registration order); cubes track
+    /// affinity by tag.
+    pub tag: u64,
+    /// Cycles one inference of this model occupies a cube, from the
+    /// profiling run.
+    pub service_cycles: u64,
+    /// Host programming cycles charged when a cube switches to this
+    /// model (the `golden::timing` per-layer programming term, summed).
+    pub reprogram_cycles: u64,
+    /// The network and its weights; `None` for synthetic entries.
+    pub network: Option<(NetworkSpec, Vec<Vec<Q88>>)>,
+}
+
+impl ModelEntry {
+    /// Input element count this model expects (admission rejects any
+    /// other payload length). Synthetic models declare a 1-element
+    /// input, so shape validation applies to them uniformly.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        self.network
+            .as_ref()
+            .map_or(1, |(spec, _)| spec.input_shape().len())
+    }
+}
+
+/// The registry of servable models over one cube configuration.
+pub struct ModelCatalog {
+    cfg: SystemConfig,
+    programming: ProgrammingModel,
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelCatalog {
+    /// A catalog over `cfg`. Profiling and execution run with the host
+    /// programming phase *untimed* (per-layer programming is not part of
+    /// service time); the affinity-miss charge uses `cfg`'s programming
+    /// model when set, [`ProgrammingModel::typical`] otherwise.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> ModelCatalog {
+        let programming = cfg.programming.unwrap_or_else(ProgrammingModel::typical);
+        let mut cfg = cfg;
+        cfg.programming = None;
+        ModelCatalog {
+            cfg,
+            programming,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The execution configuration (programming phase untimed).
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The host programming model behind the reprogram charge.
+    #[must_use]
+    pub fn programming(&self) -> ProgrammingModel {
+        self.programming
+    }
+
+    /// Registers a real network under `name`, initializing weights from
+    /// `seed` and profiling one inference to measure service time.
+    /// Returns the model's tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or when the network does not fit the
+    /// cube configuration.
+    pub fn register(&mut self, name: &str, spec: NetworkSpec, seed: u64) -> u64 {
+        assert!(self.lookup(name).is_none(), "duplicate model name {name}");
+        let params = spec.init_params(seed, 0.25);
+        let mut cube = Neurocube::new(self.cfg.clone());
+        let loaded = cube.load(spec.clone(), params.clone());
+        let input = profile_input(&spec);
+        let (_, report) = cube.run_inference(&loaded, &input);
+        let service_cycles = report.total_cycles();
+        assert!(service_cycles > 0, "profiled model must take time");
+
+        // The affinity-miss charge: the golden timing model's host term,
+        // summed over layers. With a uniform per-layer PNG count this
+        // equals `ProgrammingModel::network_cycles`, asserted here so the
+        // two formulations can never drift apart.
+        let mut prog_cfg = self.cfg.clone();
+        prog_cfg.programming = Some(self.programming);
+        let reprogram_cycles: u64 = neurocube_golden::timing::layer_bounds(&prog_cfg, &spec)
+            .iter()
+            .map(|b| b.programming_cycles)
+            .sum();
+        let nodes = self.cfg.nodes() as u32;
+        assert_eq!(
+            reprogram_cycles,
+            self.programming
+                .network_cycles(std::iter::repeat_n(nodes, spec.depth())),
+            "golden host term and ProgrammingModel::network_cycles disagree"
+        );
+
+        let tag = self.entries.len() as u64;
+        self.entries.push(ModelEntry {
+            name: name.to_string(),
+            tag,
+            service_cycles,
+            reprogram_cycles,
+            network: Some((spec, params)),
+        });
+        tag
+    }
+
+    /// Registers a timing-only model for scheduler tests: it queues,
+    /// batches and sheds like any other, but holds no network and cannot
+    /// be executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or zero service time.
+    pub fn register_synthetic(
+        &mut self,
+        name: &str,
+        service_cycles: u64,
+        reprogram_cycles: u64,
+    ) -> u64 {
+        assert!(self.lookup(name).is_none(), "duplicate model name {name}");
+        assert!(service_cycles > 0, "service time must be positive");
+        let tag = self.entries.len() as u64;
+        self.entries.push(ModelEntry {
+            name: name.to_string(),
+            tag,
+            service_cycles,
+            reprogram_cycles,
+            network: None,
+        });
+        tag
+    }
+
+    /// Looks a model up by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&ModelEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// One model by tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tag was never issued by this catalog.
+    #[must_use]
+    pub fn entry(&self, tag: u64) -> &ModelEntry {
+        &self.entries[usize::try_from(tag).expect("tag fits usize")]
+    }
+
+    /// Registered models in tag order.
+    pub fn entries(&self) -> impl Iterator<Item = &ModelEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no model is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Deterministic profiling input (values never affect timing; any
+/// payload of the right shape measures the same service time).
+fn profile_input(spec: &NetworkSpec) -> Tensor {
+    let s = spec.input_shape();
+    Tensor::from_vec(s.channels, s.height, s.width, input_payload(s.len(), 0))
+}
+
+/// Deterministic per-request payload: a ramp offset by the request id so
+/// different requests produce different outputs (exercising the
+/// executor's checksum) while staying cheap to generate.
+#[must_use]
+pub fn input_payload(len: usize, request_id: u64) -> Vec<Q88> {
+    (0..len)
+        .map(|i| {
+            let phase = (i as u64 + request_id) % 64;
+            Q88::from_f64((phase as f64 - 32.0) / 32.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurocube_nn::workloads;
+
+    #[test]
+    fn register_profiles_service_and_reprogram_cycles() {
+        let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+        let tag = cat.register("tiny", workloads::tiny_convnet(), 7);
+        let e = cat.entry(tag);
+        assert_eq!(e.name, "tiny");
+        assert!(e.service_cycles > 0);
+        // 4 layers × 16 nodes × 12 regs × 10 ns at 5 GHz.
+        assert_eq!(
+            e.reprogram_cycles,
+            ProgrammingModel::typical().network_cycles(std::iter::repeat_n(16, 4))
+        );
+        assert_eq!(cat.lookup("tiny").unwrap().tag, tag);
+        assert!(cat.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn synthetic_models_schedule_without_networks() {
+        let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+        let tag = cat.register_synthetic("ghost", 500, 100);
+        let e = cat.entry(tag);
+        assert_eq!(e.service_cycles, 500);
+        assert_eq!(e.reprogram_cycles, 100);
+        assert!(e.network.is_none());
+        assert_eq!(e.input_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate model name")]
+    fn duplicate_names_are_rejected() {
+        let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+        cat.register_synthetic("m", 10, 0);
+        cat.register_synthetic("m", 20, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Replays a schedule on real cubes and proves execution determinism.
+//!
+//! The scheduler plans in virtual time; this module carries the plan out:
+//! each [`DispatchRecord`] becomes real `Neurocube` inferences on a
+//! [`PoolCube`], with `ensure_loaded` reproducing exactly the affinity
+//! hits and misses the scheduler predicted (asserted per record).
+//!
+//! Per-cube record streams are independent once the schedule is fixed, so
+//! they can run serially or on [`BatchRunner`] threads; either way each
+//! cube replays its own records in dispatch order, and the merged
+//! `serve.exec.*` registry — including a checksum folded over every
+//! output value — is bitwise identical. That is the serving layer's
+//! execution-determinism contract, and the suites assert it.
+
+use crate::catalog::ModelCatalog;
+use crate::request::Request;
+use crate::scheduler::DispatchRecord;
+use neurocube::PoolCube;
+use neurocube_nn::Tensor;
+use neurocube_sim::{BatchRunner, StatsRegistry};
+
+/// How to drive the per-cube replay jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One cube after another on the calling thread.
+    Serial,
+    /// All cubes concurrently on [`BatchRunner`] threads.
+    Batched,
+}
+
+/// Per-cube replay result, merged in cube order regardless of mode.
+struct CubeExec {
+    batches: u64,
+    requests: u64,
+    affinity_hits: u64,
+    affinity_misses: u64,
+    /// Order-sensitive fold over every output element of every request,
+    /// in replay order — two replays agree on this iff they agree on
+    /// every output value.
+    output_checksum: u64,
+}
+
+fn replay_cube(catalog: &ModelCatalog, trace: &[Request], records: &[&DispatchRecord]) -> CubeExec {
+    let mut cube = PoolCube::new(catalog.config().clone());
+    let mut exec = CubeExec {
+        batches: 0,
+        requests: 0,
+        affinity_hits: 0,
+        affinity_misses: 0,
+        output_checksum: 0,
+    };
+    for rec in records {
+        let entry = catalog.entry(rec.model);
+        let (spec, params) = entry
+            .network
+            .as_ref()
+            .expect("synthetic models cannot be executed; register real networks");
+        let hit = cube.ensure_loaded(rec.model, spec, params);
+        assert_eq!(
+            hit, rec.affinity_hit,
+            "cube {} model {}: the pool's affinity state diverged from the schedule",
+            rec.cube, entry.name
+        );
+        if hit {
+            exec.affinity_hits += 1;
+        } else {
+            exec.affinity_misses += 1;
+        }
+        exec.batches += 1;
+        let shape = spec.input_shape();
+        for &id in &rec.requests {
+            let req = &trace[usize::try_from(id).expect("id fits usize")];
+            let input =
+                Tensor::from_vec(shape.channels, shape.height, shape.width, req.input.clone());
+            let (output, _) = cube.run(&input);
+            for &v in output.as_slice() {
+                exec.output_checksum = exec
+                    .output_checksum
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(v.to_bits() as u16 as u64);
+            }
+            exec.requests += 1;
+        }
+    }
+    exec
+}
+
+/// Executes every batch in `records` on real cubes and returns the
+/// merged `serve.exec.*` registry. Bitwise identical across modes.
+///
+/// # Panics
+///
+/// Panics when a record names a synthetic (timing-only) model, or when a
+/// cube's real affinity state disagrees with the schedule's prediction.
+#[must_use]
+pub fn execute(
+    catalog: &ModelCatalog,
+    trace: &[Request],
+    records: &[DispatchRecord],
+    mode: ExecMode,
+) -> StatsRegistry {
+    let pool = records.iter().map(|r| r.cube + 1).max().unwrap_or(0);
+    let per_cube: Vec<Vec<&DispatchRecord>> = (0..pool)
+        .map(|c| records.iter().filter(|r| r.cube == c).collect())
+        .collect();
+
+    let execs: Vec<CubeExec> = match mode {
+        ExecMode::Serial => per_cube
+            .iter()
+            .map(|recs| replay_cube(catalog, trace, recs))
+            .collect(),
+        ExecMode::Batched => BatchRunner::new().run(per_cube.len(), |c| {
+            replay_cube(catalog, trace, &per_cube[c])
+        }),
+    };
+
+    let mut total = CubeExec {
+        batches: 0,
+        requests: 0,
+        affinity_hits: 0,
+        affinity_misses: 0,
+        output_checksum: 0,
+    };
+    // Merge in cube order — the same fold no matter which threads ran
+    // which cube, so both modes export identical registries.
+    for e in &execs {
+        total.batches += e.batches;
+        total.requests += e.requests;
+        total.affinity_hits += e.affinity_hits;
+        total.affinity_misses += e.affinity_misses;
+        total.output_checksum = total
+            .output_checksum
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(e.output_checksum);
+    }
+
+    let mut stats = StatsRegistry::new();
+    let mut s = stats.scoped("serve.exec");
+    s.counter("cubes", pool as u64);
+    s.counter("batches", total.batches);
+    s.counter("requests", total.requests);
+    s.counter("affinity.hits", total.affinity_hits);
+    s.counter("affinity.misses", total.affinity_misses);
+    s.counter("output_checksum", total.output_checksum);
+    stats
+}

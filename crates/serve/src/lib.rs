@@ -1,0 +1,38 @@
+//! Deterministic multi-tenant inference serving over a Neurocube pool.
+//!
+//! This crate layers a request-level serving frontend on the cycle
+//! simulator: an open-loop [`traffic`] generator emits inference
+//! requests (model, payload, deadline, priority) from `fault::prng`'s
+//! counter PRNG; the [`scheduler`] admits them, forms dynamic batches
+//! per model, places batches on a pool of cube timelines with
+//! model-affinity awareness (a cube keeps its last-programmed network,
+//! so same-model batches skip the host reprogramming charge), and sheds
+//! requests that can no longer meet their deadlines — gracefully, as
+//! counted statistics, never a panic. The [`executor`] then replays the
+//! schedule on real [`neurocube::PoolCube`]s, serially or on
+//! `BatchRunner` threads, with bitwise-identical merged statistics
+//! either way.
+//!
+//! Everything is deterministic end to end: the same `(seed, trace,
+//! config)` produces the same `serve.*` registry bit for bit — across
+//! reruns, across fast-forward modes (the scheduler rides
+//! `sim::CycleLoop`'s event-horizon contract), and across
+//! serial-versus-threaded execution. An independent [`oracle`]
+//! re-implements the scheduling policy longhand so the property suites
+//! can difference the two.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod executor;
+pub mod oracle;
+pub mod request;
+pub mod scheduler;
+pub mod traffic;
+
+pub use catalog::{input_payload, ModelCatalog, ModelEntry};
+pub use executor::{execute, ExecMode};
+pub use request::{Outcome, RejectReason, Request};
+pub use scheduler::{serve, serve_mode, DispatchRecord, ServeConfig, ServeReport};
+pub use traffic::{generate, LoadProfile, TrafficSpec, DOMAIN_TRAFFIC};

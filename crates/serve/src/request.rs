@@ -1,0 +1,73 @@
+//! Inference requests and their admission/terminal outcomes.
+
+use neurocube_fixed::Q88;
+
+/// One inference request as submitted by a tenant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Trace-unique id; the generator assigns ids equal to the request's
+    /// index in the trace, which the executor relies on for lookups.
+    pub id: u64,
+    /// Name of the model to run (resolved against the catalog at
+    /// admission).
+    pub model: String,
+    /// Flat input payload in the model's canonical tensor order. Kept as
+    /// raw values rather than a `Tensor` so malformed payloads (empty,
+    /// wrong length) exist as *data* the admission path must reject,
+    /// instead of being unrepresentable by construction.
+    pub input: Vec<Q88>,
+    /// Virtual cycle the request arrives at the frontend.
+    pub arrival: u64,
+    /// Absolute virtual-cycle deadline: the batch carrying this request
+    /// must complete at or before this cycle, or the request is shed.
+    pub deadline: u64,
+    /// Scheduling priority — higher values queue ahead of lower ones
+    /// within a model's queue; ties keep arrival order.
+    pub priority: u8,
+}
+
+/// Why a request was refused at admission, before ever queueing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The model name is not in the catalog.
+    UnknownModel,
+    /// The input payload is empty.
+    EmptyInput,
+    /// The input payload length does not match the model's input shape.
+    ShapeMismatch,
+    /// The deadline is not in the future at arrival time.
+    PastDeadline,
+    /// The model's queue is at capacity.
+    QueueFull,
+}
+
+impl RejectReason {
+    /// Stats-registry key suffix for this rejection class.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            RejectReason::UnknownModel => "unknown_model",
+            RejectReason::EmptyInput => "empty_input",
+            RejectReason::ShapeMismatch => "shape_mismatch",
+            RejectReason::PastDeadline => "past_deadline",
+            RejectReason::QueueFull => "queue_full",
+        }
+    }
+}
+
+/// Terminal state of one request, indexed by trace position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served: dispatched in a batch that completed by the deadline.
+    Completed {
+        /// Completion cycle minus arrival cycle.
+        latency: u64,
+        /// Size of the batch the request rode in.
+        batch_size: u64,
+    },
+    /// Admitted but shed later: no feasible dispatch existed when the
+    /// request reached the head of its queue.
+    Shed,
+    /// Refused at admission.
+    Rejected(RejectReason),
+}

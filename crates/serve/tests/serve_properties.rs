@@ -1,0 +1,218 @@
+//! Property-based tests of the serving scheduler against its serial
+//! oracle, plus determinism and malformed-request fuzz suites.
+//!
+//! Synthetic (timing-only) models keep these fast: the properties are
+//! about scheduling policy, not cube execution, so no real inferences
+//! run here. `tests/tests/serve_system.rs` covers the real-cube side.
+
+use neurocube::SystemConfig;
+use neurocube_serve::{
+    generate, oracle, serve_mode, LoadProfile, ModelCatalog, Outcome, Request, ServeConfig,
+    TrafficSpec,
+};
+use proptest::prelude::*;
+
+/// A catalog of 1–3 synthetic models with varied timing.
+fn catalog(models: usize) -> ModelCatalog {
+    let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+    let names = ["alpha", "beta", "gamma"];
+    for (i, name) in names.iter().enumerate().take(models) {
+        let service = 80 + 70 * i as u64;
+        let reprogram = 30 + 25 * i as u64;
+        cat.register_synthetic(name, service, reprogram);
+    }
+    cat
+}
+
+fn mix(models: usize) -> Vec<(String, u32)> {
+    ["alpha", "beta", "gamma"]
+        .iter()
+        .take(models)
+        .enumerate()
+        .map(|(i, n)| ((*n).to_string(), 1 + i as u32))
+        .collect()
+}
+
+fn any_profile() -> impl Strategy<Value = LoadProfile> {
+    prop_oneof![
+        Just(LoadProfile::Poisson),
+        Just(LoadProfile::Bursty),
+        Just(LoadProfile::Diurnal),
+    ]
+}
+
+fn any_config() -> impl Strategy<Value = ServeConfig> {
+    (1usize..5, 1usize..7, 0u64..1500, 2usize..24).prop_map(
+        |(pool, max_batch, max_delay, queue_cap)| ServeConfig {
+            pool,
+            max_batch,
+            max_delay,
+            queue_cap,
+        },
+    )
+}
+
+proptest! {
+    /// The scheduler and the independent serial oracle produce the same
+    /// schedule — record for record, outcome for outcome — over random
+    /// configurations, load profiles and (possibly malformed) traces.
+    /// The two share no machinery, so agreement here means the policy
+    /// documented in `scheduler`'s module docs is what actually runs,
+    /// with or without event-horizon fast-forwarding.
+    #[test]
+    fn scheduler_matches_the_serial_oracle(
+        seed in any::<u64>(),
+        models in 1usize..4,
+        cfg in any_config(),
+        profile in any_profile(),
+        mean_gap in 20.0f64..600.0,
+        count in 1u64..160,
+        malformed in 0u32..300,
+        skip in any::<bool>(),
+    ) {
+        let cat = catalog(models);
+        let spec = TrafficSpec {
+            profile,
+            malformed_permille: malformed,
+            ..TrafficSpec::poisson(seed, mean_gap, count, mix(models))
+        };
+        let trace = generate(&cat, &spec);
+        let got = serve_mode(&cat, &cfg, &trace, Some(skip));
+        let want = oracle::schedule(&cat, &cfg, &trace);
+        prop_assert_eq!(&got.records, &want.records);
+        prop_assert_eq!(&got.outcomes, &want.outcomes);
+    }
+
+    /// No dispatched batch ever violates a member's deadline: the batch
+    /// completes at or before the deadline of every request it carries.
+    /// Infeasible requests are shed (graceful degradation), and the
+    /// outcome accounting is airtight — every request is exactly one of
+    /// completed, shed, or rejected.
+    #[test]
+    fn batches_never_violate_member_deadlines(
+        seed in any::<u64>(),
+        cfg in any_config(),
+        profile in any_profile(),
+        mean_gap in 20.0f64..400.0,
+        count in 1u64..160,
+        malformed in 0u32..400,
+    ) {
+        let cat = catalog(2);
+        let spec = TrafficSpec {
+            profile,
+            malformed_permille: malformed,
+            ..TrafficSpec::poisson(seed, mean_gap, count, mix(2))
+        };
+        let trace = generate(&cat, &spec);
+        let report = serve_mode(&cat, &cfg, &trace, None);
+        for rec in &report.records {
+            prop_assert!(rec.requests.len() <= cfg.max_batch);
+            for &id in &rec.requests {
+                let req = &trace[id as usize];
+                prop_assert!(
+                    rec.completes_at <= req.deadline,
+                    "batch completing at {} carries request {} with deadline {}",
+                    rec.completes_at, id, req.deadline
+                );
+            }
+        }
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut rejected = 0u64;
+        for o in &report.outcomes {
+            match o {
+                Outcome::Completed { .. } => completed += 1,
+                Outcome::Shed => shed += 1,
+                Outcome::Rejected(_) => rejected += 1,
+            }
+        }
+        prop_assert_eq!(completed, report.completed());
+        prop_assert_eq!(shed, report.shed());
+        prop_assert_eq!(rejected, report.rejected());
+        prop_assert_eq!(completed + shed + rejected, trace.len() as u64);
+    }
+
+    /// Same `(seed, trace, config)` twice — and with fast-forward on vs
+    /// off — yields bitwise-identical `serve.*` registries, CSV and JSON
+    /// included. This is the serving layer's determinism contract.
+    #[test]
+    fn serving_is_bitwise_deterministic(
+        seed in any::<u64>(),
+        cfg in any_config(),
+        profile in any_profile(),
+        mean_gap in 20.0f64..400.0,
+        count in 1u64..120,
+    ) {
+        let cat = catalog(2);
+        let spec = TrafficSpec {
+            profile,
+            ..TrafficSpec::poisson(seed, mean_gap, count, mix(2))
+        };
+        let trace = generate(&cat, &spec);
+        let a = serve_mode(&cat, &cfg, &trace, Some(false));
+        let b = serve_mode(&cat, &cfg, &trace, Some(false));
+        let fast = serve_mode(&cat, &cfg, &trace, Some(true));
+        prop_assert_eq!(a.stats.first_difference(&b.stats), None);
+        prop_assert_eq!(a.stats.first_difference(&fast.stats), None);
+        prop_assert_eq!(a.stats.to_csv(), fast.stats.to_csv());
+        prop_assert_eq!(a.stats.to_json(), fast.stats.to_json());
+        prop_assert_eq!(&a.records, &fast.records);
+    }
+
+    /// Malformed requests — unknown models, empty payloads, wrong
+    /// shapes, dead-on-arrival deadlines — are *counted* rejections,
+    /// never panics, and never reach a cube.
+    #[test]
+    fn malformed_requests_are_counted_not_fatal(
+        seed in any::<u64>(),
+        cfg in any_config(),
+        count in 1u64..160,
+        permille in 300u32..1000,
+    ) {
+        let cat = catalog(2);
+        let spec = TrafficSpec {
+            malformed_permille: permille,
+            ..TrafficSpec::poisson(seed, 120.0, count, mix(2))
+        };
+        let trace = generate(&cat, &spec);
+        let report = serve_mode(&cat, &cfg, &trace, None);
+        for (i, req) in trace.iter().enumerate() {
+            let malformed = cat.lookup(&req.model).is_none()
+                || req.input.is_empty()
+                || cat.lookup(&req.model).is_some_and(|e| req.input.len() != e.input_len())
+                || req.deadline <= req.arrival;
+            if malformed {
+                prop_assert!(
+                    matches!(report.outcomes[i], Outcome::Rejected(_)),
+                    "malformed request {} ended as {:?}",
+                    i,
+                    report.outcomes[i]
+                );
+            }
+            // Dispatched batches only ever carry well-formed requests.
+            if let Outcome::Completed { .. } = report.outcomes[i] {
+                prop_assert!(!malformed);
+            }
+        }
+        let offered = report.stats.counter("serve.requests.offered");
+        prop_assert_eq!(offered, trace.len() as u64);
+    }
+}
+
+/// Hand-built (non-generated) traces hit the same policy: unsorted
+/// traces are rejected loudly rather than scheduled wrongly.
+#[test]
+#[should_panic(expected = "trace sorted by arrival")]
+fn unsorted_traces_are_rejected() {
+    let cat = catalog(1);
+    let mk = |id: u64, arrival: u64| Request {
+        id,
+        model: "alpha".to_string(),
+        input: vec![neurocube_fixed::Q88::ZERO],
+        arrival,
+        deadline: arrival + 10_000,
+        priority: 0,
+    };
+    let trace = vec![mk(0, 100), mk(1, 50)];
+    let _ = serve_mode(&cat, &ServeConfig::new(1), &trace, None);
+}

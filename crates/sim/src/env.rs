@@ -17,10 +17,16 @@
 //!
 //! Known variables routed through here: `NEUROCUBE_NO_SKIP`,
 //! `NEUROCUBE_STAGE_PROFILE`, `NEUROCUBE_FAULT_ECC` (flags);
-//! `NEUROCUBE_FAULT_SEED` (u64); `NEUROCUBE_FAULT_RATE`,
-//! `NEUROCUBE_BENCH_MIN_SPEEDUP` (f64); `NEUROCUBE_SCALE` (string).
-//! Path-valued variables (`NEUROCUBE_CSV`, `NEUROCUBE_BENCH_OUT`) stay on
-//! `var_os` — paths may legitimately be non-UTF-8.
+//! `NEUROCUBE_FAULT_SEED`, `NEUROCUBE_SERVE_SEED`,
+//! `NEUROCUBE_SERVE_MAX_BATCH`, `NEUROCUBE_SERVE_MAX_DELAY`,
+//! `NEUROCUBE_SERVE_POOL` (u64); `NEUROCUBE_FAULT_RATE`,
+//! `NEUROCUBE_BENCH_MIN_SPEEDUP` (f64); `NEUROCUBE_SCALE`,
+//! `NEUROCUBE_SERVE_LOAD` (string). The serving-layer knobs have
+//! dedicated accessors ([`serve_seed`], [`serve_load`],
+//! [`serve_max_batch`], [`serve_max_delay`], [`serve_pool`]) so the
+//! variable names live in exactly one place. Path-valued variables
+//! (`NEUROCUBE_CSV`, `NEUROCUBE_BENCH_OUT`, `NEUROCUBE_BENCH_SERVE_OUT`)
+//! stay on `var_os` — paths may legitimately be non-UTF-8.
 
 use std::ffi::OsString;
 
@@ -53,6 +59,41 @@ pub fn env_u64(name: &str) -> Option<u64> {
 #[must_use]
 pub fn env_f64(name: &str) -> Option<f64> {
     env_str(name)?.trim().parse().ok()
+}
+
+/// `NEUROCUBE_SERVE_SEED`: the serving layer's trace seed (u64 rules —
+/// `0` is a legitimate seed, not an off switch).
+#[must_use]
+pub fn serve_seed() -> Option<u64> {
+    env_u64("NEUROCUBE_SERVE_SEED")
+}
+
+/// `NEUROCUBE_SERVE_LOAD`: the arrival profile name (string rules; the
+/// serving layer accepts `poisson`, `bursty` or `diurnal` and rejects
+/// anything else at configuration time, not here).
+#[must_use]
+pub fn serve_load() -> Option<String> {
+    env_str("NEUROCUBE_SERVE_LOAD")
+}
+
+/// `NEUROCUBE_SERVE_MAX_BATCH`: dynamic-batching size cap (u64 rules).
+#[must_use]
+pub fn serve_max_batch() -> Option<u64> {
+    env_u64("NEUROCUBE_SERVE_MAX_BATCH")
+}
+
+/// `NEUROCUBE_SERVE_MAX_DELAY`: max queue delay, in virtual cycles, a
+/// request may wait for batch-mates before dispatch (u64 rules).
+#[must_use]
+pub fn serve_max_delay() -> Option<u64> {
+    env_u64("NEUROCUBE_SERVE_MAX_DELAY")
+}
+
+/// `NEUROCUBE_SERVE_POOL`: number of cubes in the serving pool (u64
+/// rules; the serving layer rejects `0` at configuration time).
+#[must_use]
+pub fn serve_pool() -> Option<u64> {
+    env_u64("NEUROCUBE_SERVE_POOL")
 }
 
 #[cfg(test)]
@@ -90,6 +131,67 @@ mod tests {
         std::env::set_var("NC_TEST_F64_ZERO", "0");
         assert_eq!(env_f64("NC_TEST_F64_ZERO"), Some(0.0));
         assert_eq!(env_f64("NC_TEST_F64_UNSET_XYZ"), None);
+    }
+
+    // The serve accessors read fixed variable names, so each variable is
+    // exercised by exactly one test (and no other test in this binary
+    // reads it) to stay safe under the parallel test runner.
+
+    #[test]
+    fn serve_seed_follows_u64_rules() {
+        std::env::remove_var("NEUROCUBE_SERVE_SEED");
+        assert_eq!(serve_seed(), None);
+        std::env::set_var("NEUROCUBE_SERVE_SEED", "0");
+        assert_eq!(serve_seed(), Some(0), "0 is a seed, not an off switch");
+        std::env::set_var("NEUROCUBE_SERVE_SEED", " 1234 ");
+        assert_eq!(serve_seed(), Some(1234));
+        std::env::set_var("NEUROCUBE_SERVE_SEED", "not-a-number");
+        assert_eq!(serve_seed(), None);
+        std::env::remove_var("NEUROCUBE_SERVE_SEED");
+    }
+
+    #[test]
+    fn serve_load_follows_string_rules() {
+        std::env::remove_var("NEUROCUBE_SERVE_LOAD");
+        assert_eq!(serve_load(), None);
+        std::env::set_var("NEUROCUBE_SERVE_LOAD", "");
+        assert_eq!(serve_load(), None, "empty reads as unset");
+        std::env::set_var("NEUROCUBE_SERVE_LOAD", "bursty");
+        assert_eq!(serve_load().as_deref(), Some("bursty"));
+        std::env::remove_var("NEUROCUBE_SERVE_LOAD");
+    }
+
+    #[test]
+    fn serve_max_batch_follows_u64_rules() {
+        std::env::remove_var("NEUROCUBE_SERVE_MAX_BATCH");
+        assert_eq!(serve_max_batch(), None);
+        std::env::set_var("NEUROCUBE_SERVE_MAX_BATCH", "8");
+        assert_eq!(serve_max_batch(), Some(8));
+        std::env::set_var("NEUROCUBE_SERVE_MAX_BATCH", "-1");
+        assert_eq!(serve_max_batch(), None, "negative is unparseable as u64");
+        std::env::remove_var("NEUROCUBE_SERVE_MAX_BATCH");
+    }
+
+    #[test]
+    fn serve_max_delay_follows_u64_rules() {
+        std::env::remove_var("NEUROCUBE_SERVE_MAX_DELAY");
+        assert_eq!(serve_max_delay(), None);
+        std::env::set_var("NEUROCUBE_SERVE_MAX_DELAY", "0");
+        assert_eq!(serve_max_delay(), Some(0), "0 delay means dispatch eagerly");
+        std::env::set_var("NEUROCUBE_SERVE_MAX_DELAY", "50000");
+        assert_eq!(serve_max_delay(), Some(50_000));
+        std::env::remove_var("NEUROCUBE_SERVE_MAX_DELAY");
+    }
+
+    #[test]
+    fn serve_pool_follows_u64_rules() {
+        std::env::remove_var("NEUROCUBE_SERVE_POOL");
+        assert_eq!(serve_pool(), None);
+        std::env::set_var("NEUROCUBE_SERVE_POOL", "4");
+        assert_eq!(serve_pool(), Some(4));
+        std::env::set_var("NEUROCUBE_SERVE_POOL", "");
+        assert_eq!(serve_pool(), None, "empty reads as unset");
+        std::env::remove_var("NEUROCUBE_SERVE_POOL");
     }
 
     #[cfg(unix)]

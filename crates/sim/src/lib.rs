@@ -8,10 +8,11 @@
 //!   cycle by cycle, owning the completion check and the deadlock
 //!   watchdog that every hand-written run loop used to duplicate.
 //! * [`StatsRegistry`] + [`StatSource`] — a registry of named monotonic
-//!   counters (plus accumulating float metrics and instantaneous gauges)
-//!   that every component reports into through one uniform trait, with
-//!   snapshot/diff semantics for per-phase reporting and CSV/JSON
-//!   exporters for the experiment harnesses.
+//!   counters (plus accumulating float metrics, instantaneous gauges and
+//!   exact [`Histogram`] sample distributions) that every component
+//!   reports into through one uniform trait, with snapshot/diff
+//!   semantics for per-phase reporting and CSV/JSON exporters for the
+//!   experiment harnesses.
 //! * [`BatchRunner`] — a scoped-thread fleet runner for independent
 //!   simulator instances. Each instance stays a deterministic
 //!   single-threaded cycle loop, so batch results are bitwise identical
@@ -31,5 +32,8 @@ mod stats;
 
 pub use batch::BatchRunner;
 pub use clocked::{Clocked, CycleLoop, JumpRecord, Watchdog, EVENT_LOOP_LEASH};
-pub use env::{env_f64, env_flag, env_str, env_u64};
-pub use stats::{ScopedStats, StatSource, StatsRegistry};
+pub use env::{
+    env_f64, env_flag, env_str, env_u64, serve_load, serve_max_batch, serve_max_delay, serve_pool,
+    serve_seed,
+};
+pub use stats::{Histogram, ScopedStats, StatSource, StatsRegistry};

@@ -70,4 +70,9 @@ fn main() {
         report.seconds_at(5.0e9) * 1e6,
         report.frames_per_second_at(5.0e9)
     );
+    println!(
+        "\nnext: `cargo run --release -p neurocube-serve --example serve_demo` serves a\n\
+         multi-tenant request stream over a pool of cubes — dynamic batching,\n\
+         model-affinity placement, and deadline-aware load shedding."
+    );
 }

@@ -1,0 +1,178 @@
+//! End-to-end serving tests on real cubes: the scheduled plan replays
+//! as actual cycle-accurate inferences, and execution is bitwise
+//! deterministic whether cubes replay serially or on `BatchRunner`
+//! threads.
+//!
+//! These are the expensive counterparts of the synthetic-model property
+//! suites in `crates/serve/tests`; they use small real networks so the
+//! whole file stays in test-friendly time.
+
+use neurocube::SystemConfig;
+use neurocube_nn::workloads;
+use neurocube_serve::{
+    execute, generate, serve_mode, ExecMode, LoadProfile, ModelCatalog, Outcome, ServeConfig,
+    TrafficSpec,
+};
+
+/// Two small real models sharing one pool: the MNIST MLP (trimmed) and
+/// the tiny convnet.
+fn real_catalog() -> ModelCatalog {
+    let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+    cat.register("mlp", workloads::mnist_mlp(32), 11);
+    cat.register("conv", workloads::tiny_convnet(), 12);
+    cat
+}
+
+fn trace_spec(seed: u64, count: u64, mean_gap: f64) -> TrafficSpec {
+    TrafficSpec {
+        profile: LoadProfile::Bursty,
+        ..TrafficSpec::poisson(
+            seed,
+            mean_gap,
+            count,
+            vec![("mlp".to_string(), 2), ("conv".to_string(), 1)],
+        )
+    }
+}
+
+#[test]
+fn scheduled_plans_execute_identically_serial_and_threaded() {
+    let cat = real_catalog();
+    let cfg = ServeConfig {
+        pool: 3,
+        max_batch: 4,
+        max_delay: 2000,
+        queue_cap: 32,
+    };
+    // A mixed two-model trace dense enough to force both affinity hits
+    // and model switches on every cube.
+    let trace = generate(&cat, &trace_spec(21, 48, 400.0));
+    let report = serve_mode(&cat, &cfg, &trace, None);
+    assert!(
+        report.completed() > 0,
+        "the trace must exercise real dispatches"
+    );
+    assert!(
+        report.records.iter().any(|r| r.affinity_hit)
+            && report.records.iter().any(|r| !r.affinity_hit),
+        "the trace must exercise both affinity hits and misses"
+    );
+
+    let serial = execute(&cat, &trace, &report.records, ExecMode::Serial);
+    let threaded = execute(&cat, &trace, &report.records, ExecMode::Batched);
+    assert_eq!(
+        serial.first_difference(&threaded),
+        None,
+        "serial and BatchRunner replays must export identical registries"
+    );
+    assert_eq!(serial.to_csv(), threaded.to_csv());
+    assert_eq!(serial.to_json(), threaded.to_json());
+
+    // The executor agrees with the schedule about what ran.
+    assert_eq!(
+        serial.counter("serve.exec.requests"),
+        report.completed(),
+        "every completed request executes exactly once"
+    );
+    assert_eq!(
+        serial.counter("serve.exec.batches"),
+        report.records.len() as u64
+    );
+    assert_eq!(
+        serial.counter("serve.exec.affinity.hits"),
+        report.stats.counter("serve.affinity.hits")
+    );
+    assert_eq!(
+        serial.counter("serve.exec.affinity.misses"),
+        report.stats.counter("serve.affinity.misses")
+    );
+}
+
+#[test]
+fn replaying_the_same_plan_twice_is_bitwise_identical() {
+    let cat = real_catalog();
+    let cfg = ServeConfig {
+        pool: 2,
+        max_batch: 3,
+        max_delay: 1500,
+        queue_cap: 16,
+    };
+    let trace = generate(&cat, &trace_spec(5, 24, 500.0));
+    let report = serve_mode(&cat, &cfg, &trace, None);
+    let once = execute(&cat, &trace, &report.records, ExecMode::Batched);
+    let twice = execute(&cat, &trace, &report.records, ExecMode::Batched);
+    assert_eq!(once.first_difference(&twice), None);
+    assert_ne!(
+        once.counter("serve.exec.output_checksum"),
+        0,
+        "real inferences must fold a nonzero output checksum"
+    );
+}
+
+#[test]
+fn virtual_schedule_agrees_across_fast_forward_modes_on_real_models() {
+    let cat = real_catalog();
+    let cfg = ServeConfig::new(2);
+    let trace = generate(&cat, &trace_spec(9, 40, 800.0));
+    let naive = serve_mode(&cat, &cfg, &trace, Some(false));
+    let fast = serve_mode(&cat, &cfg, &trace, Some(true));
+    assert_eq!(naive.records, fast.records);
+    assert_eq!(naive.outcomes, fast.outcomes);
+    assert_eq!(naive.stats.first_difference(&fast.stats), None);
+}
+
+#[test]
+fn overload_sheds_and_underload_completes_on_real_timings() {
+    let cat = real_catalog();
+    let cfg = ServeConfig {
+        pool: 2,
+        max_batch: 4,
+        max_delay: 1000,
+        queue_cap: 8,
+    };
+    let avg_service = cat.entries().map(|e| e.service_cycles).sum::<u64>() / 2;
+    // Underload: arrivals far apart — everything admitted completes.
+    let calm = generate(
+        &cat,
+        &TrafficSpec::poisson(
+            3,
+            avg_service as f64 * 4.0,
+            24,
+            vec![("mlp".to_string(), 1), ("conv".to_string(), 1)],
+        ),
+    );
+    let calm_report = serve_mode(&cat, &cfg, &calm, None);
+    assert_eq!(calm_report.shed(), 0, "underload must not shed");
+    assert_eq!(calm_report.completed(), calm.len() as u64);
+
+    // Heavy overload: arrivals far faster than the pool can serve —
+    // the layer degrades by shedding and rejecting, never panicking.
+    let storm = generate(
+        &cat,
+        &TrafficSpec {
+            slack: (1.0, 2.0),
+            ..TrafficSpec::poisson(
+                4,
+                avg_service as f64 / 40.0,
+                160,
+                vec![("mlp".to_string(), 1), ("conv".to_string(), 1)],
+            )
+        },
+    );
+    let storm_report = serve_mode(&cat, &cfg, &storm, None);
+    assert!(
+        storm_report.shed() + storm_report.rejected() > 0,
+        "overload must shed or reject"
+    );
+    assert_eq!(
+        storm_report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Completed { .. }))
+            .count() as u64
+            + storm_report.shed()
+            + storm_report.rejected(),
+        storm.len() as u64,
+        "every request is accounted for exactly once"
+    );
+}
