@@ -30,20 +30,34 @@
 #                    require a finite p99 under underload and a nonzero
 #                    shed rate at 2x saturation. The standard gate already
 #                    runs the serve suites at the pinned 32-case budget.
+#   ci.sh --compile - same gate, then the graph-compiler suites at depth
+#                    (DAG equivalence + DAG differential properties, 512
+#                    cases each) and the pipelining benchmark
+#                    (BENCH_pipeline.json), whose built-in gate requires
+#                    compiled-pipelined cycles strictly below per-layer
+#                    replay on every multi-phase workload. The standard
+#                    gate already runs both suites at the pinned 32-case
+#                    budget.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 PROPTEST_CASES=64 cargo test -q
-# Fault and serving suites at their own pinned budget: malformed-input
-# fuzzing of the lenient paths, the fault-mode skip-equivalence
-# properties, and the scheduler-vs-oracle serving properties.
+# Fault, serving and graph-compiler suites at their own pinned budget:
+# malformed-input fuzzing of the lenient paths, the fault-mode
+# skip-equivalence properties, the scheduler-vs-oracle serving
+# properties, and the DAG equivalence/differential properties.
 PROPTEST_CASES=32 cargo test -q \
     -p neurocube-integration-tests --test fault_fuzz --test skip_equivalence
+PROPTEST_CASES=32 cargo test -q \
+    -p neurocube-integration-tests --test graph_equivalence --test graph_differential
 PROPTEST_CASES=32 cargo test -q \
     -p neurocube-serve --test serve_properties
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+# Doc gate over our own crates (the vendored dev-deps are exempt).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
+    --exclude proptest --exclude rand --exclude criterion
 
 if [[ "${1:-}" == "--fuzz" ]]; then
     echo "== fuzz sweep (PROPTEST_CASES=512) =="
@@ -75,4 +89,12 @@ if [[ "${1:-}" == "--serve" ]]; then
         -p neurocube-integration-tests --test serve_system
     echo "== serving load benchmark (gates: finite p99 underloaded, shed > 0 at 2x) =="
     cargo bench -p neurocube-bench --bench serve_load
+fi
+
+if [[ "${1:-}" == "--compile" ]]; then
+    echo "== graph-compiler suites (PROPTEST_CASES=512) =="
+    PROPTEST_CASES=512 cargo test -q --release \
+        -p neurocube-integration-tests --test graph_equivalence --test graph_differential
+    echo "== pipelining benchmark (gate: pipelined < replay on every multi-phase workload) =="
+    cargo bench -p neurocube-bench --bench pipeline_bench
 fi

@@ -14,7 +14,7 @@
 use neurocube::{Neurocube, RunReport, SystemConfig};
 use neurocube_fault::FaultConfig;
 use neurocube_fixed::Q88;
-use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_nn::{GraphSpec, NetworkSpec, Tensor};
 use neurocube_sim::{env_str, BatchRunner, StatsRegistry};
 use std::fs::File;
 use std::io::Write;
@@ -91,6 +91,63 @@ pub fn run_inference_mode(
         horizon_jumps: cube.horizon_jumps(),
     };
     (report, stats, telemetry)
+}
+
+/// Deterministic pseudo-image input sized to a graph's input shape; the
+/// graph analogue of [`ramp_input`].
+pub fn graph_ramp_input(graph: &GraphSpec) -> Tensor {
+    let s = graph.input_shape();
+    let data = (0..s.len())
+        .map(|i| Q88::from_f64(((i % 64) as f64 - 32.0) / 32.0))
+        .collect();
+    Tensor::from_vec(s.channels, s.height, s.width, data)
+}
+
+/// One compiled-graph run: output, per-phase report, final registry and
+/// fast-forward telemetry.
+pub struct GraphRunOutput {
+    /// The graph's output-node tensor.
+    pub output: Tensor,
+    /// One [`neurocube::LayerReport`] per executed phase.
+    pub report: RunReport,
+    /// Final registry snapshot.
+    pub stats: StatsRegistry,
+    /// Fast-forward telemetry for the run.
+    pub telemetry: SkipTelemetry,
+}
+
+/// Compiles `graph` onto a fresh cube and runs one inference either
+/// `pipelined` (programmed once, phases sequenced on-cube) or as the
+/// per-layer replay baseline (one host programming round-trip per phase).
+/// `skip` selects the fast-forward mode as in [`run_inference_mode`].
+pub fn run_graph_mode(
+    cfg: SystemConfig,
+    graph: &GraphSpec,
+    seed: u64,
+    skip: Option<bool>,
+    pipelined: bool,
+) -> GraphRunOutput {
+    let params = graph.init_params(seed, 0.25);
+    let mut cube = Neurocube::new(cfg);
+    cube.set_cycle_skip(skip);
+    let loaded = cube
+        .load_graph(graph, params)
+        .expect("graph fits the configured cube");
+    let input = graph_ramp_input(graph);
+    let (output, report) = if pipelined {
+        cube.run_graph_inference(&loaded, &input)
+    } else {
+        cube.run_graph_replay(&loaded, &input)
+    };
+    GraphRunOutput {
+        output,
+        report,
+        stats: cube.stats_registry(),
+        telemetry: SkipTelemetry {
+            skipped_cycles: cube.skipped_cycles(),
+            horizon_jumps: cube.horizon_jumps(),
+        },
+    }
 }
 
 /// One fault-sweep run: the output tensor (the raw material of the

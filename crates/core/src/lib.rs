@@ -44,5 +44,5 @@ pub use config::{ProgrammingModel, SystemConfig};
 pub use multicube::{LinkModel, MultiCube, MultiCubeReport, MultiLayerReport};
 pub use pool::{CubePool, PoolCube};
 pub use report::{FaultSummary, LayerReport, RunReport};
-pub use system::{LoadedNetwork, Neurocube};
+pub use system::{LoadedGraph, LoadedNetwork, Neurocube};
 pub use training::{training_ops, training_passes, PassKind};

@@ -210,6 +210,11 @@ impl MultiCube {
                 LayerSpec::AvgPool { size } => self.run_spatial_layer(
                     i, layer, in_shape, out_shape, *size, *size, &params[i], &cur,
                 ),
+                // Element-wise sums are per-pixel: a 1×1 "kernel" with no
+                // halo rows between bands.
+                LayerSpec::Eltwise { .. } => {
+                    self.run_spatial_layer(i, layer, in_shape, out_shape, 1, 1, &params[i], &cur)
+                }
                 LayerSpec::FullyConnected { .. } => {
                     self.run_fc_layer(i, layer, in_shape, out_shape, &params[i], &cur)
                 }

@@ -16,16 +16,18 @@
 //! results — the property the serving layer's determinism contract
 //! builds on.
 
-use crate::{LoadedNetwork, Neurocube, RunReport, SystemConfig};
+use crate::{LoadedGraph, LoadedNetwork, Neurocube, RunReport, SystemConfig};
 use neurocube_fixed::Q88;
-use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_nn::{GraphSpec, NetworkSpec, Tensor};
 use neurocube_sim::StatsRegistry;
 
 /// One cube of a serving pool, remembering which model it last
-/// programmed.
+/// programmed — either a linear network or a compiled graph (the two
+/// share the cube's DRAM image, so programming one evicts the other).
 pub struct PoolCube {
     cube: Neurocube,
     loaded: Option<(u64, LoadedNetwork)>,
+    graph_loaded: Option<(u64, LoadedGraph)>,
 }
 
 impl PoolCube {
@@ -35,13 +37,18 @@ impl PoolCube {
         PoolCube {
             cube: Neurocube::new(cfg),
             loaded: None,
+            graph_loaded: None,
         }
     }
 
-    /// The tag of the model currently programmed, `None` when fresh.
+    /// The tag of the model currently programmed (linear or graph),
+    /// `None` when fresh.
     #[must_use]
     pub fn loaded_tag(&self) -> Option<u64> {
-        self.loaded.as_ref().map(|(tag, _)| *tag)
+        self.loaded
+            .as_ref()
+            .map(|(tag, _)| *tag)
+            .or_else(|| self.graph_loaded.as_ref().map(|(tag, _)| *tag))
     }
 
     /// Ensures the model `tag` is programmed, reloading (layout, weights
@@ -54,22 +61,62 @@ impl PoolCube {
     /// Panics if the network does not fit the cube or `params` does not
     /// match the spec (see [`Neurocube::load`]).
     pub fn ensure_loaded(&mut self, tag: u64, spec: &NetworkSpec, params: &[Vec<Q88>]) -> bool {
-        if self.loaded_tag() == Some(tag) {
+        if self.loaded.as_ref().is_some_and(|(t, _)| *t == tag) {
             return true;
         }
         let loaded = self.cube.load(spec.clone(), params.to_vec());
         self.loaded = Some((tag, loaded));
+        // The weight image just written overlaps whatever graph placement
+        // the cube held; its cached compilation is now stale.
+        self.graph_loaded = None;
         false
     }
 
-    /// Runs one inference on the currently programmed model.
+    /// Ensures the compiled graph `tag` is programmed, recompiling and
+    /// rewriting weights only when the cube holds a different model.
+    /// Returns `true` on an affinity hit, like [`PoolCube::ensure_loaded`].
     ///
     /// # Panics
     ///
-    /// Panics if no model has been programmed yet.
+    /// Panics if the graph does not fit the cube or `params` does not
+    /// match it (see [`Neurocube::load_graph`]).
+    pub fn ensure_graph_loaded(
+        &mut self,
+        tag: u64,
+        graph: &GraphSpec,
+        params: &[Vec<Q88>],
+    ) -> bool {
+        if self.graph_loaded.as_ref().is_some_and(|(t, _)| *t == tag) {
+            return true;
+        }
+        let loaded = self
+            .cube
+            .load_graph(graph, params.to_vec())
+            .expect("graph fits the cube");
+        self.graph_loaded = Some((tag, loaded));
+        // Same DRAM image: the linear model's weights were overwritten.
+        self.loaded = None;
+        false
+    }
+
+    /// Runs one inference on the currently programmed linear model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no linear model has been programmed yet.
     pub fn run(&mut self, input: &Tensor) -> (Tensor, RunReport) {
         let (_, loaded) = self.loaded.as_ref().expect("a model is programmed");
         self.cube.run_inference(loaded, input)
+    }
+
+    /// Runs one pipelined inference on the currently programmed graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph has been programmed yet.
+    pub fn run_graph(&mut self, input: &Tensor) -> (Tensor, RunReport) {
+        let (_, loaded) = self.graph_loaded.as_ref().expect("a graph is programmed");
+        self.cube.run_graph_inference(loaded, input)
     }
 
     /// Forces fast-forwarding on/off for this cube (see
@@ -201,5 +248,39 @@ mod tests {
     #[should_panic(expected = "at least one cube")]
     fn empty_pool_is_rejected() {
         let _ = CubePool::new(&SystemConfig::paper(true), 0);
+    }
+
+    /// Graph and linear models share the cube's DRAM image, so loading
+    /// one must invalidate the other's affinity — and reloading a graph
+    /// after a linear model served in between reproduces a fresh cube's
+    /// output bit for bit.
+    #[test]
+    fn graph_affinity_cross_invalidates_with_linear_models() {
+        let graph = workloads::residual_toy();
+        let gp = graph.init_params(5, 0.25);
+        let lin = workloads::tiny_convnet();
+        let lp = lin.init_params(1, 0.25);
+        let input = Tensor::zeros(1, 12, 12);
+
+        let mut fresh = PoolCube::new(SystemConfig::paper(true));
+        assert!(!fresh.ensure_graph_loaded(30, &graph, &gp));
+        let (fresh_out, _) = fresh.run_graph(&input);
+
+        let mut reused = PoolCube::new(SystemConfig::paper(true));
+        assert!(!reused.ensure_graph_loaded(30, &graph, &gp));
+        assert!(reused.ensure_graph_loaded(30, &graph, &gp), "same tag hits");
+        assert_eq!(reused.loaded_tag(), Some(30));
+        assert!(
+            !reused.ensure_loaded(10, &lin, &lp),
+            "linear load is a miss"
+        );
+        assert_eq!(reused.loaded_tag(), Some(10));
+        let _ = reused.run(&input);
+        assert!(
+            !reused.ensure_graph_loaded(30, &graph, &gp),
+            "the linear model overwrote the graph's weights: a reload"
+        );
+        let (out, _) = reused.run_graph(&input);
+        assert_eq!(out, fresh_out, "reloaded graph diverges from fresh");
     }
 }

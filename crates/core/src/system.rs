@@ -5,12 +5,13 @@ use crate::report::{FaultSummary, LayerReport, RunReport};
 use crate::training::{training_passes, PassKind};
 use neurocube_dram::MemorySystem;
 use neurocube_fault::{FaultConfig, PeFaultCounts};
-use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_fixed::Q88;
+use neurocube_nn::{GraphOp, GraphSpec, NetworkSpec, Tensor};
 use neurocube_noc::Network;
 use neurocube_pe::ProcessingElement;
 use neurocube_png::layout::NetworkLayout;
-use neurocube_png::{compile_layer, LayerProgram, Png};
-use neurocube_png::{program, PngHookup};
+use neurocube_png::{compile_graph, compile_layer, graph_load_weights, LayerProgram, Png};
+use neurocube_png::{program, CompileError, MultiLayerProgram, PngHookup};
 use neurocube_sim::{Clocked, CycleLoop, StatSource, StatsRegistry};
 use std::sync::Arc;
 
@@ -41,6 +42,50 @@ impl LoadedNetwork {
     }
 }
 
+/// A compiled graph loaded into the cube: its multi-layer program and the
+/// per-node parameters.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    program: MultiLayerProgram,
+    params: Vec<Vec<Q88>>,
+}
+
+impl LoadedGraph {
+    /// The validated graph description.
+    pub fn graph(&self) -> &GraphSpec {
+        &self.program.graph
+    }
+
+    /// The compiled multi-layer program (phases, placements, footprint).
+    pub fn program(&self) -> &MultiLayerProgram {
+        &self.program
+    }
+
+    /// The per-node parameter arrays.
+    pub fn params(&self) -> &[Vec<Q88>] {
+        &self.params
+    }
+}
+
+/// In-flight state of a compiled-graph inference: the phase sequence the
+/// [`GraphSequencer`] steps through without leaving the cycle loop, plus
+/// the per-phase boundaries it records for cycle attribution.
+#[derive(Debug)]
+struct GraphRun {
+    phases: Vec<Arc<LayerProgram>>,
+    /// Per phase: the PE weight-memory image.
+    images: Vec<Vec<Q88>>,
+    /// Next phase to configure when the current one completes.
+    next: usize,
+    /// All phases have completed; the run's done predicate.
+    complete: bool,
+    /// Cycle at which each phase hand-off happened (length `phases - 1`:
+    /// the final phase ends when the loop exits).
+    boundaries: Vec<u64>,
+    /// Statistics snapshot at each hand-off, for per-node attribution.
+    snapshots: Vec<StatsRegistry>,
+}
+
 /// The full Neurocube: memory + PNGs + NoC + PEs, plus the host-side
 /// controller that programs them layer by layer.
 #[derive(Debug)]
@@ -68,6 +113,10 @@ pub struct Neurocube {
     /// every component untouched and every statistic bitwise identical to a
     /// build without the injector.
     faults: Option<FaultConfig>,
+    /// Active compiled-graph run, stepped by the [`GraphSequencer`] stage.
+    /// `None` for linear runs, which leaves the sequencer inert and every
+    /// per-layer run bitwise identical to a build without it.
+    graph_run: Option<GraphRun>,
 }
 
 impl Neurocube {
@@ -125,6 +174,7 @@ impl Neurocube {
             horizon_jumps: 0,
             skipped_cycles: 0,
             faults: None,
+            graph_run: None,
         };
         // Environment default: NEUROCUBE_FAULT_RATE / _SEED / _ECC attach
         // an injector at construction (explicit `set_fault_config` wins).
@@ -384,15 +434,36 @@ impl Neurocube {
         pass: PassKind,
     ) -> LayerReport {
         let prog = Arc::clone(&loaded.programs[index]);
+        let image = prog.pe_weight_image(&loaded.params[index]);
+        let kind = loaded.spec.layers()[index].kind_name();
+        self.execute_program(&prog, &image, index, kind, pass)
+    }
+
+    /// Configures PNGs and PEs for `prog` (untimed host register writes).
+    fn configure_program(&mut self, prog: &Arc<LayerProgram>, image: &[Q88]) {
         for png in &mut self.pngs {
-            png.configure(Arc::clone(&prog));
+            png.configure(Arc::clone(prog));
         }
         for p in 0..self.cfg.nodes() as u8 {
             if let Some(pe_cfg) = prog.pe_config(p) {
-                let image = prog.pe_weight_image(&loaded.params[index]);
-                self.pes[usize::from(p)].configure(pe_cfg, image);
+                self.pes[usize::from(p)].configure(pe_cfg, image.to_vec());
             }
         }
+    }
+
+    /// Programs and executes one compiled layer program to completion —
+    /// the shared engine behind [`Neurocube::run_pass`] (linear layers)
+    /// and per-layer graph replay. `layer_index` and `kind` label the
+    /// report.
+    fn execute_program(
+        &mut self,
+        prog: &Arc<LayerProgram>,
+        image: &[Q88],
+        layer_index: usize,
+        kind: &'static str,
+        pass: PassKind,
+    ) -> LayerReport {
+        self.configure_program(prog, image);
 
         // Snapshot statistics.
         let start_cycle = self.now;
@@ -419,17 +490,16 @@ impl Neurocube {
             exec_start,
             Neurocube::layer_complete,
             Neurocube::total_mac_ops,
-            |cube, idle| cube.stall_diagnostic(index, idle),
+            |cube, idle| cube.stall_diagnostic(layer_index, idle),
         );
         self.horizon_jumps += pipeline.jumps();
         self.skipped_cycles += pipeline.skipped_cycles();
 
         let delta = self.stats_registry().diff(&before);
         let delivered = delta.counter("noc.delivered");
-        let layer = &loaded.spec.layers()[index];
         LayerReport {
-            layer_index: index,
-            kind: layer.kind_name(),
+            layer_index,
+            kind,
             pass: pass.label(),
             cycles: self.now - start_cycle,
             macs: delta.sum_suffix(".mac_ops"),
@@ -447,10 +517,12 @@ impl Neurocube {
     }
 
     /// The cube's per-cycle pipeline as kernel stages, in dependency
-    /// order: PNG credit return → DRAM channels → mem-port ejection →
-    /// PNG injection → NoC → PEs → clock.
+    /// order: graph sequencer (inert for linear runs) → PNG credit return
+    /// → DRAM channels → mem-port ejection → PNG injection → NoC → PEs →
+    /// clock.
     fn pipeline() -> CycleLoop<Neurocube> {
         CycleLoop::new()
+            .stage(GraphSequencer)
             .stage(PngCreditReturn)
             .stage(DramChannels)
             .stage(MemPortEjection)
@@ -546,6 +618,272 @@ impl Neurocube {
             }
         }
         report
+    }
+
+    /// Compiles a layer DAG onto this cube and writes its weights into the
+    /// DRAM image — the host's untimed programming phase, done once per
+    /// graph instead of once per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the graph cannot be placed in the
+    /// cube or `params` does not match the graph's weight counts.
+    pub fn load_graph(
+        &mut self,
+        graph: &GraphSpec,
+        params: Vec<Vec<Q88>>,
+    ) -> Result<LoadedGraph, CompileError> {
+        let program = compile_graph(graph, self.cfg.mapping(), self.mem.map())?;
+        graph_load_weights(&program, &params, self.mem.storage_mut())?;
+        Ok(LoadedGraph { program, params })
+    }
+
+    /// Loads an input image into the graph's input buffer, untimed like
+    /// the host's data-loading phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not match the graph's input shape.
+    pub fn set_graph_input(&mut self, loaded: &LoadedGraph, input: &Tensor) {
+        assert_eq!(
+            input.len(),
+            loaded.graph().input_shape().len(),
+            "input shape mismatch"
+        );
+        program::load_volume(
+            &loaded.program.input_vol,
+            input.as_slice(),
+            self.cfg.nodes(),
+            self.mem.storage_mut(),
+        );
+    }
+
+    /// Reads graph node `i`'s output volume back out of the DRAM image in
+    /// canonical order.
+    pub fn read_node_volume(&self, loaded: &LoadedGraph, i: usize) -> Tensor {
+        let vol = &loaded.program.node_vols[i];
+        let values = program::read_volume(vol, self.mem.storage());
+        Tensor::from_vec(
+            vol.shape.channels,
+            vol.shape.height,
+            vol.shape.width,
+            values,
+        )
+    }
+
+    /// Runs a full graph inference with the cube programmed **once**: the
+    /// host charges a single programming phase up front and the
+    /// `GraphSequencer` stage then retargets the PNGs/PEs at each phase
+    /// boundary without leaving the cycle loop. Returns the output node's
+    /// tensor plus a report with one entry per phase, `layer_index` set to
+    /// the graph node each phase executed.
+    pub fn run_graph_inference(
+        &mut self,
+        loaded: &LoadedGraph,
+        input: &Tensor,
+    ) -> (Tensor, RunReport) {
+        self.set_graph_input(loaded, input);
+        let report = self.run_graph_pass(loaded);
+        let output = self.read_node_volume(loaded, loaded.program.graph.output_node());
+        (output, report)
+    }
+
+    /// Runs a full graph inference the pre-compiler way — one host
+    /// programming round-trip per phase — as the replay baseline. Values
+    /// are bitwise identical to [`Neurocube::run_graph_inference`]; only
+    /// timing differs.
+    pub fn run_graph_replay(
+        &mut self,
+        loaded: &LoadedGraph,
+        input: &Tensor,
+    ) -> (Tensor, RunReport) {
+        let (volumes, report) = self.run_graph_replay_collect(loaded, input);
+        let output = volumes
+            .into_iter()
+            .nth(loaded.program.graph.output_node())
+            .expect("graph has an output node");
+        (output, report)
+    }
+
+    /// Per-layer replay that also collects every node's output tensor,
+    /// read back as soon as the phase that finalizes it completes — the
+    /// differential harness's view of all intermediate volumes.
+    pub fn run_graph_replay_collect(
+        &mut self,
+        loaded: &LoadedGraph,
+        input: &Tensor,
+    ) -> (Vec<Tensor>, RunReport) {
+        self.set_graph_input(loaded, input);
+        let prog = &loaded.program;
+        let depth = prog.graph.depth();
+        let mut volumes: Vec<Option<Tensor>> = vec![None; depth];
+        // Concat-of-inputs nodes are final before any phase runs.
+        for (node, slot) in volumes.iter_mut().enumerate() {
+            if prog.ready_after_phase(node).is_none() {
+                *slot = Some(self.read_node_volume(loaded, node));
+            }
+        }
+        let mut report = RunReport {
+            layers: Vec::with_capacity(prog.phases.len()),
+            memory_bytes: prog.total_bytes(),
+            memory_minimal_bytes: prog.minimal_bytes(),
+            fault: None,
+        };
+        for k in 0..prog.phases.len() {
+            report.layers.push(self.run_graph_phase(loaded, k));
+            for (node, slot) in volumes.iter_mut().enumerate() {
+                if prog.ready_after_phase(node) == Some(k) {
+                    *slot = Some(self.read_node_volume(loaded, node));
+                }
+            }
+        }
+        report.fault = self.fault_summary();
+        let volumes = volumes
+            .into_iter()
+            .map(|v| v.expect("every node is finalized by some phase"))
+            .collect();
+        (volumes, report)
+    }
+
+    /// Executes one phase of a compiled graph in isolation (with its own
+    /// programming charge) — the replay baseline's unit of work.
+    fn run_graph_phase(&mut self, loaded: &LoadedGraph, k: usize) -> LayerReport {
+        let prog = Arc::clone(&loaded.program.phases[k]);
+        let node = loaded.program.node_of(k);
+        let image = prog.pe_weight_image(&loaded.params[node]);
+        let kind = Self::node_kind(&loaded.program, node);
+        self.execute_program(&prog, &image, node, kind, PassKind::Forward)
+    }
+
+    /// Report label for a graph node's operation.
+    fn node_kind(prog: &MultiLayerProgram, node: usize) -> &'static str {
+        match prog.graph.nodes()[node].op {
+            GraphOp::Layer(spec) => spec.kind_name(),
+            GraphOp::Concat => "concat",
+        }
+    }
+
+    /// The pipelined execution engine: charges one programming phase,
+    /// configures phase 0 and runs the cycle loop to graph completion,
+    /// with the [`GraphSequencer`] retargeting the cube at each phase
+    /// hand-off. Attribution uses the sequencer's recorded boundaries and
+    /// statistics snapshots.
+    fn run_graph_pass(&mut self, loaded: &LoadedGraph) -> RunReport {
+        let prog = &loaded.program;
+        let n = prog.phases.len();
+        let images: Vec<Vec<Q88>> = (0..n)
+            .map(|k| prog.phases[k].pe_weight_image(&loaded.params[prog.node_of(k)]))
+            .collect();
+        let phase0 = Arc::clone(&prog.phases[0]);
+        self.configure_program(&phase0, &images[0]);
+
+        let start_cycle = self.now;
+        // One host programming charge for the whole graph — the point of
+        // compiling it (Fig. 8(c) amortized across every layer).
+        if let Some(model) = self.cfg.programming {
+            self.now += model.layer_cycles(self.cfg.nodes() as u32);
+        }
+        let before = self.stats_registry();
+
+        self.graph_run = Some(GraphRun {
+            phases: prog.phases.clone(),
+            images,
+            next: 1,
+            complete: false,
+            boundaries: Vec::with_capacity(n.saturating_sub(1)),
+            snapshots: Vec::with_capacity(n.saturating_sub(1)),
+        });
+        let exec_start = self.now;
+        let mut pipeline = Self::pipeline();
+        if let Some(enabled) = self.skip_override {
+            pipeline = pipeline.with_skip(enabled);
+        }
+        pipeline.run(
+            self,
+            exec_start,
+            Neurocube::graph_done,
+            Neurocube::total_mac_ops,
+            |cube, idle| cube.graph_stall_diagnostic(idle),
+        );
+        self.horizon_jumps += pipeline.jumps();
+        self.skipped_cycles += pipeline.skipped_cycles();
+
+        let run = self.graph_run.take().expect("graph run in progress");
+        let final_stats = self.stats_registry();
+        let mut layers = Vec::with_capacity(n);
+        let mut prev_cycle = start_cycle;
+        let mut prev_stats = &before;
+        for k in 0..n {
+            let (end_cycle, stats) = if k + 1 < n {
+                (run.boundaries[k], &run.snapshots[k])
+            } else {
+                // The final phase absorbs the loop-exit overshoot so the
+                // per-phase cycles sum to the end-to-end count.
+                (self.now, &final_stats)
+            };
+            let delta = stats.diff(prev_stats);
+            let delivered = delta.counter("noc.delivered");
+            let node = prog.node_of(k);
+            layers.push(LayerReport {
+                layer_index: node,
+                kind: Self::node_kind(prog, node),
+                pass: PassKind::Forward.label(),
+                cycles: end_cycle - prev_cycle,
+                macs: delta.sum_suffix(".mac_ops"),
+                packets: delivered,
+                lateral_packets: delta.counter("noc.lateral"),
+                noc_mean_latency: if delivered > 0 {
+                    delta.counter("noc.total_latency") as f64 / delivered as f64
+                } else {
+                    0.0
+                },
+                dram_bits: delta.counter("mem.bits_transferred"),
+                dram_energy_j: delta.metric("mem.energy_j"),
+                row_misses: delta.counter("mem.row_misses"),
+            });
+            prev_cycle = end_cycle;
+            prev_stats = stats;
+        }
+        RunReport {
+            layers,
+            memory_bytes: prog.total_bytes(),
+            memory_minimal_bytes: prog.minimal_bytes(),
+            fault: self.fault_summary(),
+        }
+    }
+
+    /// Phase hand-off, called by the [`GraphSequencer`] the first cycle
+    /// the current phase reports complete: records the boundary and
+    /// statistics snapshot, then retargets PNGs and PEs at the next phase
+    /// (or marks the run complete).
+    fn graph_advance(&mut self, now: u64) {
+        let mut run = self.graph_run.take().expect("graph run in progress");
+        if run.next < run.phases.len() {
+            run.boundaries.push(now);
+            run.snapshots.push(self.stats_registry());
+            let prog = Arc::clone(&run.phases[run.next]);
+            let image = run.images[run.next].clone();
+            self.configure_program(&prog, &image);
+            run.next += 1;
+        } else {
+            run.complete = true;
+        }
+        self.graph_run = Some(run);
+    }
+
+    /// Completion predicate for a compiled-graph run.
+    fn graph_done(&self) -> bool {
+        self.graph_run.as_ref().is_some_and(|r| r.complete)
+    }
+
+    /// Stall diagnostic for a compiled-graph run, labelled with the phase
+    /// that hung.
+    fn graph_stall_diagnostic(&self, idle_cycles: u64) -> String {
+        let phase = self
+            .graph_run
+            .as_ref()
+            .map_or(0, |r| r.next.saturating_sub(1));
+        self.stall_diagnostic(phase, idle_cycles)
     }
 }
 
@@ -814,6 +1152,43 @@ impl Clocked<Neurocube> for AdvanceClock {
     }
 }
 
+/// First pipeline stage of a compiled-graph run: the on-cube controller
+/// that retargets PNGs and PEs at the next phase the first cycle the
+/// current one reports complete, so a whole layer DAG executes without a
+/// host round-trip. Inert (purely reactive) when no graph run is active,
+/// leaving linear runs bitwise identical to a pipeline without it.
+struct GraphSequencer;
+
+impl Clocked<Neurocube> for GraphSequencer {
+    fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        let active = matches!(&cube.graph_run, Some(run) if !run.complete);
+        if active && cube.layer_complete() {
+            cube.graph_advance(now);
+        }
+    }
+
+    fn next_event(&self, _now: u64, cube: &Neurocube) -> Option<u64> {
+        match &cube.graph_run {
+            // A hand-off is pending the moment the phase completes; until
+            // then the drain is bounded by the other stages' events, so a
+            // jump can never skip past the completion cycle (the loop's
+            // done-check cadence caps every jump).
+            Some(run) if !run.complete => {
+                if cube.layer_complete() {
+                    None
+                } else {
+                    Some(u64::MAX)
+                }
+            }
+            _ => Some(u64::MAX),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "graph-sequencer"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1022,5 +1397,151 @@ mod tests {
         let report = cube.run_layer(&loaded, 0);
         assert!(report.macs > 0);
         assert!(report.cycles < 2_000_000, "healthy layers finish quickly");
+    }
+
+    fn graph_input() -> Tensor {
+        Tensor::from_vec(
+            1,
+            12,
+            12,
+            (0..144)
+                .map(|i| Q88::from_f64(f64::from(i % 7) * 0.1 - 0.3))
+                .collect(),
+        )
+    }
+
+    /// Pipelined graph execution (one host programming round-trip,
+    /// sequencer-driven phase hand-offs) must produce bitwise the same
+    /// output and every-node intermediate values as per-layer replay —
+    /// the sequencer only changes *when* the host reprograms, never what
+    /// flows through the vaults.
+    #[test]
+    fn pipelined_graph_matches_replay_bitwise() {
+        let graph = neurocube_nn::workloads::residual_toy();
+        let params = graph.init_params(11, 0.25);
+        let input = graph_input();
+
+        let mut cube = Neurocube::new(SystemConfig::paper(true));
+        let loaded = cube.load_graph(&graph, params.clone()).unwrap();
+        let (out_pipe, rep_pipe) = cube.run_graph_inference(&loaded, &input);
+
+        let mut cube2 = Neurocube::new(SystemConfig::paper(true));
+        let loaded2 = cube2.load_graph(&graph, params).unwrap();
+        let (volumes, rep_replay) = cube2.run_graph_replay_collect(&loaded2, &input);
+
+        assert_eq!(
+            out_pipe.as_slice(),
+            volumes[graph.output_node()].as_slice(),
+            "pipelined and replayed outputs diverge"
+        );
+        // Both runs issue identical DRAM traffic, so the *end-state* bytes
+        // of every node region must agree bitwise — including regions the
+        // allocator recycled for later phases (equally stale in both).
+        for node in 0..graph.depth() {
+            assert_eq!(
+                cube.read_node_volume(&loaded, node).as_slice(),
+                cube2.read_node_volume(&loaded2, node).as_slice(),
+                "node {node} end-state regions diverge"
+            );
+        }
+        // Same phases, same labels, same MAC work per phase.
+        assert_eq!(rep_pipe.layers.len(), rep_replay.layers.len());
+        for (p, r) in rep_pipe.layers.iter().zip(&rep_replay.layers) {
+            assert_eq!(p.layer_index, r.layer_index);
+            assert_eq!(p.kind, r.kind);
+            assert_eq!(p.macs, r.macs);
+        }
+    }
+
+    /// Per-phase attribution must tile the run exactly: one report entry
+    /// per phase labelled with its graph node, cycles summing to the
+    /// end-to-end count with no gaps or double counting.
+    #[test]
+    fn graph_attribution_tiles_the_run() {
+        let graph = neurocube_nn::workloads::residual_toy();
+        let params = graph.init_params(11, 0.25);
+        let mut cube = Neurocube::new(SystemConfig::paper(true));
+        let start = cube.now();
+        let loaded = cube.load_graph(&graph, params).unwrap();
+        let (_, report) = cube.run_graph_inference(&loaded, &graph_input());
+        let prog = loaded.program();
+        assert_eq!(report.layers.len(), prog.phases.len());
+        for (k, layer) in report.layers.iter().enumerate() {
+            assert_eq!(layer.layer_index, prog.node_of(k));
+            assert!(layer.cycles > 0, "phase {k} attributed zero cycles");
+            assert!(layer.macs > 0, "phase {k} attributed zero MACs");
+        }
+        assert_eq!(
+            report.total_cycles(),
+            cube.now() - start,
+            "per-phase cycles must sum to the end-to-end count"
+        );
+        assert_eq!(
+            report.memory_bytes,
+            prog.total_bytes(),
+            "report must carry the graph footprint"
+        );
+    }
+
+    /// Event-horizon skipping must stay invisible across sequencer-driven
+    /// phase hand-offs: identical outputs, cycle counters and registries,
+    /// while still actually jumping.
+    #[test]
+    fn graph_skip_matches_naive_bitwise() {
+        let graph = neurocube_nn::workloads::residual_toy();
+        let params = graph.init_params(11, 0.25);
+        let input = graph_input();
+        let run = |skip: bool| {
+            let mut cube = Neurocube::new(SystemConfig::paper(true));
+            cube.set_cycle_skip(Some(skip));
+            let loaded = cube.load_graph(&graph, params.clone()).unwrap();
+            let (out, report) = cube.run_graph_inference(&loaded, &input);
+            let cycles: Vec<u64> = report.layers.iter().map(|l| l.cycles).collect();
+            (
+                out,
+                cycles,
+                cube.now(),
+                cube.stats_registry(),
+                cube.horizon_jumps(),
+            )
+        };
+        let (out_fast, cyc_fast, now_fast, stats_fast, jumps) = run(true);
+        let (out_ref, cyc_ref, now_ref, stats_ref, jumps_ref) = run(false);
+        assert_eq!(jumps_ref, 0, "the oracle must not fast-forward");
+        assert!(jumps > 0, "graph runs no longer exercise skipping");
+        assert_eq!(now_fast, now_ref, "final cycle counters diverge");
+        assert_eq!(cyc_fast, cyc_ref, "per-phase cycle counts diverge");
+        assert_eq!(out_fast.as_slice(), out_ref.as_slice());
+        assert_eq!(stats_fast, stats_ref, "registries diverge");
+    }
+
+    /// A linear chain expressed as a graph must produce exactly the values
+    /// of the same chain run through the linear [`Neurocube::run_inference`]
+    /// path — the graph compiler is a strict generalization.
+    #[test]
+    fn linear_graph_embedding_matches_linear_runner() {
+        let spec = NetworkSpec::new(
+            Shape::new(1, 12, 12),
+            vec![
+                LayerSpec::conv(2, 3, Activation::Tanh),
+                LayerSpec::AvgPool { size: 2 },
+                LayerSpec::fc(5, Activation::Sigmoid),
+            ],
+        )
+        .unwrap();
+        let graph = spec.to_graph();
+        let params = spec.init_params(3, 0.25);
+        let input = graph_input();
+
+        let mut linear_cube = Neurocube::new(SystemConfig::paper(true));
+        let loaded = linear_cube.load(spec, params.clone());
+        let (out_linear, _) = linear_cube.run_inference(&loaded, &input);
+
+        let mut graph_cube = Neurocube::new(SystemConfig::paper(true));
+        let lg = graph_cube.load_graph(&graph, params).unwrap();
+        let (out_graph, report) = graph_cube.run_graph_inference(&lg, &input);
+
+        assert_eq!(out_graph.as_slice(), out_linear.as_slice());
+        assert_eq!(report.layers.len(), 3);
     }
 }

@@ -58,7 +58,8 @@ pub fn training_passes(net: &NetworkSpec, index: usize) -> Vec<PassKind> {
         passes.push(PassKind::GradInput);
     }
     match layer {
-        LayerSpec::AvgPool { .. } => {}
+        // Pooling and element-wise sums carry no trainable weights.
+        LayerSpec::AvgPool { .. } | LayerSpec::Eltwise { .. } => {}
         LayerSpec::Conv2d { .. } => passes.push(PassKind::GradWeight),
         LayerSpec::FullyConnected { .. } => {
             passes.push(PassKind::GradWeight);

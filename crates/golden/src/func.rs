@@ -28,7 +28,9 @@
 //! is a real bug.
 
 use neurocube_fixed::{Activation, ActivationLut, Q88};
-use neurocube_nn::{connections, NetworkSpec, Tensor};
+use neurocube_nn::{
+    connections, GraphOp, GraphSource, GraphSpec, LayerSpec, NetworkSpec, Shape, Tensor,
+};
 use std::fmt;
 
 /// One `Q1.7.8` least significant bit.
@@ -37,6 +39,89 @@ const LSB: f64 = 1.0 / 256.0;
 /// The wide MAC accumulator's representable range (`i32` at `Q2.14.16`).
 const ACC_MAX: f64 = i32::MAX as f64 / 65536.0;
 const ACC_MIN: f64 = i32::MIN as f64 / 65536.0;
+
+/// Evaluates one layer on an f64 input volume with ideal arithmetic
+/// (only the hardware's non-expansive clamps mirrored), returning
+/// `(pre_activation, post_activation)` — the shared kernel of
+/// [`GoldenNet`] and [`GoldenGraph`].
+///
+/// # Panics
+///
+/// Panics if `input` does not match `in_shape` or the layer does not fit
+/// its input volume.
+pub fn eval_layer(
+    layer: &LayerSpec,
+    in_shape: Shape,
+    params: &[Q88],
+    input: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(input.len(), in_shape.len(), "layer input length");
+    let out_len = layer
+        .output_shape(in_shape)
+        .expect("layer fits its input volume")
+        .len();
+    let n_conn = layer.connections_per_neuron(in_shape);
+    let act = layer.activation();
+    let q_min = Q88::MIN.to_f64();
+    let q_max = Q88::MAX.to_f64();
+
+    let mut pre = Vec::with_capacity(out_len);
+    let mut post = Vec::with_capacity(out_len);
+    for neuron in 0..out_len {
+        let mut acc = 0.0f64;
+        for k in 0..n_conn {
+            let conn = connections::resolve(layer, in_shape, neuron, k);
+            let w = connections::weight_value(conn, params).to_f64();
+            // Mirror the wide register's clamp after every addition —
+            // non-expansive, so it cannot grow the envelope.
+            acc = (acc + w * input[conn.input_index]).clamp(ACC_MIN, ACC_MAX);
+        }
+        let y = acc.clamp(q_min, q_max);
+        pre.push(y);
+        post.push(act.ideal(y));
+    }
+    (pre, post)
+}
+
+/// The maximum absolute weight row sum `W1 = max_n Σ_k |w_nk|` of one
+/// layer — its worst-case error amplification factor.
+pub fn layer_row_sum_max(layer: &LayerSpec, in_shape: Shape, params: &[Q88]) -> f64 {
+    let out_len = layer
+        .output_shape(in_shape)
+        .expect("layer fits its input volume")
+        .len();
+    let n_conn = layer.connections_per_neuron(in_shape);
+    let mut worst = 0.0f64;
+    for neuron in 0..out_len {
+        let mut sum = 0.0;
+        for k in 0..n_conn {
+            let conn = connections::resolve(layer, in_shape, neuron, k);
+            sum += connections::weight_value(conn, params).to_f64().abs();
+        }
+        worst = worst.max(sum);
+    }
+    worst
+}
+
+/// One step of the envelope recurrence `ε = L · (W1 · ε_in + LSB) + lut`
+/// (see the module docs).
+fn envelope_step(
+    layer: &LayerSpec,
+    in_shape: Shape,
+    params: &[Q88],
+    eps_in: f64,
+    lut_cache: &mut [Option<f64>; 2],
+) -> f64 {
+    let pre_err = layer_row_sum_max(layer, in_shape, params) * eps_in + LSB;
+    let act = layer.activation();
+    let (lipschitz, act_err) = match act {
+        // Exact mux/comparator paths, both 1-Lipschitz.
+        Activation::Identity | Activation::ReLU => (1.0, 0.0),
+        Activation::Sigmoid => (0.25, lut_error(lut_cache, act)),
+        Activation::Tanh => (1.0, lut_error(lut_cache, act)),
+    };
+    lipschitz * pre_err + act_err
+}
 
 /// A simulator output that escaped the derived error envelope.
 #[derive(Clone, Debug, PartialEq)]
@@ -128,31 +213,12 @@ impl GoldenNet {
     ///
     /// Panics if `input` does not match the layer's input volume length.
     pub fn forward_layer(&self, i: usize, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let in_shape = self.spec.layer_input(i);
-        assert_eq!(input.len(), in_shape.len(), "layer {i} input length");
-        let out_len = self.spec.layer_output(i).len();
-        let layer = self.spec.layers()[i];
-        let n_conn = layer.connections_per_neuron(in_shape);
-        let act = layer.activation();
-        let q_min = Q88::MIN.to_f64();
-        let q_max = Q88::MAX.to_f64();
-
-        let mut pre = Vec::with_capacity(out_len);
-        let mut post = Vec::with_capacity(out_len);
-        for neuron in 0..out_len {
-            let mut acc = 0.0f64;
-            for k in 0..n_conn {
-                let conn = connections::resolve(&layer, in_shape, neuron, k);
-                let w = connections::weight_value(conn, &self.params[i]).to_f64();
-                // Mirror the wide register's clamp after every addition —
-                // non-expansive, so it cannot grow the envelope.
-                acc = (acc + w * input[conn.input_index]).clamp(ACC_MIN, ACC_MAX);
-            }
-            let y = acc.clamp(q_min, q_max);
-            pre.push(y);
-            post.push(act.ideal(y));
-        }
-        (pre, post)
+        eval_layer(
+            &self.spec.layers()[i],
+            self.spec.layer_input(i),
+            &self.params[i],
+            input,
+        )
     }
 
     /// Runs the whole network on a `Q1.7.8` input tensor; returns every
@@ -171,21 +237,11 @@ impl GoldenNet {
     /// The maximum absolute weight row sum `W1_i = max_n Σ_k |w_nk|` of
     /// layer `i` — the layer's worst-case error amplification factor.
     pub fn row_sum_max(&self, i: usize) -> f64 {
-        let in_shape = self.spec.layer_input(i);
-        let layer = self.spec.layers()[i];
-        let n_conn = layer.connections_per_neuron(in_shape);
-        let mut worst = 0.0f64;
-        for neuron in 0..self.spec.layer_output(i).len() {
-            let mut sum = 0.0;
-            for k in 0..n_conn {
-                let conn = connections::resolve(&layer, in_shape, neuron, k);
-                sum += connections::weight_value(conn, &self.params[i])
-                    .to_f64()
-                    .abs();
-            }
-            worst = worst.max(sum);
-        }
-        worst
+        layer_row_sum_max(
+            &self.spec.layers()[i],
+            self.spec.layer_input(i),
+            &self.params[i],
+        )
     }
 
     /// The derived per-layer error envelope: `envelope()[i]` bounds the
@@ -198,15 +254,13 @@ impl GoldenNet {
         let mut eps = 0.0f64;
         (0..self.spec.depth())
             .map(|i| {
-                let pre_err = self.row_sum_max(i) * eps + LSB;
-                let act = self.spec.layers()[i].activation();
-                let (lipschitz, act_err) = match act {
-                    // Exact mux/comparator paths, both 1-Lipschitz.
-                    Activation::Identity | Activation::ReLU => (1.0, 0.0),
-                    Activation::Sigmoid => (0.25, lut_error(&mut lut_cache, act)),
-                    Activation::Tanh => (1.0, lut_error(&mut lut_cache, act)),
-                };
-                eps = lipschitz * pre_err + act_err;
+                eps = envelope_step(
+                    &self.spec.layers()[i],
+                    self.spec.layer_input(i),
+                    &self.params[i],
+                    eps,
+                    &mut lut_cache,
+                );
                 eps
             })
             .collect()
@@ -336,6 +390,150 @@ impl GoldenNet {
             d_weights,
             d_input,
         }
+    }
+}
+
+/// The f64 functional reference of a quantized layer DAG.
+///
+/// The graph generalization of [`GoldenNet`]: every node consumes the
+/// channel concatenation of its sources (`Concat` nodes copy; `Layer`
+/// nodes run [`eval_layer`]), and the error-envelope recurrence composes
+/// along the DAG — a node's input error is the worst of its sources'
+/// envelopes, since concatenation mixes but never amplifies error.
+#[derive(Clone, Debug)]
+pub struct GoldenGraph {
+    graph: GraphSpec,
+    params: Vec<Vec<Q88>>,
+}
+
+impl GoldenGraph {
+    /// Wraps a graph and its quantized per-node parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` does not match the graph's per-node weight
+    /// counts.
+    pub fn from_quantized(graph: GraphSpec, params: Vec<Vec<Q88>>) -> GoldenGraph {
+        let counts = graph.weights_per_node();
+        assert_eq!(params.len(), counts.len(), "one weight array per node");
+        for (i, (p, &n)) in params.iter().zip(&counts).enumerate() {
+            assert_eq!(p.len(), n, "node {i} expects {n} weights");
+        }
+        GoldenGraph { graph, params }
+    }
+
+    /// The graph description.
+    pub fn graph(&self) -> &GraphSpec {
+        &self.graph
+    }
+
+    /// The effective (channel-concatenated) input vector of node `i`.
+    fn node_input(&self, i: usize, input_f: &[f64], outputs: &[Vec<f64>]) -> Vec<f64> {
+        let mut cat = Vec::with_capacity(self.graph.node_input_shape(i).len());
+        for src in self.graph.node_sources(i) {
+            match src {
+                GraphSource::Input => cat.extend_from_slice(input_f),
+                GraphSource::Node(j) => cat.extend_from_slice(&outputs[*j]),
+            }
+        }
+        cat
+    }
+
+    /// Runs the whole graph on a `Q1.7.8` input tensor; returns every
+    /// node's output volume in f64, in topological order.
+    pub fn forward(&self, input: &Tensor) -> Vec<Vec<f64>> {
+        let input_f: Vec<f64> = input.as_slice().iter().map(|q| q.to_f64()).collect();
+        let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(self.graph.depth());
+        for i in 0..self.graph.depth() {
+            let cat = self.node_input(i, &input_f, &outputs);
+            let out = match self.graph.nodes()[i].op {
+                GraphOp::Layer(layer) => {
+                    eval_layer(
+                        &layer,
+                        self.graph.node_input_shape(i),
+                        &self.params[i],
+                        &cat,
+                    )
+                    .1
+                }
+                // Concatenation is pure data placement: exact.
+                GraphOp::Concat => cat,
+            };
+            outputs.push(out);
+        }
+        outputs
+    }
+
+    /// The derived per-node error envelope, composed along the DAG:
+    /// `envelope()[i]` bounds the absolute difference between the
+    /// simulator's node-`i` output and this model's. A node's input error
+    /// is the maximum of its sources' envelopes (the graph input carries
+    /// none); `Concat` nodes pass it through unchanged.
+    pub fn envelope(&self) -> Vec<f64> {
+        let mut lut_cache: [Option<f64>; 2] = [None, None];
+        let mut env: Vec<f64> = Vec::with_capacity(self.graph.depth());
+        for i in 0..self.graph.depth() {
+            let eps_in = self
+                .graph
+                .node_sources(i)
+                .iter()
+                .map(|src| match src {
+                    GraphSource::Input => 0.0,
+                    GraphSource::Node(j) => env[*j],
+                })
+                .fold(0.0f64, f64::max);
+            let eps = match self.graph.nodes()[i].op {
+                GraphOp::Layer(layer) => envelope_step(
+                    &layer,
+                    self.graph.node_input_shape(i),
+                    &self.params[i],
+                    eps_in,
+                    &mut lut_cache,
+                ),
+                GraphOp::Concat => eps_in,
+            };
+            env.push(eps);
+        }
+        env
+    }
+
+    /// Checks a full set of simulator node outputs against the golden
+    /// model and the derived envelope — `outputs[i]` must be node `i`'s
+    /// output volume (what
+    /// [`run_graph_replay_collect`](../../neurocube/struct.Neurocube.html#method.run_graph_replay_collect)
+    /// returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Divergence`] found, scanning nodes in
+    /// topological order (`Divergence::layer` is the node index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` has the wrong node count or lengths.
+    pub fn check(&self, input: &Tensor, outputs: &[Tensor]) -> Result<(), Divergence> {
+        assert_eq!(outputs.len(), self.graph.depth(), "one tensor per node");
+        let golden = self.forward(input);
+        let envelope = self.envelope();
+        for (i, (sim, gold)) in outputs.iter().zip(&golden).enumerate() {
+            assert_eq!(sim.len(), gold.len(), "node {i} output length");
+            // A hair of float headroom on top of the analytical bound: the
+            // envelope arithmetic itself runs in f64.
+            let bound = envelope[i] + 1e-9;
+            for (n, (&s, &g)) in sim.as_slice().iter().zip(gold).enumerate() {
+                let s = s.to_f64();
+                if (s - g).abs() > bound {
+                    return Err(Divergence {
+                        layer: i,
+                        neuron: n,
+                        simulated: s,
+                        golden: g,
+                        bound,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -480,6 +678,88 @@ mod tests {
     }
 
     #[test]
+    fn graph_of_linear_chain_matches_golden_net() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 10, 10),
+            vec![
+                LayerSpec::conv(3, 3, Activation::Tanh),
+                LayerSpec::AvgPool { size: 2 },
+                LayerSpec::fc(6, Activation::Sigmoid),
+            ],
+        )
+        .unwrap();
+        let params = net.init_params(11, 0.3);
+        let input = ramp(net.input_shape());
+        let gnet = GoldenNet::from_quantized(net.clone(), params.clone());
+        let ggraph = GoldenGraph::from_quantized(net.to_graph(), params);
+        assert_eq!(gnet.forward(&input), ggraph.forward(&input));
+        assert_eq!(gnet.envelope(), ggraph.envelope());
+    }
+
+    #[test]
+    fn residual_add_sums_its_branches_exactly() {
+        use neurocube_nn::{GraphBuilder, INPUT};
+        let mut b = GraphBuilder::new(Shape::new(1, 6, 6));
+        b.layer("stem", INPUT, LayerSpec::conv(2, 3, Activation::Identity));
+        b.layer(
+            "branch",
+            "stem",
+            LayerSpec::conv(2, 1, Activation::Identity),
+        );
+        b.add("res", &["stem", "branch"], Activation::Identity);
+        let graph = b.build().unwrap();
+        let params = graph.init_params(7, 0.1);
+        let golden = GoldenGraph::from_quantized(graph.clone(), params);
+        let input = ramp(graph.input_shape());
+        let outs = golden.forward(&input);
+        let (stem, branch, res) = (&outs[0], &outs[1], &outs[2]);
+        for i in 0..res.len() {
+            assert!(
+                (res[i] - (stem[i] + branch[i])).abs() < 1e-12,
+                "residual sum must be exact at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn concat_envelope_is_the_worst_part_and_check_flags_corruption() {
+        use neurocube_nn::{GraphBuilder, INPUT};
+        let mut b = GraphBuilder::new(Shape::new(1, 8, 8));
+        b.layer("left", INPUT, LayerSpec::conv(2, 3, Activation::Tanh));
+        b.layer("right", INPUT, LayerSpec::conv(1, 3, Activation::Sigmoid));
+        b.concat("cat", &["left", "right"]);
+        b.layer("head", "cat", LayerSpec::fc(4, Activation::Identity));
+        let graph = b.build().unwrap();
+        let params = graph.init_params(3, 0.3);
+        let golden = GoldenGraph::from_quantized(graph.clone(), params);
+        let env = golden.envelope();
+        assert_eq!(env[2], env[0].max(env[1]), "concat passes error through");
+
+        let input = ramp(graph.input_shape());
+        let outs = golden.forward(&input);
+        // Quantize the golden outputs: they are inside the envelope by
+        // construction (one LSB of rounding ≤ every node's bound).
+        let mut sims: Vec<Tensor> = (0..graph.depth())
+            .map(|i| {
+                let s = graph.node_output_shape(i);
+                Tensor::from_vec(
+                    s.channels,
+                    s.height,
+                    s.width,
+                    outs[i].iter().map(|&v| Q88::from_f64(v)).collect(),
+                )
+            })
+            .collect();
+        golden
+            .check(&input, &sims)
+            .expect("quantized golden passes");
+        let bad = sims[3].at(0).saturating_add(Q88::from_f64(2.0));
+        sims[3].set_at(0, bad);
+        let err = golden.check(&input, &sims).unwrap_err();
+        assert_eq!(err.layer, 3, "corruption localized to the head node");
+    }
+
+    #[test]
     fn backward_matches_finite_differences() {
         let net = NetworkSpec::new(
             Shape::flat(3),
@@ -502,7 +782,7 @@ mod tests {
             // f64 forward directly: clone into a helper closure.
             let g = GoldenNet::from_quantized(net.clone(), params.to_vec());
             let mut cur: Vec<f64> = input.as_slice().iter().map(|q| q.to_f64()).collect();
-            for i in 0..g.spec.depth() {
+            for (i, layer_params) in params.iter().enumerate().take(g.spec.depth()) {
                 let in_shape = g.spec.layer_input(i);
                 let layer = g.spec.layers()[i];
                 let n_conn = layer.connections_per_neuron(in_shape);
@@ -512,7 +792,7 @@ mod tests {
                     let mut acc = 0.0;
                     for k in 0..n_conn {
                         let conn = connections::resolve(&layer, in_shape, neuron, k);
-                        let mut w = connections::weight_value(conn, &params[i]).to_f64();
+                        let mut w = connections::weight_value(conn, layer_params).to_f64();
                         if let connections::WeightRef::Stored(widx) = conn.weight {
                             if let Some((li, wi, d)) = nudge {
                                 if li == i && wi == widx {

@@ -32,8 +32,9 @@
 pub mod func;
 pub mod timing;
 
-pub use func::{Divergence, GoldenBackward, GoldenNet};
+pub use func::{eval_layer, layer_row_sum_max, Divergence, GoldenBackward, GoldenGraph, GoldenNet};
 pub use timing::{
-    channel_stream_cycles, check_inference_report, layer_bounds, LayerBound, TimingViolation,
+    channel_stream_cycles, check_graph_report, check_inference_report, graph_bounds, layer_bounds,
+    multi_layer_bounds, plan_graph, program_bound, GraphPlan, LayerBound, TimingViolation,
     DEFAULT_SLACK,
 };

@@ -30,9 +30,9 @@
 
 use neurocube::{RunReport, SystemConfig};
 use neurocube_dram::ChannelConfig;
-use neurocube_nn::NetworkSpec;
+use neurocube_nn::{GraphSpec, NetworkSpec};
 use neurocube_png::layout::NetworkLayout;
-use neurocube_png::{compile_layer, LayerProgram};
+use neurocube_png::{compile_graph, compile_layer, LayerProgram, MultiLayerProgram};
 use std::fmt;
 
 /// Reference cycles a channel needs to move `words` data words: rational
@@ -151,122 +151,248 @@ pub fn layer_bounds(cfg: &SystemConfig, net: &NetworkSpec) -> Vec<LayerBound> {
     let map = cfg.memory.address_map();
     let layout = NetworkLayout::build(net, gw, gh, cfg.duplicate, cfg.n_mac as usize, &map);
     let mapping = cfg.mapping();
-    let nodes = cfg.nodes();
-    let programming = cfg.programming.map_or(0, |m| m.layer_cycles(nodes as u32));
+    let programming = cfg
+        .programming
+        .map_or(0, |m| m.layer_cycles(cfg.nodes() as u32));
 
     (0..net.depth())
         .map(|i| {
             let prog = compile_layer(net, &layout, i, mapping);
-            let vaults = mapping.vaults();
-            let conns = u64::from(prog.conns());
-            let fc = prog.is_fc();
-
-            let mut pe_packets = 0u64;
-            let mut total_events = 0u64;
-            // Per-vault operand fetches, when the source vault of every
-            // event is known exactly; `None` for non-duplicated spatial
-            // layers, where the per-vault split depends on tile geometry
-            // and only distribution-free floors are sound.
-            let mut events: Option<Vec<u64>> = if fc || cfg.duplicate {
-                Some(vec![0u64; vaults])
-            } else {
-                None
-            };
-            let mut node_eject = vec![0u64; nodes];
-            let mut channel_write_words = vec![0u64; cfg.memory.channels as usize];
-            let items_per_word = u64::from(cfg.memory.channel.word_bits) / 16;
-
-            for v in 0..vaults as u8 {
-                let assigned = prog.out_vol.assigned_count(v);
-                let groups = prog.groups_of(v);
-                let stored_out = prog.out_vol.bytes_in_vault(v) / 2;
-
-                // Operand packets the PE at `v` must accept, one per cycle.
-                let received = if fc {
-                    conns * (assigned + groups)
-                } else {
-                    conns * assigned
-                };
-                pe_packets = pe_packets.max(received);
-                total_events += received;
-
-                if let Some(ev) = events.as_mut() {
-                    if fc {
-                        // Weights always stream from the PE's own vault
-                        // (the layout stores FC weights transposed).
-                        ev[usize::from(v)] += conns * assigned;
-                        // States follow the schedule's source-selection
-                        // rule exactly: a locally stored copy wins,
-                        // otherwise the owner sends. One fetch per
-                        // (group, input) pair.
-                        if groups > 0 {
-                            for idx in 0..prog.in_vol.shape.len() {
-                                let src = if prog.in_vol.local_addr(v, idx).is_some() {
-                                    v
-                                } else {
-                                    prog.in_vol.owner(idx)
-                                };
-                                ev[usize::from(src)] += groups;
-                            }
-                        }
-                    } else {
-                        // Duplicated conv/pool streams are purely local:
-                        // the consuming PE's vault fetches every operand.
-                        ev[usize::from(v)] += conns * assigned;
-                    }
-                }
-
-                let node = usize::from(cfg.attach[usize::from(v)]);
-                node_eject[node] += stored_out;
-                let ch = cfg.memory.channel_of_region(u32::from(v)) as usize;
-                channel_write_words[ch] += stored_out.div_ceil(items_per_word);
-            }
-
-            // Injection/read terms. With exact per-vault events, fold by
-            // attach/channel; otherwise the max over nodes (channels) is
-            // at least the even split of the exact total event count.
-            let (inject_max, dram_words) = match &events {
-                Some(ev) => {
-                    // Exact per-vault sources: fold into nodes via the
-                    // attach table, and add reads to each channel's
-                    // write words (a channel serves both serially).
-                    let mut node_inject = vec![0u64; nodes];
-                    let mut ch_words = channel_write_words.clone();
-                    for (v, &e) in ev.iter().enumerate() {
-                        node_inject[usize::from(cfg.attach[v])] += e;
-                        ch_words[cfg.memory.channel_of_region(v as u32) as usize] +=
-                            e.div_ceil(items_per_word);
-                    }
-                    (
-                        node_inject.into_iter().max().unwrap_or(0),
-                        ch_words.into_iter().max().unwrap_or(0),
-                    )
-                }
-                // Distribution-free floors: the busiest node (channel)
-                // carries at least the even split of the exact event
-                // total, and at least its write-back stream.
-                None => (
-                    total_events.div_ceil(nodes as u64),
-                    total_events
-                        .div_ceil(items_per_word)
-                        .div_ceil(u64::from(cfg.memory.channels))
-                        .max(channel_write_words.iter().copied().max().unwrap_or(0)),
-                ),
-            };
-
-            let port_cycles = node_eject.into_iter().max().unwrap_or(0).max(inject_max);
-            let dram_cycles = channel_stream_cycles(&cfg.memory.channel, dram_words);
-
-            LayerBound {
-                layer_index: i,
-                mac_cycles: prog.max_groups() * conns,
-                pe_packet_cycles: pe_packets,
-                port_cycles,
-                dram_cycles,
-                programming_cycles: programming,
-            }
+            let mut bound = program_bound(cfg, &prog, i);
+            bound.programming_cycles = programming;
+            bound
         })
         .collect()
+}
+
+/// The analytical cycle bound of one compiled [`LayerProgram`] — the
+/// compiler's per-phase cost model. `layer_index` only labels the result
+/// (a layer index for linear networks, a graph node index for compiled
+/// graphs); `programming_cycles` is left at 0 for the caller to assign,
+/// since linear runs charge programming per layer while compiled graphs
+/// charge it once per inference.
+pub fn program_bound(cfg: &SystemConfig, prog: &LayerProgram, layer_index: usize) -> LayerBound {
+    let nodes = cfg.nodes();
+    let vaults = prog.mapping.vaults();
+    let conns = u64::from(prog.conns());
+    let fc = prog.is_fc();
+
+    let mut pe_packets = 0u64;
+    let mut total_events = 0u64;
+    // Per-vault operand fetches, when the source vault of every
+    // event is known exactly; `None` for non-duplicated spatial
+    // layers, where the per-vault split depends on tile geometry
+    // and only distribution-free floors are sound.
+    let mut events: Option<Vec<u64>> = if fc || prog.mapping.duplicate {
+        Some(vec![0u64; vaults])
+    } else {
+        None
+    };
+    let mut node_eject = vec![0u64; nodes];
+    let mut channel_write_words = vec![0u64; cfg.memory.channels as usize];
+    let items_per_word = u64::from(cfg.memory.channel.word_bits) / 16;
+
+    for v in 0..vaults as u8 {
+        let assigned = prog.out_vol.assigned_count(v);
+        let groups = prog.groups_of(v);
+        let stored_out = prog.out_vol.bytes_in_vault(v) / 2;
+
+        // Operand packets the PE at `v` must accept, one per cycle.
+        let received = if fc {
+            conns * (assigned + groups)
+        } else {
+            conns * assigned
+        };
+        pe_packets = pe_packets.max(received);
+        total_events += received;
+
+        if let Some(ev) = events.as_mut() {
+            if fc {
+                // Weights always stream from the PE's own vault
+                // (the layout stores FC weights transposed).
+                ev[usize::from(v)] += conns * assigned;
+                // States follow the schedule's source-selection
+                // rule exactly: a locally stored copy wins,
+                // otherwise the owner sends. One fetch per
+                // (group, input) pair.
+                if groups > 0 {
+                    for idx in 0..prog.in_vol.shape.len() {
+                        let src = if prog.in_vol.local_addr(v, idx).is_some() {
+                            v
+                        } else {
+                            prog.in_vol.owner(idx)
+                        };
+                        ev[usize::from(src)] += groups;
+                    }
+                }
+            } else {
+                // Duplicated conv/pool streams are purely local:
+                // the consuming PE's vault fetches every operand.
+                ev[usize::from(v)] += conns * assigned;
+            }
+        }
+
+        let node = usize::from(cfg.attach[usize::from(v)]);
+        node_eject[node] += stored_out;
+        let ch = cfg.memory.channel_of_region(u32::from(v)) as usize;
+        channel_write_words[ch] += stored_out.div_ceil(items_per_word);
+    }
+
+    // Injection/read terms. With exact per-vault events, fold by
+    // attach/channel; otherwise the max over nodes (channels) is
+    // at least the even split of the exact total event count.
+    let (inject_max, dram_words) = match &events {
+        Some(ev) => {
+            // Exact per-vault sources: fold into nodes via the
+            // attach table, and add reads to each channel's
+            // write words (a channel serves both serially).
+            let mut node_inject = vec![0u64; nodes];
+            let mut ch_words = channel_write_words.clone();
+            for (v, &e) in ev.iter().enumerate() {
+                node_inject[usize::from(cfg.attach[v])] += e;
+                ch_words[cfg.memory.channel_of_region(v as u32) as usize] +=
+                    e.div_ceil(items_per_word);
+            }
+            (
+                node_inject.into_iter().max().unwrap_or(0),
+                ch_words.into_iter().max().unwrap_or(0),
+            )
+        }
+        // Distribution-free floors: the busiest node (channel)
+        // carries at least the even split of the exact event
+        // total, and at least its write-back stream.
+        None => (
+            total_events.div_ceil(nodes as u64),
+            total_events
+                .div_ceil(items_per_word)
+                .div_ceil(u64::from(cfg.memory.channels))
+                .max(channel_write_words.iter().copied().max().unwrap_or(0)),
+        ),
+    };
+
+    let port_cycles = node_eject.into_iter().max().unwrap_or(0).max(inject_max);
+    let dram_cycles = channel_stream_cycles(&cfg.memory.channel, dram_words);
+
+    LayerBound {
+        layer_index,
+        mac_cycles: prog.max_groups() * conns,
+        pe_packet_cycles: pe_packets,
+        port_cycles,
+        dram_cycles,
+        programming_cycles: 0,
+    }
+}
+
+/// Computes the analytical bound of every phase of a compiled graph, in
+/// phase order — the compiler's cost model composed along the DAG. Each
+/// `layer_index` is the graph node the phase executes. Pipelined graph
+/// runs program the cube once, so the whole programming charge lands on
+/// phase 0 (per-layer replay instead pays it on every phase, which is the
+/// gap [`graph_bounds`] lets benchmarks quantify).
+///
+/// # Panics
+///
+/// Panics if the graph cannot be compiled for `cfg` (the condition under
+/// which [`Neurocube::load_graph`](neurocube::Neurocube::load_graph)
+/// returns an error).
+pub fn graph_bounds(cfg: &SystemConfig, graph: &GraphSpec) -> Vec<LayerBound> {
+    let prog = compile_graph(graph, cfg.mapping(), &cfg.memory.address_map())
+        .expect("graph fits the configured memory");
+    multi_layer_bounds(cfg, &prog)
+}
+
+/// [`graph_bounds`] for an already-compiled [`MultiLayerProgram`].
+pub fn multi_layer_bounds(cfg: &SystemConfig, prog: &MultiLayerProgram) -> Vec<LayerBound> {
+    let programming = cfg
+        .programming
+        .map_or(0, |m| m.layer_cycles(cfg.nodes() as u32));
+    (0..prog.phases.len())
+        .map(|k| {
+            let mut bound = program_bound(cfg, &prog.phases[k], prog.node_of(k));
+            if k == 0 {
+                bound.programming_cycles = programming;
+            }
+            bound
+        })
+        .collect()
+}
+
+/// Checks every phase of a pipelined graph [`RunReport`] (what
+/// [`run_graph_inference`](neurocube::Neurocube::run_graph_inference)
+/// returns) against the analytical envelope.
+///
+/// # Errors
+///
+/// Returns the first [`TimingViolation`] found, scanning phases in order.
+///
+/// # Panics
+///
+/// Panics if the report does not have one entry per phase labelled with
+/// the phase's graph node.
+pub fn check_graph_report(
+    cfg: &SystemConfig,
+    graph: &GraphSpec,
+    report: &RunReport,
+    slack: f64,
+) -> Result<(), TimingViolation> {
+    let bounds = graph_bounds(cfg, graph);
+    assert_eq!(
+        report.layers.len(),
+        bounds.len(),
+        "one report entry per phase"
+    );
+    for (bound, layer) in bounds.iter().zip(&report.layers) {
+        assert_eq!(layer.layer_index, bound.layer_index, "report order");
+        bound.check(layer.cycles, slack)?;
+    }
+    Ok(())
+}
+
+/// A compile-time plan for one graph: the cost model's verdict on the
+/// two mapping modes the compiler can choose between.
+#[derive(Clone, Debug)]
+pub struct GraphPlan {
+    /// Per-phase bounds with input duplication on.
+    pub duplicated: Vec<LayerBound>,
+    /// Per-phase bounds with partitioned (non-duplicated) inputs.
+    pub partitioned: Vec<LayerBound>,
+    /// Σ lower bounds of the duplicated mapping (phases serialize on the
+    /// cube, so the sum composes along the DAG schedule).
+    pub duplicated_cycles: u64,
+    /// Σ lower bounds of the partitioned mapping.
+    pub partitioned_cycles: u64,
+}
+
+impl GraphPlan {
+    /// `true` when the cost model predicts the duplicated mapping is at
+    /// least as fast (the paper's default trade: memory for locality).
+    pub fn prefer_duplicate(&self) -> bool {
+        self.duplicated_cycles <= self.partitioned_cycles
+    }
+}
+
+/// Plans a graph under both mapping modes — the compiler's cost model as
+/// a planning tool: lower-bound totals for duplicate-on and duplicate-off
+/// placements of the same DAG.
+///
+/// # Panics
+///
+/// Panics if the graph cannot be compiled in either mode.
+pub fn plan_graph(cfg: &SystemConfig, graph: &GraphSpec) -> GraphPlan {
+    let mut dup_cfg = cfg.clone();
+    dup_cfg.duplicate = true;
+    let mut part_cfg = cfg.clone();
+    part_cfg.duplicate = false;
+    let duplicated = graph_bounds(&dup_cfg, graph);
+    let partitioned = graph_bounds(&part_cfg, graph);
+    let duplicated_cycles = duplicated.iter().map(LayerBound::lower).sum();
+    let partitioned_cycles = partitioned.iter().map(LayerBound::lower).sum();
+    GraphPlan {
+        duplicated,
+        partitioned,
+        duplicated_cycles,
+        partitioned_cycles,
+    }
 }
 
 /// Checks every layer of an inference [`RunReport`] against the
@@ -405,6 +531,63 @@ mod tests {
                 "gap must cost cycles at {words} words"
             );
         }
+    }
+
+    #[test]
+    fn graph_bounds_charge_programming_once() {
+        let graph = neurocube_nn::workloads::residual_toy();
+        let mut cfg = SystemConfig::paper(true);
+        cfg.programming = Some(neurocube::ProgrammingModel::typical());
+        let bounds = graph_bounds(&cfg, &graph);
+        assert_eq!(bounds.len(), 5, "five executable phases");
+        assert!(bounds[0].programming_cycles > 0, "phase 0 pays the host");
+        for b in &bounds[1..] {
+            assert_eq!(
+                b.programming_cycles, 0,
+                "later phases are sequencer hand-offs, not host round-trips"
+            );
+            assert!(b.mac_cycles > 0);
+        }
+        // Node labels follow the compile schedule, one per Layer node.
+        let labels: Vec<usize> = bounds.iter().map(|b| b.layer_index).collect();
+        assert_eq!(labels, graph.exec_nodes());
+    }
+
+    #[test]
+    fn linear_graph_bounds_match_layer_bounds_modulo_programming() {
+        let net = small_net();
+        let mut cfg = SystemConfig::paper(true);
+        cfg.programming = Some(neurocube::ProgrammingModel::typical());
+        let linear = layer_bounds(&cfg, &net);
+        let graph = graph_bounds(&cfg, &net.to_graph());
+        assert_eq!(linear.len(), graph.len());
+        for (l, g) in linear.iter().zip(&graph) {
+            assert_eq!(l.mac_cycles, g.mac_cycles);
+            assert_eq!(l.pe_packet_cycles, g.pe_packet_cycles);
+            assert_eq!(l.port_cycles, g.port_cycles);
+            assert_eq!(l.dram_cycles, g.dram_cycles);
+            assert!(l.programming_cycles > 0, "linear charges every layer");
+        }
+        let linear_prog: u64 = linear.iter().map(|b| b.programming_cycles).sum();
+        let graph_prog: u64 = graph.iter().map(|b| b.programming_cycles).sum();
+        assert_eq!(
+            linear_prog,
+            graph_prog * net.depth() as u64,
+            "the compiled graph amortizes programming to one charge"
+        );
+    }
+
+    #[test]
+    fn plan_graph_compares_both_mappings() {
+        let graph = neurocube_nn::workloads::concat_toy();
+        let plan = plan_graph(&SystemConfig::paper(true), &graph);
+        assert_eq!(plan.duplicated.len(), plan.partitioned.len());
+        assert!(plan.duplicated_cycles > 0);
+        assert!(plan.partitioned_cycles > 0);
+        assert_eq!(
+            plan.prefer_duplicate(),
+            plan.duplicated_cycles <= plan.partitioned_cycles
+        );
     }
 
     #[test]

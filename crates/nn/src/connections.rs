@@ -112,6 +112,18 @@ pub fn resolve(layer: &LayerSpec, in_shape: Shape, neuron: usize, k: usize) -> C
             input_index: k,
             weight: WeightRef::Stored(neuron * in_shape.len() + k),
         },
+        LayerSpec::Eltwise { terms, .. } => {
+            // Term `k` of output channel `oc` reads input channel
+            // `oc + k·C_out` at the same spatial position, with an
+            // implicit unit weight (the sum of the stacked operands).
+            let out_channels = in_shape.channels / terms;
+            let ic = oc + k * out_channels;
+            let input_index = (ic * in_shape.height + oy) * in_shape.width + ox;
+            Connection {
+                input_index,
+                weight: WeightRef::Const(Q88::ONE),
+            }
+        }
     }
 }
 
@@ -225,6 +237,26 @@ mod tests {
                 let c = resolve(&layer, in_shape, j, k);
                 assert_eq!(c.input_index, k);
                 assert_eq!(c.weight, WeightRef::Stored(j * 8 + k));
+            }
+        }
+    }
+
+    #[test]
+    fn eltwise_sums_channel_groups() {
+        // (4, 2, 2) input, 2 terms -> (2, 2, 2) output: output (c, y, x)
+        // reads input channels c and c + 2 at (y, x) with unit weights.
+        let in_shape = Shape::new(4, 2, 2);
+        let layer = LayerSpec::add(2, Activation::Identity);
+        for neuron in 0..8 {
+            let (oc, oy, ox) = neuron_coords(Shape::new(2, 2, 2), neuron);
+            for k in 0..2 {
+                let conn = resolve(&layer, in_shape, neuron, k);
+                assert_eq!(
+                    conn.input_index,
+                    ((oc + 2 * k) * 2 + oy) * 2 + ox,
+                    "neuron {neuron} term {k}"
+                );
+                assert_eq!(conn.weight, WeightRef::Const(Q88::ONE));
             }
         }
     }

@@ -104,6 +104,18 @@ pub enum LayerSpec {
         /// Non-linearity applied on write-back.
         activation: Activation,
     },
+    /// Element-wise sum of `terms` channel-stacked operands: input channel
+    /// group `k` (channels `[k·C, (k+1)·C)`) is added into output channel
+    /// `c ∈ [0, C)` at the same spatial position. The graph compiler lowers
+    /// residual `Add` nodes to this layer over the concatenation of the
+    /// summands; the MAC dataflow is a degenerate 1×1 "convolution" with
+    /// implicit unit weights.
+    Eltwise {
+        /// Operands summed per output neuron.
+        terms: usize,
+        /// Non-linearity applied on write-back.
+        activation: Activation,
+    },
 }
 
 impl LayerSpec {
@@ -124,6 +136,11 @@ impl LayerSpec {
             outputs,
             activation,
         }
+    }
+
+    /// Convenience constructor for an element-wise sum of `terms` operands.
+    pub const fn add(terms: usize, activation: Activation) -> LayerSpec {
+        LayerSpec::Eltwise { terms, activation }
     }
 
     /// The output volume for a given input volume, or `None` if the layer
@@ -161,6 +178,16 @@ impl LayerSpec {
             LayerSpec::FullyConnected { outputs, .. } => {
                 (outputs > 0).then_some(Shape::flat(outputs))
             }
+            LayerSpec::Eltwise { terms, .. } => {
+                if terms == 0 || !input.channels.is_multiple_of(terms) || input.channels == 0 {
+                    return None;
+                }
+                Some(Shape {
+                    channels: input.channels / terms,
+                    height: input.height,
+                    width: input.width,
+                })
+            }
         }
     }
 
@@ -178,6 +205,7 @@ impl LayerSpec {
             },
             LayerSpec::AvgPool { size } => size * size,
             LayerSpec::FullyConnected { .. } => input.len(),
+            LayerSpec::Eltwise { terms, .. } => terms,
         }
     }
 
@@ -199,6 +227,7 @@ impl LayerSpec {
             }
             LayerSpec::AvgPool { .. } => 0,
             LayerSpec::FullyConnected { outputs, .. } => outputs * input.len(),
+            LayerSpec::Eltwise { .. } => 0,
         }
     }
 
@@ -220,15 +249,17 @@ impl LayerSpec {
             LayerSpec::Conv2d { activation, .. } => activation,
             LayerSpec::AvgPool { .. } => Activation::Identity,
             LayerSpec::FullyConnected { activation, .. } => activation,
+            LayerSpec::Eltwise { activation, .. } => activation,
         }
     }
 
-    /// Short kind name for reports ("conv", "pool", "fc").
+    /// Short kind name for reports ("conv", "pool", "fc", "add").
     pub fn kind_name(&self) -> &'static str {
         match self {
             LayerSpec::Conv2d { .. } => "conv",
             LayerSpec::AvgPool { .. } => "pool",
             LayerSpec::FullyConnected { .. } => "fc",
+            LayerSpec::Eltwise { .. } => "add",
         }
     }
 
@@ -260,6 +291,9 @@ impl fmt::Display for LayerSpec {
                 outputs,
                 activation,
             } => write!(f, "fc -> {outputs} ({activation})"),
+            LayerSpec::Eltwise { terms, activation } => {
+                write!(f, "add x{terms} ({activation})")
+            }
         }
     }
 }
@@ -349,6 +383,24 @@ mod tests {
             l.output_shape(Shape::new(1, 9, 9)).unwrap(),
             Shape::new(1, 4, 4)
         );
+    }
+
+    #[test]
+    fn eltwise_shape_and_counts() {
+        let l = LayerSpec::add(2, Activation::ReLU);
+        let input = Shape::new(6, 5, 4);
+        assert_eq!(l.output_shape(input).unwrap(), Shape::new(3, 5, 4));
+        assert_eq!(l.connections_per_neuron(input), 2);
+        assert_eq!(l.weight_count(input), 0);
+        assert_eq!(l.macs(input).unwrap(), 3 * 5 * 4 * 2);
+        assert_eq!(l.kind_name(), "add");
+        assert!(!l.weights_stream());
+        // Channel count must divide evenly.
+        assert!(l.output_shape(Shape::new(5, 4, 4)).is_none());
+        assert!(LayerSpec::add(0, Activation::ReLU)
+            .output_shape(input)
+            .is_none());
+        assert_eq!(l.to_string(), "add x2 (relu)");
     }
 
     #[test]

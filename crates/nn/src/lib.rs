@@ -13,6 +13,9 @@
 //!   simulator can be validated bit-for-bit against the reference,
 //! * [`Executor`] — a functional fixed-point forward/backward executor
 //!   using exactly the MAC and LUT semantics of `neurocube-fixed`,
+//! * [`GraphSpec`] — arbitrary layer DAGs (branches, residual `Add`,
+//!   `Concat`) with validation and a topological schedule; [`NetworkSpec`]
+//!   embeds as the trivial linear graph,
 //! * [`workloads`] — the paper's evaluation networks: the 7-layer scene
 //!   labeling ConvNN (Fig. 9) and an MNIST-style MLP, with procedural data
 //!   generators replacing the original datasets (see `DESIGN.md`),
@@ -26,6 +29,7 @@
 pub mod connections;
 mod exec;
 pub mod footprint;
+mod graph;
 mod layer;
 mod network;
 pub mod params_io;
@@ -35,6 +39,7 @@ mod train;
 pub mod workloads;
 
 pub use exec::Executor;
+pub use graph::{GraphBuilder, GraphError, GraphNode, GraphOp, GraphSource, GraphSpec, INPUT};
 pub use layer::{ConvConnectivity, LayerSpec, Shape};
 pub use network::{NetworkError, NetworkSpec};
 pub use recurrent::RecurrentSpec;

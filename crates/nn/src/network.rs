@@ -109,6 +109,15 @@ impl NetworkSpec {
         self.layers.len()
     }
 
+    /// The trivial graph embedding of this linear chain (see
+    /// [`GraphSpec::linear`](crate::GraphSpec::linear)): weight order is
+    /// preserved, so `init_params` of the spec and of the graph are
+    /// interchangeable, and the graph compiler is a strict generalization
+    /// of the linear one.
+    pub fn to_graph(&self) -> crate::GraphSpec {
+        crate::GraphSpec::linear(self)
+    }
+
     /// The input volume of layer `i`.
     pub fn layer_input(&self, i: usize) -> Shape {
         self.shapes[i]

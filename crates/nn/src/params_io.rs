@@ -4,11 +4,61 @@
 //! shipped to a Neurocube deployment: magic + version, layer count, then
 //! each layer's weights as little-endian `Q1.7.8` bit patterns — the exact
 //! DRAM byte layout the host loads into the cube.
+//!
+//! Loading is hardened against corrupt input: every failure mode is a typed
+//! [`ParamsError`], never a panic, and declared lengths are only trusted in
+//! bounded chunks (a corrupted 8-byte length field cannot trigger a huge
+//! up-front allocation).
 
 use neurocube_fixed::Q88;
+use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"NCUBEW1\n";
+
+/// Bytes read (and therefore allocated) at a time while streaming a layer's
+/// weight payload; declared lengths beyond this are verified incrementally.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Errors produced while loading a parameter file.
+#[derive(Debug)]
+pub enum ParamsError {
+    /// The stream does not start with the Neurocube weight magic/version.
+    BadMagic,
+    /// The stream ended before the declared layer payloads.
+    Truncated,
+    /// An underlying reader error.
+    Io(io::Error),
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::BadMagic => f.write_str("not a Neurocube weight file (bad magic)"),
+            ParamsError::Truncated => f.write_str("truncated Neurocube weight file"),
+            ParamsError::Io(e) => write!(f, "weight file read error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParamsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParamsError {
+    fn from(e: io::Error) -> ParamsError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ParamsError::Truncated
+        } else {
+            ParamsError::Io(e)
+        }
+    }
+}
 
 /// Writes per-layer parameters to `w`.
 ///
@@ -35,33 +85,38 @@ pub fn save_params<W: Write>(params: &[Vec<Q88>], mut w: W) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`io::ErrorKind::InvalidData`] on a bad magic/version header or
-/// a truncated stream, and propagates reader errors.
-pub fn load_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<Q88>>> {
+/// Returns [`ParamsError::BadMagic`] on a bad magic/version header,
+/// [`ParamsError::Truncated`] when the stream ends early, and
+/// [`ParamsError::Io`] for other reader errors. Never panics on corrupt
+/// input.
+pub fn load_params<R: Read>(mut r: R) -> Result<Vec<Vec<Q88>>, ParamsError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a Neurocube weight file (bad magic)",
-        ));
+        return Err(ParamsError::BadMagic);
     }
     let mut n = [0u8; 4];
     r.read_exact(&mut n)?;
     let layers = u32::from_le_bytes(n) as usize;
-    let mut params = Vec::with_capacity(layers);
+    let mut params = Vec::new();
     for _ in 0..layers {
         let mut len = [0u8; 8];
         r.read_exact(&mut len)?;
-        let len = u64::from_le_bytes(len) as usize;
-        let mut bytes = vec![0u8; len * 2];
-        r.read_exact(&mut bytes)?;
-        params.push(
-            bytes
-                .chunks_exact(2)
-                .map(|c| Q88::from_bits(i16::from_le_bytes([c[0], c[1]])))
-                .collect(),
-        );
+        let len = usize::try_from(u64::from_le_bytes(len)).map_err(|_| ParamsError::Truncated)?;
+        let mut remaining = len.checked_mul(2).ok_or(ParamsError::Truncated)?;
+        let mut layer = Vec::new();
+        let mut chunk = vec![0u8; CHUNK_BYTES.min(remaining)];
+        while remaining > 0 {
+            let take = CHUNK_BYTES.min(remaining);
+            r.read_exact(&mut chunk[..take])?;
+            layer.extend(
+                chunk[..take]
+                    .chunks_exact(2)
+                    .map(|c| Q88::from_bits(i16::from_le_bytes([c[0], c[1]]))),
+            );
+            remaining -= take;
+        }
+        params.push(layer);
     }
     Ok(params)
 }
@@ -70,6 +125,7 @@ pub fn load_params<R: Read>(mut r: R) -> io::Result<Vec<Vec<Q88>>> {
 mod tests {
     use super::*;
     use crate::workloads;
+    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_preserves_every_bit() {
@@ -92,7 +148,7 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let err = load_params(&b"NOTAFILE12345678"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, ParamsError::BadMagic), "{err}");
     }
 
     #[test]
@@ -102,6 +158,67 @@ mod tests {
         let mut buf = Vec::new();
         save_params(&params, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(load_params(buf.as_slice()).is_err());
+        let err = load_params(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ParamsError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_allocate() {
+        // Header declaring one layer of u64::MAX weights, no payload:
+        // must fail with a typed error, not abort on allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = load_params(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ParamsError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        use std::error::Error;
+        assert!(!ParamsError::BadMagic.to_string().is_empty());
+        let io_err = ParamsError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(io_err.source().is_some());
+    }
+
+    fn arb_params() -> impl Strategy<Value = Vec<Vec<Q88>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(any::<i16>().prop_map(Q88::from_bits), 0..48),
+            0..5,
+        )
+    }
+
+    proptest! {
+        /// Satellite property: save → load is bitwise-identical for
+        /// arbitrary parameter sets.
+        #[test]
+        fn roundtrip_is_bitwise_identical(params in arb_params()) {
+            let mut buf = Vec::new();
+            save_params(&params, &mut buf).unwrap();
+            prop_assert_eq!(load_params(buf.as_slice()).unwrap(), params);
+        }
+
+        /// Satellite property: corrupting any single header/payload byte
+        /// (or truncating anywhere) yields a typed error or a decodable
+        /// file — never a panic.
+        #[test]
+        fn corruption_never_panics(
+            params in arb_params(),
+            pos in any::<usize>(),
+            flip in 1u8..=255,
+            cut in any::<usize>(),
+        ) {
+            let mut buf = Vec::new();
+            save_params(&params, &mut buf).unwrap();
+            let mut corrupt = buf.clone();
+            let i = pos % corrupt.len(); // buf always holds the 12-byte header
+            corrupt[i] ^= flip;
+            let _ = load_params(corrupt.as_slice());
+            let mut short = buf;
+            short.truncate(cut % short.len());
+            let _ = load_params(short.as_slice());
+        }
     }
 }

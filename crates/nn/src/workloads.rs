@@ -7,6 +7,7 @@
 //! geometry, so the figures are unaffected; functional/training tests use
 //! the synthetic data. Documented as a substitution in `DESIGN.md`.
 
+use crate::graph::{GraphBuilder, GraphSpec, INPUT};
 use crate::layer::{LayerSpec, Shape};
 use crate::network::NetworkSpec;
 use crate::tensor::Tensor;
@@ -85,6 +86,38 @@ pub fn tiny_convnet() -> NetworkSpec {
         ],
     )
     .expect("tiny geometry is valid")
+}
+
+/// A ResNet-style residual toy graph on a 1×12×12 input: a 3×3 conv stem,
+/// a 1×1 conv branch on the stem, their element-wise sum, a 2×2 pool and
+/// a fully connected head. Small enough for cycle-level tests, but it
+/// exercises every graph feature the compiler pipelines: a branch, a
+/// residual `Add` over an aliased channel-stacked buffer, and a spatial
+/// consumer of the sum.
+pub fn residual_toy() -> GraphSpec {
+    let mut g = GraphBuilder::new(Shape::new(1, 12, 12));
+    g.layer("stem", INPUT, LayerSpec::conv(4, 3, Activation::Tanh));
+    g.layer(
+        "branch",
+        "stem",
+        LayerSpec::conv(4, 1, Activation::Identity),
+    );
+    g.add("res", &["stem", "branch"], Activation::ReLU);
+    g.layer("pool", "res", LayerSpec::AvgPool { size: 2 });
+    g.layer("head", "pool", LayerSpec::fc(6, Activation::Sigmoid));
+    g.build().expect("residual toy graph is valid")
+}
+
+/// An Inception-style concatenation toy graph on a 1×12×12 input: two
+/// parallel 3×3 convolutions over the input, channel-concatenated (pure
+/// aliasing, no cycles) and classified by a fully connected head.
+pub fn concat_toy() -> GraphSpec {
+    let mut g = GraphBuilder::new(Shape::new(1, 12, 12));
+    g.layer("left", INPUT, LayerSpec::conv(2, 3, Activation::Tanh));
+    g.layer("right", INPUT, LayerSpec::conv(3, 3, Activation::Sigmoid));
+    g.concat("cat", &["left", "right"]);
+    g.layer("head", "cat", LayerSpec::fc(8, Activation::Sigmoid));
+    g.build().expect("concat toy graph is valid")
 }
 
 /// A cellular-neural-network-style workload (§VI: "programming a locally

@@ -1,0 +1,134 @@
+//! Typed host-compiler errors.
+//!
+//! Every failure mode of layout construction, layer compilation and host
+//! data loading is a [`CompileError`]; the panicking entry points
+//! ([`NetworkLayout::build`](crate::layout::NetworkLayout::build),
+//! [`compile_layer`](crate::compile_layer), …) are thin wrappers that
+//! `panic!` with the error's `Display` text, and the graph compiler
+//! surfaces the same variants as `Result`s.
+
+use neurocube_nn::GraphError;
+use std::fmt;
+
+/// Errors produced by the host compiler and loaders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A vault's DRAM region cannot hold its share of the layout.
+    VaultOverCapacity {
+        /// The overflowing vault.
+        vault: usize,
+        /// Bytes the layout needs in that vault.
+        needed: u64,
+        /// Bytes the vault provides.
+        capacity: u64,
+    },
+    /// A conv/pool/add layer consumes a flat (fully-connected-produced)
+    /// volume; the compiler does not re-spatialize flat volumes.
+    SpatialAfterFlat {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// A layer index beyond the network's depth.
+    LayerIndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The network's layer count.
+        depth: usize,
+    },
+    /// The parameter set has the wrong number of layers.
+    WeightLayerCount {
+        /// Layers the network declares.
+        expected: usize,
+        /// Layers the parameter set provides.
+        got: usize,
+    },
+    /// One layer's weight image has the wrong length.
+    WeightImageSize {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Weights the layer declares.
+        expected: usize,
+        /// Weights the image provides.
+        got: usize,
+    },
+    /// A volume payload has the wrong length.
+    VolumeSize {
+        /// Values the volume's shape requires.
+        expected: usize,
+        /// Values provided.
+        got: usize,
+    },
+    /// The graph itself failed validation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::VaultOverCapacity {
+                vault,
+                needed,
+                capacity,
+            } => write!(f, "vault {vault} over capacity: {needed} > {capacity}"),
+            CompileError::SpatialAfterFlat { layer } => {
+                write!(f, "layer {layer}: conv/pool after a fully connected layer")
+            }
+            CompileError::LayerIndexOutOfRange { index, depth } => {
+                write!(f, "layer index {index} out of range (depth {depth})")
+            }
+            CompileError::WeightLayerCount { expected, got } => {
+                write!(f, "parameter set has {got} layers, network has {expected}")
+            }
+            CompileError::WeightImageSize {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "layer {layer} weight image has {got} weights, expected {expected}"
+            ),
+            CompileError::VolumeSize { expected, got } => {
+                write!(f, "volume payload has {got} values, expected {expected}")
+            }
+            CompileError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> CompileError {
+        CompileError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_capacity_wording() {
+        let e = CompileError::VaultOverCapacity {
+            vault: 3,
+            needed: 10,
+            capacity: 5,
+        };
+        assert_eq!(e.to_string(), "vault 3 over capacity: 10 > 5");
+    }
+
+    #[test]
+    fn graph_errors_wrap_with_source() {
+        use std::error::Error;
+        let e = CompileError::from(GraphError::Cycle);
+        assert!(e.to_string().contains("cycle"));
+        assert!(e.source().is_some());
+    }
+}

@@ -17,6 +17,7 @@
 //!   one operation are contiguous in DRAM and stream at full burst
 //!   efficiency.
 
+use crate::error::CompileError;
 use neurocube_dram::AddressMap;
 use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
 use neurocube_noc::NodeId;
@@ -284,7 +285,8 @@ pub fn input_rect_for(out: Rect, kernel: usize, stride: usize, in_shape: Shape) 
     }
 }
 
-fn union_rect(a: Rect, b: Rect) -> Rect {
+/// Bounding box of two rectangles (empty operands are ignored).
+pub(crate) fn union_rect(a: Rect, b: Rect) -> Rect {
     if a.is_empty() {
         return b;
     }
@@ -299,12 +301,14 @@ fn union_rect(a: Rect, b: Rect) -> Rect {
     }
 }
 
-/// Kernel geometry of a spatial layer, if it has one.
+/// Kernel geometry of a spatial layer, if it has one. Element-wise sums
+/// read a 1×1 "window" at stride 1: fully local operands, no halo.
 pub fn kernel_geometry(layer: &LayerSpec) -> Option<(usize, usize)> {
     match *layer {
         LayerSpec::Conv2d { kernel, stride, .. } => Some((kernel, stride)),
         LayerSpec::AvgPool { size } => Some((size, size)),
         LayerSpec::FullyConnected { .. } => None,
+        LayerSpec::Eltwise { .. } => Some((1, 1)),
     }
 }
 
@@ -337,6 +341,8 @@ impl NetworkLayout {
     /// Panics if a vault's capacity is exceeded, if the grid does not match
     /// `map`'s channel count, or if a convolutional layer follows a fully
     /// connected one (the compiler does not re-spatialize flat volumes).
+    /// [`NetworkLayout::try_build`] reports the same conditions as typed
+    /// errors instead.
     pub fn build(
         net: &NetworkSpec,
         gw: usize,
@@ -345,6 +351,29 @@ impl NetworkLayout {
         n_mac: usize,
         map: &AddressMap,
     ) -> NetworkLayout {
+        Self::try_build(net, gw, gh, duplicate, n_mac, map).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`NetworkLayout::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::SpatialAfterFlat`] when a conv/pool layer
+    /// consumes a flat volume and [`CompileError::VaultOverCapacity`] when
+    /// a vault's region overflows.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on caller bugs: a zero `n_mac` or a grid that does not
+    /// match `map`'s channel count.
+    pub fn try_build(
+        net: &NetworkSpec,
+        gw: usize,
+        gh: usize,
+        duplicate: bool,
+        n_mac: usize,
+        map: &AddressMap,
+    ) -> Result<NetworkLayout, CompileError> {
         assert!(n_mac > 0, "n_mac must be nonzero");
         let vaults = gw * gh;
         assert_eq!(vaults as u32, map.channels(), "grid must match vault count");
@@ -360,7 +389,9 @@ impl NetworkLayout {
             let kind = match consumer {
                 Some(layer) => match kernel_geometry(layer) {
                     Some((k, s)) => {
-                        assert!(!flat_seen, "conv/pool after a fully connected layer");
+                        if flat_seen {
+                            return Err(CompileError::SpatialAfterFlat { layer: i });
+                        }
                         let needed: Vec<Rect> = (0..vaults)
                             .map(|v| {
                                 let (gx, gy) = (v % gw, v / gw);
@@ -453,23 +484,25 @@ impl NetworkLayout {
         #[allow(clippy::needless_range_loop)] // v doubles as the channel id
         for v in 0..vaults {
             let used = alloc[v] - map.channel_base(v as u32);
-            assert!(
-                used <= map.channel_bytes(),
-                "vault {v} over capacity: {used} > {}",
-                map.channel_bytes()
-            );
+            if used > map.channel_bytes() {
+                return Err(CompileError::VaultOverCapacity {
+                    vault: v,
+                    needed: used,
+                    capacity: map.channel_bytes(),
+                });
+            }
         }
 
         let allocated = (0..vaults)
             .map(|v| alloc[v] - map.channel_base(v as u32))
             .collect();
-        NetworkLayout {
+        Ok(NetworkLayout {
             volumes,
             weight_base,
             allocated,
             vaults,
             n_mac,
-        }
+        })
     }
 
     /// DRAM address of the FC weight for (`layer`, local output-neuron index
@@ -695,6 +728,48 @@ mod tests {
         assert_eq!(partial_first, full_first + 2 * 8 * 16);
         let partial_second_op = wide_layout.fc_weight_addr(0, 0, 16, 1);
         assert_eq!(partial_second_op, partial_first + 2);
+    }
+
+    #[test]
+    fn spatial_after_flat_is_a_typed_error() {
+        let net = NetworkSpec::new(
+            Shape::flat(64),
+            vec![
+                // A 1x1 conv is geometrically legal on the flat FC output,
+                // but the compiler refuses to re-spatialize it.
+                LayerSpec::fc(256, Activation::Tanh),
+                LayerSpec::conv(2, 1, Activation::Tanh),
+            ],
+        )
+        .unwrap();
+        let err = NetworkLayout::try_build(&net, 4, 4, false, 16, &map16()).unwrap_err();
+        assert_eq!(err, CompileError::SpatialAfterFlat { layer: 1 });
+        assert_eq!(
+            err.to_string(),
+            "layer 1: conv/pool after a fully connected layer"
+        );
+    }
+
+    #[test]
+    fn vault_over_capacity_is_a_typed_error() {
+        // 64k inputs x 100k outputs of streamed weights: ~12.8 GB over 16
+        // vaults, far beyond the 256 MB per-vault region. (Nothing is
+        // written: the layout is pure address arithmetic.)
+        let net = NetworkSpec::new(
+            Shape::flat(65_536),
+            vec![LayerSpec::fc(100_000, Activation::Identity)],
+        )
+        .unwrap();
+        let map = map16();
+        let err = NetworkLayout::try_build(&net, 4, 4, false, 16, &map).unwrap_err();
+        let CompileError::VaultOverCapacity {
+            needed, capacity, ..
+        } = err
+        else {
+            panic!("expected VaultOverCapacity, got {err}");
+        };
+        assert!(needed > capacity);
+        assert_eq!(capacity, map.channel_bytes());
     }
 
     #[test]

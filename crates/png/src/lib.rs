@@ -24,10 +24,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+pub mod graph;
 pub mod layout;
 pub mod program;
 pub mod schedule;
 mod unit;
 
-pub use program::{compile_layer, LayerProgram, Mapping};
-pub use unit::{Png, PngHookup, PngStats};
+pub use error::CompileError;
+pub use graph::{
+    channel_slice, compile_graph, graph_load_weights, phase_fc_weight_addr, MultiLayerProgram,
+};
+pub use program::{
+    compile_layer, try_compile_layer, try_load_volume, try_load_weights, LayerProgram, Mapping,
+};
+pub use unit::{Png, PngHookup, PngStats, RUN_AHEAD_OPS};

@@ -2,6 +2,7 @@
 //! configuration-register images (Fig. 4's "compile into state machine
 //! descriptions" step).
 
+use crate::error::CompileError;
 use crate::layout::NetworkLayout;
 use neurocube_fixed::{Activation, Q88};
 use neurocube_nn::{ConvConnectivity, LayerSpec, NetworkSpec, Shape};
@@ -126,6 +127,9 @@ impl LayerProgram {
                     (wpn as u32, self.out_shape.channels as u32)
                 }
                 LayerSpec::AvgPool { size } => ((size * size) as u32, 1),
+                // A residual add is a 1x1 "kernel" of `terms` unit weights,
+                // identical in every map (like the pooling constant row).
+                LayerSpec::Eltwise { terms, .. } => (terms as u32, 1),
                 LayerSpec::FullyConnected { .. } => unreachable!("handled above"),
             };
             (
@@ -147,7 +151,7 @@ impl LayerProgram {
     }
 
     /// The PE weight-memory image for layers with
-    /// [`WeightMode::Local`](neurocube_pe::WeightMode::Local): the layer's
+    /// [`WeightMode::Local`]: the layer's
     /// kernels (identical in every PE — "the weights are duplicated in the
     /// weight memory of all PEs", §V-A-1), or the pooling constant row.
     pub fn pe_weight_image(&self, params: &[Q88]) -> Vec<Q88> {
@@ -156,6 +160,7 @@ impl LayerProgram {
             LayerSpec::AvgPool { size } => {
                 vec![Q88::from_f64(1.0 / (size * size) as f64); size * size]
             }
+            LayerSpec::Eltwise { terms, .. } => vec![Q88::ONE; terms],
             LayerSpec::FullyConnected { .. } => Vec::new(),
         }
     }
@@ -180,15 +185,37 @@ impl LayerProgram {
 ///
 /// # Panics
 ///
-/// Panics if `index` is out of range.
+/// Panics if `index` is out of range ([`try_compile_layer`] reports it as
+/// a typed error instead).
 pub fn compile_layer(
     net: &NetworkSpec,
     layout: &NetworkLayout,
     index: usize,
     mapping: Mapping,
 ) -> Arc<LayerProgram> {
-    let layer = net.layers()[index];
-    Arc::new(LayerProgram {
+    try_compile_layer(net, layout, index, mapping).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`compile_layer`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::LayerIndexOutOfRange`] if `index` is beyond the
+/// network's depth.
+pub fn try_compile_layer(
+    net: &NetworkSpec,
+    layout: &NetworkLayout,
+    index: usize,
+    mapping: Mapping,
+) -> Result<Arc<LayerProgram>, CompileError> {
+    let layer = *net
+        .layers()
+        .get(index)
+        .ok_or(CompileError::LayerIndexOutOfRange {
+            index,
+            depth: net.depth(),
+        })?;
+    Ok(Arc::new(LayerProgram {
         layer_index: index,
         layer,
         in_shape: net.layer_input(index),
@@ -198,7 +225,7 @@ pub fn compile_layer(
         weight_base: layout.weight_base[index].clone(),
         activation: layer.activation(),
         mapping,
-    })
+    }))
 }
 
 /// Loads a network's parameters into the DRAM image: FC weight matrices are
@@ -206,12 +233,51 @@ pub fn compile_layer(
 /// loaded into PE weight memories by the host during programming and are
 /// not streamed; their master copy is negligible.) Untimed, like the
 /// paper's host programming phase.
+///
+/// # Panics
+///
+/// Panics on a malformed parameter set ([`try_load_weights`] reports the
+/// mismatch as a typed error instead).
 pub fn load_weights(
     net: &NetworkSpec,
     params: &[Vec<Q88>],
     layout: &NetworkLayout,
     storage: &mut neurocube_dram::Storage,
 ) {
+    try_load_weights(net, params, layout, storage).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`load_weights`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::WeightLayerCount`] when `params` has the wrong
+/// layer count and [`CompileError::WeightImageSize`] when a layer's weight
+/// image does not match its declared weight count — checked for *every*
+/// layer (streamed or not) before anything is written, so a failed load
+/// leaves `storage` untouched.
+pub fn try_load_weights(
+    net: &NetworkSpec,
+    params: &[Vec<Q88>],
+    layout: &NetworkLayout,
+    storage: &mut neurocube_dram::Storage,
+) -> Result<(), CompileError> {
+    if params.len() != net.depth() {
+        return Err(CompileError::WeightLayerCount {
+            expected: net.depth(),
+            got: params.len(),
+        });
+    }
+    for (i, layer) in net.layers().iter().enumerate() {
+        let expected = layer.weight_count(net.layer_input(i));
+        if params[i].len() != expected {
+            return Err(CompileError::WeightImageSize {
+                layer: i,
+                expected,
+                got: params[i].len(),
+            });
+        }
+    }
     for (i, layer) in net.layers().iter().enumerate() {
         if !layer.weights_stream() {
             continue;
@@ -230,18 +296,44 @@ pub fn load_weights(
             }
         }
     }
+    Ok(())
 }
 
 /// Loads a volume's values into every vault that stores a copy of it
 /// (the host's untimed "map all data structures of NN into the physical
 /// address space of the cube" step, §IV-C).
+///
+/// # Panics
+///
+/// Panics when the payload length does not match the volume's shape
+/// ([`try_load_volume`] reports it as a typed error instead).
 pub fn load_volume(
     vol: &crate::layout::VolumeLayout,
     values: &[Q88],
     vaults: usize,
     storage: &mut neurocube_dram::Storage,
 ) {
-    assert_eq!(values.len(), vol.shape.len(), "value count mismatch");
+    try_load_volume(vol, values, vaults, storage).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`load_volume`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::VolumeSize`] when `values` does not match the
+/// volume's shape; nothing is written in that case.
+pub fn try_load_volume(
+    vol: &crate::layout::VolumeLayout,
+    values: &[Q88],
+    vaults: usize,
+    storage: &mut neurocube_dram::Storage,
+) -> Result<(), CompileError> {
+    if values.len() != vol.shape.len() {
+        return Err(CompileError::VolumeSize {
+            expected: vol.shape.len(),
+            got: values.len(),
+        });
+    }
     for v in 0..vaults as u8 {
         for (n, &q) in values.iter().enumerate() {
             if let Some(addr) = vol.local_addr(v, n) {
@@ -249,6 +341,7 @@ pub fn load_volume(
             }
         }
     }
+    Ok(())
 }
 
 /// Reads a volume's canonical values back out of DRAM from each neuron's
@@ -402,6 +495,61 @@ mod tests {
             .collect();
         load_volume(&layout.volumes[0], &values, 16, &mut storage);
         assert_eq!(read_volume(&layout.volumes[0], &storage), values);
+    }
+
+    #[test]
+    fn layer_index_out_of_range_is_typed() {
+        let (net, layout, mapping) = build(false);
+        let err = try_compile_layer(&net, &layout, 9, mapping).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::LayerIndexOutOfRange { index: 9, depth: 2 }
+        );
+        assert_eq!(err.to_string(), "layer index 9 out of range (depth 2)");
+    }
+
+    #[test]
+    fn weight_layer_count_is_typed_and_writes_nothing() {
+        let (net, layout, _) = build(false);
+        let mut storage = neurocube_dram::Storage::new();
+        let err = try_load_weights(&net, &[], &layout, &mut storage).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::WeightLayerCount {
+                expected: 2,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn weight_image_size_is_typed_and_checked_before_writes() {
+        let (net, layout, _) = build(false);
+        let mut params = net.init_params(1, 0.5);
+        params[1].push(Q88::ZERO); // FC image too long; conv image [0] intact
+        let mut storage = neurocube_dram::Storage::new();
+        let err = try_load_weights(&net, &params, &layout, &mut storage).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::WeightImageSize { layer: 1, .. }
+        ));
+        // Nothing was written: validation precedes all writes.
+        let addr = layout.fc_weight_addr(1, 0, 0, 0);
+        assert_eq!(storage.read_u16(addr), 0);
+    }
+
+    #[test]
+    fn volume_size_is_typed() {
+        let (_, layout, _) = build(false);
+        let mut storage = neurocube_dram::Storage::new();
+        let err = try_load_volume(&layout.volumes[0], &[Q88::ONE], 16, &mut storage).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::VolumeSize {
+                expected: 16 * 16,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -241,7 +241,10 @@ impl OperandStream {
                 (kernel, stride, ic)
             }
             LayerSpec::AvgPool { size } => (size, size, map as usize),
-            LayerSpec::FullyConnected { .. } => return false,
+            // Eltwise reads `terms` input channels per output pixel; the
+            // single-channel hoist below does not apply, so take the
+            // generic `resolve` path.
+            LayerSpec::Eltwise { .. } | LayerSpec::FullyConnected { .. } => return false,
         };
         let (
             VolumeKind::Spatial {

@@ -18,7 +18,28 @@
 
 use neurocube::{Neurocube, ProgrammingModel, SystemConfig};
 use neurocube_fixed::Q88;
-use neurocube_nn::{NetworkSpec, Tensor};
+use neurocube_nn::{GraphSpec, NetworkSpec, Tensor};
+
+/// The servable payload of a registered model.
+pub enum ModelPayload {
+    /// A linear network and its weights, executed layer by layer.
+    Linear(NetworkSpec, Vec<Vec<Q88>>),
+    /// A compiled-graph tenant: the layer DAG and its per-node weights,
+    /// executed pipelined (one host programming round-trip per
+    /// inference).
+    Graph(GraphSpec, Vec<Vec<Q88>>),
+}
+
+impl ModelPayload {
+    /// Input element count the payload expects.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        match self {
+            ModelPayload::Linear(spec, _) => spec.input_shape().len(),
+            ModelPayload::Graph(graph, _) => graph.input_shape().len(),
+        }
+    }
+}
 
 /// One registered model.
 pub struct ModelEntry {
@@ -31,10 +52,11 @@ pub struct ModelEntry {
     /// profiling run.
     pub service_cycles: u64,
     /// Host programming cycles charged when a cube switches to this
-    /// model (the `golden::timing` per-layer programming term, summed).
+    /// model (the `golden::timing` host term, summed — once per layer
+    /// for linear models, once per inference for compiled graphs).
     pub reprogram_cycles: u64,
-    /// The network and its weights; `None` for synthetic entries.
-    pub network: Option<(NetworkSpec, Vec<Vec<Q88>>)>,
+    /// What the model executes; `None` for synthetic entries.
+    pub payload: Option<ModelPayload>,
 }
 
 impl ModelEntry {
@@ -43,9 +65,7 @@ impl ModelEntry {
     /// input, so shape validation applies to them uniformly.
     #[must_use]
     pub fn input_len(&self) -> usize {
-        self.network
-            .as_ref()
-            .map_or(1, |(spec, _)| spec.input_shape().len())
+        self.payload.as_ref().map_or(1, ModelPayload::input_len)
     }
 }
 
@@ -127,7 +147,57 @@ impl ModelCatalog {
             tag,
             service_cycles,
             reprogram_cycles,
-            network: Some((spec, params)),
+            payload: Some(ModelPayload::Linear(spec, params)),
+        });
+        tag
+    }
+
+    /// Registers a compiled-graph tenant under `name`, initializing
+    /// per-node weights from `seed` and profiling one pipelined inference
+    /// to measure service time. The affinity-miss charge is a *single*
+    /// host programming phase — the cube is programmed once per graph, so
+    /// switching to a graph tenant costs one `layer_cycles` charge no
+    /// matter how deep the DAG. Returns the model's tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or when the graph does not compile for
+    /// the cube configuration.
+    pub fn register_graph(&mut self, name: &str, graph: GraphSpec, seed: u64) -> u64 {
+        assert!(self.lookup(name).is_none(), "duplicate model name {name}");
+        let params = graph.init_params(seed, 0.25);
+        let mut cube = Neurocube::new(self.cfg.clone());
+        let loaded = cube
+            .load_graph(&graph, params.clone())
+            .expect("graph compiles for the catalog configuration");
+        let s = graph.input_shape();
+        let input = Tensor::from_vec(s.channels, s.height, s.width, input_payload(s.len(), 0));
+        let (_, report) = cube.run_graph_inference(&loaded, &input);
+        let service_cycles = report.total_cycles();
+        assert!(service_cycles > 0, "profiled model must take time");
+
+        // The golden timing model's host term for a compiled graph is one
+        // programming charge on phase 0; asserted against the direct
+        // formulation so the two can never drift apart.
+        let mut prog_cfg = self.cfg.clone();
+        prog_cfg.programming = Some(self.programming);
+        let reprogram_cycles: u64 = neurocube_golden::timing::graph_bounds(&prog_cfg, &graph)
+            .iter()
+            .map(|b| b.programming_cycles)
+            .sum();
+        assert_eq!(
+            reprogram_cycles,
+            self.programming.layer_cycles(self.cfg.nodes() as u32),
+            "golden graph host term and one layer_cycles charge disagree"
+        );
+
+        let tag = self.entries.len() as u64;
+        self.entries.push(ModelEntry {
+            name: name.to_string(),
+            tag,
+            service_cycles,
+            reprogram_cycles,
+            payload: Some(ModelPayload::Graph(graph, params)),
         });
         tag
     }
@@ -153,7 +223,7 @@ impl ModelCatalog {
             tag,
             service_cycles,
             reprogram_cycles,
-            network: None,
+            payload: None,
         });
         tag
     }
@@ -240,8 +310,30 @@ mod tests {
         let e = cat.entry(tag);
         assert_eq!(e.service_cycles, 500);
         assert_eq!(e.reprogram_cycles, 100);
-        assert!(e.network.is_none());
+        assert!(e.payload.is_none());
         assert_eq!(e.input_len(), 1);
+    }
+
+    #[test]
+    fn graph_tenants_profile_pipelined_and_reprogram_once() {
+        let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+        let lin = cat.register("tiny", workloads::tiny_convnet(), 7);
+        let g = cat.register_graph("res", workloads::residual_toy(), 7);
+        let e = cat.entry(g);
+        assert!(e.service_cycles > 0);
+        assert!(matches!(e.payload, Some(ModelPayload::Graph(..))));
+        assert_eq!(e.input_len(), 144);
+        // One host charge for the whole DAG, versus one per layer for the
+        // linear tenant.
+        assert_eq!(
+            e.reprogram_cycles,
+            ProgrammingModel::typical().layer_cycles(16)
+        );
+        assert_eq!(
+            cat.entry(lin).reprogram_cycles,
+            4 * e.reprogram_cycles,
+            "a 4-layer linear tenant pays the charge per layer"
+        );
     }
 
     #[test]

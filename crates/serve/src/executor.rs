@@ -12,7 +12,7 @@
 //! output value — is bitwise identical. That is the serving layer's
 //! execution-determinism contract, and the suites assert it.
 
-use crate::catalog::ModelCatalog;
+use crate::catalog::{ModelCatalog, ModelPayload};
 use crate::request::Request;
 use crate::scheduler::DispatchRecord;
 use neurocube::PoolCube;
@@ -51,11 +51,22 @@ fn replay_cube(catalog: &ModelCatalog, trace: &[Request], records: &[&DispatchRe
     };
     for rec in records {
         let entry = catalog.entry(rec.model);
-        let (spec, params) = entry
-            .network
+        let payload = entry
+            .payload
             .as_ref()
             .expect("synthetic models cannot be executed; register real networks");
-        let hit = cube.ensure_loaded(rec.model, spec, params);
+        // Linear tenants program per layer; graph tenants compile once and
+        // run pipelined. Both share the cube's affinity slot.
+        let (hit, shape) = match payload {
+            ModelPayload::Linear(spec, params) => (
+                cube.ensure_loaded(rec.model, spec, params),
+                spec.input_shape(),
+            ),
+            ModelPayload::Graph(graph, params) => (
+                cube.ensure_graph_loaded(rec.model, graph, params),
+                graph.input_shape(),
+            ),
+        };
         assert_eq!(
             hit, rec.affinity_hit,
             "cube {} model {}: the pool's affinity state diverged from the schedule",
@@ -67,12 +78,14 @@ fn replay_cube(catalog: &ModelCatalog, trace: &[Request], records: &[&DispatchRe
             exec.affinity_misses += 1;
         }
         exec.batches += 1;
-        let shape = spec.input_shape();
         for &id in &rec.requests {
             let req = &trace[usize::try_from(id).expect("id fits usize")];
             let input =
                 Tensor::from_vec(shape.channels, shape.height, shape.width, req.input.clone());
-            let (output, _) = cube.run(&input);
+            let (output, _) = match payload {
+                ModelPayload::Linear(..) => cube.run(&input),
+                ModelPayload::Graph(..) => cube.run_graph(&input),
+            };
             for &v in output.as_slice() {
                 exec.output_checksum = exec
                     .output_checksum

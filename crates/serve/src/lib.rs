@@ -31,7 +31,7 @@ pub mod request;
 pub mod scheduler;
 pub mod traffic;
 
-pub use catalog::{input_payload, ModelCatalog, ModelEntry};
+pub use catalog::{input_payload, ModelCatalog, ModelEntry, ModelPayload};
 pub use executor::{execute, ExecMode};
 pub use request::{Outcome, RejectReason, Request};
 pub use scheduler::{serve, serve_mode, DispatchRecord, ServeConfig, ServeReport};

@@ -64,7 +64,7 @@ fn main() {
     let report = serve(&catalog, &cfg, &trace);
     let window = (report.makespan / 8).max(1);
     println!("timeline (completions per {window}-cycle window):");
-    let mut completions = vec![0u64; 8];
+    let mut completions = [0u64; 8];
     for rec in &report.records {
         let w = ((rec.completes_at - 1) / window).min(7) as usize;
         completions[w] += rec.requests.len() as u64;
