@@ -38,6 +38,17 @@
 #                    replay on every multi-phase workload. The standard
 #                    gate already runs both suites at the pinned 32-case
 #                    budget.
+#   ci.sh --twospeed - same gate, then the two-speed audit suites at
+#                    depth (audit-sampler purity and defect-catching
+#                    properties at 512 cases, plus the histogram and
+#                    env-knob edge suites) and the two-speed benchmark
+#                    (BENCH_twospeed.json): 10^6 requests per scenario on
+#                    the analytical path, with built-in hard gates — zero
+#                    envelope violations at every audit rate, a bitwise
+#                    identical audited subset across serial/threaded/
+#                    rerun, and >=100x analytical speedup over full
+#                    replay. The standard gate already runs the audit
+#                    property suite at the pinned 32-case budget.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,6 +64,11 @@ PROPTEST_CASES=32 cargo test -q \
     -p neurocube-integration-tests --test graph_equivalence --test graph_differential
 PROPTEST_CASES=32 cargo test -q \
     -p neurocube-serve --test serve_properties
+# Two-speed audit properties (sampler purity, defect catching) at the
+# same pinned budget; the env-knob suite rides along because it shares
+# the process-global EnvGuard with these binaries.
+PROPTEST_CASES=32 cargo test -q \
+    -p neurocube-integration-tests --test twospeed_audit --test env_knobs
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 # Doc gate over our own crates (the vendored dev-deps are exempt).
@@ -97,4 +113,13 @@ if [[ "${1:-}" == "--compile" ]]; then
         -p neurocube-integration-tests --test graph_equivalence --test graph_differential
     echo "== pipelining benchmark (gate: pipelined < replay on every multi-phase workload) =="
     cargo bench -p neurocube-bench --bench pipeline_bench
+fi
+
+if [[ "${1:-}" == "--twospeed" ]]; then
+    echo "== two-speed audit suites (PROPTEST_CASES=512) =="
+    PROPTEST_CASES=512 cargo test -q --release \
+        -p neurocube-integration-tests --test twospeed_audit --test env_knobs
+    cargo test -q --release -p neurocube-sim --test histogram_edge
+    echo "== two-speed benchmark (gates: zero violations, bitwise audits, >=100x speedup) =="
+    cargo bench -p neurocube-bench --bench twospeed_load
 fi

@@ -119,6 +119,25 @@ impl PoolCube {
         self.cube.run_graph_inference(loaded, input)
     }
 
+    /// Runs one inference on whatever model the cube currently holds —
+    /// the linear network or the compiled graph, whichever is programmed.
+    /// The audit-replay hook of the two-speed serving path: callers that
+    /// programmed the cube through `ensure_loaded`/`ensure_graph_loaded`
+    /// need not re-dispatch on the payload kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube is fresh (nothing programmed).
+    pub fn run_service(&mut self, input: &Tensor) -> (Tensor, RunReport) {
+        if self.loaded.is_some() {
+            self.run(input)
+        } else if self.graph_loaded.is_some() {
+            self.run_graph(input)
+        } else {
+            panic!("a model is programmed before service")
+        }
+    }
+
     /// Forces fast-forwarding on/off for this cube (see
     /// [`Neurocube::set_cycle_skip`]).
     pub fn set_cycle_skip(&mut self, enabled: Option<bool>) {
@@ -242,6 +261,35 @@ mod tests {
             assert_eq!(l.macs, f.macs);
             assert_eq!(l.packets, f.packets);
         }
+    }
+
+    #[test]
+    fn run_service_dispatches_on_the_programmed_kind() {
+        let lin = workloads::tiny_convnet();
+        let lp = lin.init_params(1, 0.25);
+        let graph = workloads::residual_toy();
+        let gp = graph.init_params(5, 0.25);
+        let input = Tensor::zeros(1, 12, 12);
+        let mut cube = PoolCube::new(SystemConfig::paper(true));
+
+        cube.ensure_loaded(10, &lin, &lp);
+        let (via_service, _) = cube.run_service(&input);
+        let mut direct = PoolCube::new(SystemConfig::paper(true));
+        direct.ensure_loaded(10, &lin, &lp);
+        assert_eq!(via_service, direct.run(&input).0);
+
+        cube.ensure_graph_loaded(30, &graph, &gp);
+        let (via_service, _) = cube.run_service(&input);
+        let mut direct = PoolCube::new(SystemConfig::paper(true));
+        direct.ensure_graph_loaded(30, &graph, &gp);
+        assert_eq!(via_service, direct.run_graph(&input).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a model is programmed before service")]
+    fn run_service_rejects_fresh_cubes() {
+        let mut cube = PoolCube::new(SystemConfig::paper(true));
+        let _ = cube.run_service(&Tensor::zeros(1, 12, 12));
     }
 
     #[test]

@@ -308,6 +308,29 @@ impl GoldenNet {
         Ok(())
     }
 
+    /// Checks only the network's *final* output against the golden model
+    /// and the last layer's derived envelope — the per-dispatch audit
+    /// check of the two-speed serving path, where replays return one
+    /// output tensor per inference, not every intermediate volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Divergence`] found (`Divergence::layer` is the
+    /// last layer's index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` does not match the network's output length.
+    pub fn check_output(&self, input: &Tensor, output: &Tensor) -> Result<(), Divergence> {
+        let golden = self.forward(input);
+        let last = self.spec.depth() - 1;
+        let gold = &golden[last];
+        assert_eq!(output.len(), gold.len(), "final output length");
+        // Same float headroom as [`GoldenNet::check`].
+        let bound = self.envelope()[last] + 1e-9;
+        check_final(output, gold, bound, last)
+    }
+
     /// Full backward pass of `½ Σ (output − target)²` in double precision,
     /// mirroring the fixed-point trainer's structure (same connection map,
     /// same delta convention) with ideal arithmetic.
@@ -535,6 +558,48 @@ impl GoldenGraph {
         }
         Ok(())
     }
+
+    /// Checks only the graph's *final* output (the last node in
+    /// topological order — what
+    /// [`run_graph_inference`](neurocube::Neurocube::run_graph_inference)
+    /// returns) against the golden model and that node's derived
+    /// envelope. The graph counterpart of [`GoldenNet::check_output`],
+    /// used by the two-speed serving audits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Divergence`] found (`Divergence::layer` is the
+    /// output node's index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` does not match the output node's length.
+    pub fn check_output(&self, input: &Tensor, output: &Tensor) -> Result<(), Divergence> {
+        let golden = self.forward(input);
+        let last = self.graph.depth() - 1;
+        let gold = &golden[last];
+        assert_eq!(output.len(), gold.len(), "final output length");
+        // Same float headroom as [`GoldenGraph::check`].
+        let bound = self.envelope()[last] + 1e-9;
+        check_final(output, gold, bound, last)
+    }
+}
+
+/// Shared final-output comparison of the two `check_output` paths.
+fn check_final(sim: &Tensor, gold: &[f64], bound: f64, layer: usize) -> Result<(), Divergence> {
+    for (n, (&s, &g)) in sim.as_slice().iter().zip(gold).enumerate() {
+        let s = s.to_f64();
+        if (s - g).abs() > bound {
+            return Err(Divergence {
+                layer,
+                neuron: n,
+                simulated: s,
+                golden: g,
+                bound,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// LUT quantization error for a tabulated activation, including one output
@@ -757,6 +822,64 @@ mod tests {
         sims[3].set_at(0, bad);
         let err = golden.check(&input, &sims).unwrap_err();
         assert_eq!(err.layer, 3, "corruption localized to the head node");
+    }
+
+    #[test]
+    fn check_output_accepts_the_executor_and_flags_corruption() {
+        let net = NetworkSpec::new(
+            Shape::new(1, 10, 10),
+            vec![
+                LayerSpec::conv(2, 3, Activation::Tanh),
+                LayerSpec::fc(5, Activation::Sigmoid),
+            ],
+        )
+        .unwrap();
+        let params = net.init_params(13, 0.3);
+        let input = ramp(net.input_shape());
+        let exec = Executor::new(net.clone(), params.clone());
+        let outputs = exec.forward(&input);
+        let final_out = outputs.last().unwrap().clone();
+        let golden = GoldenNet::from_quantized(net, params);
+        golden
+            .check_output(&input, &final_out)
+            .expect("executor final output inside envelope");
+        // Agreement with the full check on the same data.
+        golden.check(&input, &outputs).expect("full check agrees");
+        let mut bad = final_out;
+        let v = bad.at(0).saturating_add(Q88::from_f64(1.5));
+        bad.set_at(0, v);
+        let err = golden.check_output(&input, &bad).unwrap_err();
+        assert_eq!(err.layer, 1, "final layer index");
+        assert_eq!(err.neuron, 0);
+    }
+
+    #[test]
+    fn graph_check_output_checks_the_output_node_only() {
+        use neurocube_nn::{GraphBuilder, INPUT};
+        let mut b = GraphBuilder::new(Shape::new(1, 8, 8));
+        b.layer("stem", INPUT, LayerSpec::conv(2, 3, Activation::Tanh));
+        b.layer("head", "stem", LayerSpec::fc(4, Activation::Identity));
+        let graph = b.build().unwrap();
+        let params = graph.init_params(3, 0.3);
+        let golden = GoldenGraph::from_quantized(graph.clone(), params);
+        let input = ramp(graph.input_shape());
+        let outs = golden.forward(&input);
+        let last = graph.depth() - 1;
+        let s = graph.node_output_shape(last);
+        let quantized = Tensor::from_vec(
+            s.channels,
+            s.height,
+            s.width,
+            outs[last].iter().map(|&v| Q88::from_f64(v)).collect(),
+        );
+        golden
+            .check_output(&input, &quantized)
+            .expect("quantized golden output passes");
+        let mut bad = quantized;
+        let v = bad.at(0).saturating_add(Q88::from_f64(2.0));
+        bad.set_at(0, v);
+        let err = golden.check_output(&input, &bad).unwrap_err();
+        assert_eq!(err.layer, last, "output node index");
     }
 
     #[test]

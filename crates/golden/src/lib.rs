@@ -34,7 +34,8 @@ pub mod timing;
 
 pub use func::{eval_layer, layer_row_sum_max, Divergence, GoldenBackward, GoldenGraph, GoldenNet};
 pub use timing::{
-    channel_stream_cycles, check_graph_report, check_inference_report, graph_bounds, layer_bounds,
-    multi_layer_bounds, plan_graph, program_bound, GraphPlan, LayerBound, TimingViolation,
+    channel_stream_cycles, check_graph_report, check_inference_report, graph_bounds,
+    graph_service_envelope, layer_bounds, multi_layer_bounds, plan_graph, program_bound,
+    service_envelope, CycleEnvelope, EnvelopeViolation, GraphPlan, LayerBound, TimingViolation,
     DEFAULT_SLACK,
 };

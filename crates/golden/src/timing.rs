@@ -348,6 +348,119 @@ pub fn check_graph_report(
     Ok(())
 }
 
+/// A whole-inference cycle envelope: the interval every measured
+/// service time of a model must land in, summed from the per-layer
+/// analytical bounds. This is the query API the two-speed serving
+/// audits use — the analytical fast path claims a service time, and a
+/// sampled cycle-accurate replay asserts both numbers sit inside this
+/// certified interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleEnvelope {
+    /// Σ per-layer analytical lower bounds (provable — a faster run is a
+    /// simulator defect).
+    pub lower: u64,
+    /// Σ per-layer tolerance ceilings (`ceil(slack × lower_i) +
+    /// FIXED_OVERHEAD_CYCLES` each — calibrated, a slower run is a gross
+    /// regression).
+    pub upper: u64,
+}
+
+impl CycleEnvelope {
+    /// The envelope spanned by a set of per-layer bounds under `slack`.
+    #[must_use]
+    pub fn from_bounds(bounds: &[LayerBound], slack: f64) -> CycleEnvelope {
+        let lower = bounds.iter().map(LayerBound::lower).sum();
+        let upper = bounds
+            .iter()
+            .map(|b| (b.lower() as f64 * slack).ceil() as u64 + FIXED_OVERHEAD_CYCLES)
+            .sum();
+        CycleEnvelope { lower, upper }
+    }
+
+    /// A degenerate single-point envelope — what a synthetic
+    /// (timing-only) model certifies: exactly its declared service time.
+    #[must_use]
+    pub fn exact(cycles: u64) -> CycleEnvelope {
+        CycleEnvelope {
+            lower: cycles,
+            upper: cycles,
+        }
+    }
+
+    /// Whether `cycles` lies inside the envelope (inclusive).
+    #[must_use]
+    pub fn contains(&self, cycles: u64) -> bool {
+        self.lower <= cycles && cycles <= self.upper
+    }
+
+    /// Checks a cycle count against the envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnvelopeViolation`] when `cycles` falls outside.
+    pub fn check(&self, cycles: u64) -> Result<(), EnvelopeViolation> {
+        if self.contains(cycles) {
+            Ok(())
+        } else {
+            Err(EnvelopeViolation {
+                cycles,
+                lower: self.lower,
+                upper: self.upper,
+            })
+        }
+    }
+}
+
+/// A whole-inference cycle count outside a [`CycleEnvelope`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnvelopeViolation {
+    /// The offending cycle count.
+    pub cycles: u64,
+    /// The envelope's lower edge.
+    pub lower: u64,
+    /// The envelope's upper edge.
+    pub upper: u64,
+}
+
+impl fmt::Display for EnvelopeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles outside certified service envelope [{}, {}]",
+            self.cycles, self.lower, self.upper
+        )
+    }
+}
+
+impl std::error::Error for EnvelopeViolation {}
+
+/// The certified service envelope of one inference of `net` under `cfg`:
+/// the per-layer analytical bounds summed into one [`CycleEnvelope`].
+/// The simulator's total inference cycles are the sum of its per-layer
+/// cycles, each inside its own `[lower_i, upper_i]`, so the summed
+/// interval provably contains every measured service time.
+///
+/// # Panics
+///
+/// Panics if the layout does not fit the configured memory (see
+/// [`layer_bounds`]).
+#[must_use]
+pub fn service_envelope(cfg: &SystemConfig, net: &NetworkSpec, slack: f64) -> CycleEnvelope {
+    CycleEnvelope::from_bounds(&layer_bounds(cfg, net), slack)
+}
+
+/// [`service_envelope`] for a compiled-graph tenant: per-phase bounds of
+/// the pipelined schedule summed into one interval.
+///
+/// # Panics
+///
+/// Panics if the graph cannot be compiled for `cfg` (see
+/// [`graph_bounds`]).
+#[must_use]
+pub fn graph_service_envelope(cfg: &SystemConfig, graph: &GraphSpec, slack: f64) -> CycleEnvelope {
+    CycleEnvelope::from_bounds(&graph_bounds(cfg, graph), slack)
+}
+
 /// A compile-time plan for one graph: the cost model's verdict on the
 /// two mapping modes the compiler can choose between.
 #[derive(Clone, Debug)]
@@ -588,6 +701,45 @@ mod tests {
             plan.prefer_duplicate(),
             plan.duplicated_cycles <= plan.partitioned_cycles
         );
+    }
+
+    #[test]
+    fn service_envelope_sums_layer_bounds_and_flags_both_edges() {
+        let cfg = SystemConfig::paper(true);
+        let net = small_net();
+        let bounds = layer_bounds(&cfg, &net);
+        let env = service_envelope(&cfg, &net, 4.0);
+        let lower: u64 = bounds.iter().map(LayerBound::lower).sum();
+        let upper: u64 = bounds
+            .iter()
+            .map(|b| 4 * b.lower() + FIXED_OVERHEAD_CYCLES)
+            .sum();
+        assert_eq!(env, CycleEnvelope { lower, upper });
+        assert!(env.contains(lower) && env.contains(upper));
+        assert!(!env.contains(lower - 1) && !env.contains(upper + 1));
+        let v = env.check(upper + 1).unwrap_err();
+        assert_eq!(v.cycles, upper + 1);
+        assert!(v.to_string().contains("outside certified service envelope"));
+        // Any per-layer measurement inside its own envelope sums into
+        // this interval; the profiled total must therefore sit inside.
+        assert!(env.check(lower + (upper - lower) / 2).is_ok());
+    }
+
+    #[test]
+    fn exact_envelopes_admit_one_value() {
+        let env = CycleEnvelope::exact(500);
+        assert!(env.contains(500));
+        assert!(!env.contains(499) && !env.contains(501));
+    }
+
+    #[test]
+    fn graph_service_envelope_spans_the_pipelined_phases() {
+        let graph = neurocube_nn::workloads::residual_toy();
+        let cfg = SystemConfig::paper(true);
+        let env = graph_service_envelope(&cfg, &graph, DEFAULT_SLACK);
+        let bounds = graph_bounds(&cfg, &graph);
+        assert_eq!(env.lower, bounds.iter().map(LayerBound::lower).sum::<u64>());
+        assert!(env.upper > env.lower);
     }
 
     #[test]

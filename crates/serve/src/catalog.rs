@@ -16,9 +16,11 @@
 //! timing but no network; such models schedule normally but cannot be
 //! executed.
 
-use neurocube::{Neurocube, ProgrammingModel, SystemConfig};
+use neurocube::{Neurocube, PoolCube, ProgrammingModel, SystemConfig};
 use neurocube_fixed::Q88;
-use neurocube_nn::{GraphSpec, NetworkSpec, Tensor};
+use neurocube_golden::timing::{graph_service_envelope, service_envelope, DEFAULT_SLACK};
+use neurocube_golden::CycleEnvelope;
+use neurocube_nn::{GraphSpec, NetworkSpec, Shape, Tensor};
 
 /// The servable payload of a registered model.
 pub enum ModelPayload {
@@ -34,10 +36,46 @@ impl ModelPayload {
     /// Input element count the payload expects.
     #[must_use]
     pub fn input_len(&self) -> usize {
+        self.input_shape().len()
+    }
+
+    /// Input volume shape the payload expects.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape {
         match self {
-            ModelPayload::Linear(spec, _) => spec.input_shape().len(),
-            ModelPayload::Graph(graph, _) => graph.input_shape().len(),
+            ModelPayload::Linear(spec, _) => spec.input_shape(),
+            ModelPayload::Graph(graph, _) => graph.input_shape(),
         }
+    }
+
+    /// Ensures this payload is programmed on `cube` under `tag`,
+    /// whichever kind it is. Returns `true` on an affinity hit (see
+    /// [`PoolCube::ensure_loaded`]); after this the cube serves
+    /// inferences through [`PoolCube::run_service`]. Shared by the
+    /// full-replay executor and the two-speed audit replays so the two
+    /// paths can never program a cube differently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not fit the cube configuration.
+    pub fn ensure_on(&self, cube: &mut PoolCube, tag: u64) -> bool {
+        match self {
+            ModelPayload::Linear(spec, params) => cube.ensure_loaded(tag, spec, params),
+            ModelPayload::Graph(graph, params) => cube.ensure_graph_loaded(tag, graph, params),
+        }
+    }
+
+    /// Wraps a request payload in the input tensor shape this model
+    /// expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong element count (admission rejects
+    /// such requests before any replay sees them).
+    #[must_use]
+    pub fn input_tensor(&self, input: Vec<Q88>) -> Tensor {
+        let s = self.input_shape();
+        Tensor::from_vec(s.channels, s.height, s.width, input)
     }
 }
 
@@ -55,6 +93,13 @@ pub struct ModelEntry {
     /// model (the `golden::timing` host term, summed — once per layer
     /// for linear models, once per inference for compiled graphs).
     pub reprogram_cycles: u64,
+    /// The certified service envelope from `golden::timing`: every
+    /// measured inference of this model must land inside (the two-speed
+    /// audits assert it per replay). Registration asserts
+    /// `service_cycles` itself sits inside, so the analytical fast path
+    /// starts certified. Synthetic entries get the degenerate
+    /// single-point envelope at their declared service time.
+    pub envelope: CycleEnvelope,
     /// What the model executes; `None` for synthetic entries.
     pub payload: Option<ModelPayload>,
 }
@@ -141,12 +186,26 @@ impl ModelCatalog {
             "golden host term and ProgrammingModel::network_cycles disagree"
         );
 
+        // The certified service envelope (programming untimed, matching
+        // the profiling run). The profiled time must sit inside it —
+        // outside would mean the golden timing model and the simulator
+        // disagree, a defect registration refuses to memoize.
+        let envelope = service_envelope(&self.cfg, &spec, DEFAULT_SLACK);
+        assert!(
+            envelope.contains(service_cycles),
+            "model {name}: profiled {service_cycles} cycles escape the \
+             certified envelope [{}, {}]",
+            envelope.lower,
+            envelope.upper
+        );
+
         let tag = self.entries.len() as u64;
         self.entries.push(ModelEntry {
             name: name.to_string(),
             tag,
             service_cycles,
             reprogram_cycles,
+            envelope,
             payload: Some(ModelPayload::Linear(spec, params)),
         });
         tag
@@ -191,12 +250,22 @@ impl ModelCatalog {
             "golden graph host term and one layer_cycles charge disagree"
         );
 
+        let envelope = graph_service_envelope(&self.cfg, &graph, DEFAULT_SLACK);
+        assert!(
+            envelope.contains(service_cycles),
+            "model {name}: profiled {service_cycles} cycles escape the \
+             certified envelope [{}, {}]",
+            envelope.lower,
+            envelope.upper
+        );
+
         let tag = self.entries.len() as u64;
         self.entries.push(ModelEntry {
             name: name.to_string(),
             tag,
             service_cycles,
             reprogram_cycles,
+            envelope,
             payload: Some(ModelPayload::Graph(graph, params)),
         });
         tag
@@ -223,6 +292,7 @@ impl ModelCatalog {
             tag,
             service_cycles,
             reprogram_cycles,
+            envelope: CycleEnvelope::exact(service_cycles),
             payload: None,
         });
         tag
@@ -312,6 +382,42 @@ mod tests {
         assert_eq!(e.reprogram_cycles, 100);
         assert!(e.payload.is_none());
         assert_eq!(e.input_len(), 1);
+        assert_eq!(e.envelope, CycleEnvelope::exact(500));
+    }
+
+    #[test]
+    fn registered_entries_carry_a_certified_envelope() {
+        let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+        let lin = cat.register("tiny", workloads::tiny_convnet(), 7);
+        let g = cat.register_graph("res", workloads::residual_toy(), 7);
+        for tag in [lin, g] {
+            let e = cat.entry(tag);
+            assert!(e.envelope.lower > 0, "{}: positive lower bound", e.name);
+            assert!(
+                e.envelope.contains(e.service_cycles),
+                "{}: profiled time inside its own envelope",
+                e.name
+            );
+            assert!(e.envelope.upper > e.envelope.lower);
+        }
+        // The envelopes are the golden timing model's, bit for bit.
+        let lin_env = service_envelope(cat.config(), &workloads::tiny_convnet(), DEFAULT_SLACK);
+        assert_eq!(cat.entry(lin).envelope, lin_env);
+    }
+
+    #[test]
+    fn payload_helpers_program_and_shape_uniformly() {
+        let mut cat = ModelCatalog::new(SystemConfig::paper(true));
+        let tag = cat.register("tiny", workloads::tiny_convnet(), 7);
+        let e = cat.entry(tag);
+        let payload = e.payload.as_ref().unwrap();
+        assert_eq!(payload.input_shape().len(), payload.input_len());
+        let mut cube = PoolCube::new(cat.config().clone());
+        assert!(!payload.ensure_on(&mut cube, tag), "first load is a miss");
+        assert!(payload.ensure_on(&mut cube, tag), "second is a hit");
+        let input = payload.input_tensor(input_payload(payload.input_len(), 3));
+        let (out, report) = cube.run_service(&input);
+        assert!(!out.is_empty() && report.total_cycles() > 0);
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //! output value — is bitwise identical. That is the serving layer's
 //! execution-determinism contract, and the suites assert it.
 
-use crate::catalog::{ModelCatalog, ModelPayload};
+use crate::catalog::ModelCatalog;
 use crate::request::Request;
 use crate::scheduler::DispatchRecord;
 use neurocube::PoolCube;
-use neurocube_nn::Tensor;
 use neurocube_sim::{BatchRunner, StatsRegistry};
+
+/// The order-sensitive output-checksum fold both replay paths share:
+/// every output element of every request, in replay order — two replays
+/// agree on the final value iff they agree on every output bit. The
+/// same fold merges per-cube checksums in cube order.
+pub(crate) const CHECKSUM_PRIME: u64 = 0x100_0000_01b3;
+
+/// One step of the checksum fold.
+pub(crate) fn fold_checksum(checksum: u64, value: u64) -> u64 {
+    checksum.wrapping_mul(CHECKSUM_PRIME).wrapping_add(value)
+}
 
 /// How to drive the per-cube replay jobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,16 +67,7 @@ fn replay_cube(catalog: &ModelCatalog, trace: &[Request], records: &[&DispatchRe
             .expect("synthetic models cannot be executed; register real networks");
         // Linear tenants program per layer; graph tenants compile once and
         // run pipelined. Both share the cube's affinity slot.
-        let (hit, shape) = match payload {
-            ModelPayload::Linear(spec, params) => (
-                cube.ensure_loaded(rec.model, spec, params),
-                spec.input_shape(),
-            ),
-            ModelPayload::Graph(graph, params) => (
-                cube.ensure_graph_loaded(rec.model, graph, params),
-                graph.input_shape(),
-            ),
-        };
+        let hit = payload.ensure_on(&mut cube, rec.model);
         assert_eq!(
             hit, rec.affinity_hit,
             "cube {} model {}: the pool's affinity state diverged from the schedule",
@@ -80,17 +81,11 @@ fn replay_cube(catalog: &ModelCatalog, trace: &[Request], records: &[&DispatchRe
         exec.batches += 1;
         for &id in &rec.requests {
             let req = &trace[usize::try_from(id).expect("id fits usize")];
-            let input =
-                Tensor::from_vec(shape.channels, shape.height, shape.width, req.input.clone());
-            let (output, _) = match payload {
-                ModelPayload::Linear(..) => cube.run(&input),
-                ModelPayload::Graph(..) => cube.run_graph(&input),
-            };
+            let input = payload.input_tensor(req.input.clone());
+            let (output, _) = cube.run_service(&input);
             for &v in output.as_slice() {
-                exec.output_checksum = exec
-                    .output_checksum
-                    .wrapping_mul(0x100_0000_01b3)
-                    .wrapping_add(v.to_bits() as u16 as u64);
+                exec.output_checksum =
+                    fold_checksum(exec.output_checksum, v.to_bits() as u16 as u64);
             }
             exec.requests += 1;
         }

@@ -20,6 +20,15 @@
 //! serial-versus-threaded execution. An independent [`oracle`]
 //! re-implements the scheduling policy longhand so the property suites
 //! can difference the two.
+//!
+//! For scale, the [`twospeed`] executor replaces the full replay with an
+//! analytical fast path — every dispatch priced from the catalog's
+//! memoized profile, no cube ticking — plus deterministic sampled
+//! audits: a counter-PRNG draw keyed by `(audit seed, dispatch index)`
+//! picks a configurable fraction of dispatches for full cycle- and
+//! value-accurate replay on fresh cubes, asserting the analytical
+//! numbers against the certified `golden::timing` envelope and the
+//! golden functional reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +39,16 @@ pub mod oracle;
 pub mod request;
 pub mod scheduler;
 pub mod traffic;
+pub mod twospeed;
 
 pub use catalog::{input_payload, ModelCatalog, ModelEntry, ModelPayload};
 pub use executor::{execute, ExecMode};
 pub use request::{Outcome, RejectReason, Request};
 pub use scheduler::{serve, serve_mode, DispatchRecord, ServeConfig, ServeReport};
-pub use traffic::{generate, LoadProfile, TrafficSpec, DOMAIN_TRAFFIC};
+pub use traffic::{
+    generate, LoadProfile, Scenario, TrafficSpec, UnknownScenario, DOMAIN_TRAFFIC, SCENARIOS,
+};
+pub use twospeed::{
+    execute_two_speed, AuditRecord, AuditSampler, AuditViolation, TwoSpeedConfig, TwoSpeedReport,
+    DOMAIN_AUDIT,
+};

@@ -20,6 +20,7 @@
 
 use crate::catalog::{input_payload, ModelCatalog};
 use crate::request::Request;
+use std::fmt;
 
 /// Arrival-process shapes the generator can produce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +93,11 @@ pub struct TrafficSpec {
     /// empty payload, wrong shape, or dead-on-arrival deadline) — the
     /// fuzz suites' knob; 0 for clean traces.
     pub malformed_permille: u32,
+    /// Weighted priority tiers `(priority, weight)`: picks are
+    /// weight-proportional, like the model mix. `None` keeps the legacy
+    /// uniform draw over priorities `0..=3` — bitwise-compatible with
+    /// every trace generated before tiers existed.
+    pub tiers: Option<Vec<(u8, u32)>>,
 }
 
 impl TrafficSpec {
@@ -106,6 +112,98 @@ impl TrafficSpec {
             mix,
             slack: (4.0, 12.0),
             malformed_permille: 0,
+            tiers: None,
+        }
+    }
+
+    /// Applies a named [`Scenario`]'s arrival profile and priority tiers,
+    /// keeping everything else (seed, mix, count, gap).
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: &Scenario) -> TrafficSpec {
+        self.profile = scenario.profile;
+        self.tiers = Some(scenario.tiers.to_vec());
+        self
+    }
+}
+
+/// A named trace-driven serving scenario: an arrival shape plus a
+/// priority-tier mix, selectable by name through
+/// `NEUROCUBE_SERVE_SCENARIO` (see [`Scenario::from_env`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// The scenario's `NEUROCUBE_SERVE_SCENARIO` spelling.
+    pub name: &'static str,
+    /// Arrival-process shape.
+    pub profile: LoadProfile,
+    /// Weighted priority tiers `(priority, weight)`.
+    pub tiers: &'static [(u8, u32)],
+}
+
+/// The named scenario presets, in lookup order.
+pub const SCENARIOS: [Scenario; 3] = [
+    // Flat day: memoryless arrivals, every priority equally likely.
+    Scenario {
+        name: "steady",
+        profile: LoadProfile::Poisson,
+        tiers: &[(0, 1), (1, 1), (2, 1), (3, 1)],
+    },
+    // A day's load curve; background traffic dominates, a thin
+    // latency-critical tier rides on top.
+    Scenario {
+        name: "diurnal",
+        profile: LoadProfile::Diurnal,
+        tiers: &[(0, 6), (1, 3), (2, 2), (3, 1)],
+    },
+    // Flash-crowd bursts with a bimodal priority split: bulk batch
+    // traffic and interactive spikes, nothing in between.
+    Scenario {
+        name: "rush",
+        profile: LoadProfile::Bursty,
+        tiers: &[(0, 3), (1, 1), (3, 2)],
+    },
+];
+
+/// A scenario name that matches no preset — the typed error
+/// `NEUROCUBE_SERVE_SCENARIO` parsing returns instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownScenario(pub String);
+
+impl fmt::Display for UnknownScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown serving scenario {:?} (valid: steady, diurnal, rush)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownScenario {}
+
+impl Scenario {
+    /// Resolves a scenario by its `NEUROCUBE_SERVE_SCENARIO` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScenario`] when no preset matches.
+    pub fn parse(name: &str) -> Result<&'static Scenario, UnknownScenario> {
+        SCENARIOS
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| UnknownScenario(name.to_string()))
+    }
+
+    /// Reads `NEUROCUBE_SERVE_SCENARIO`: `Ok(None)` when unset or empty
+    /// (the caller's default applies), `Ok(Some)` on a valid name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScenario`] when the variable names no preset —
+    /// a typed error, never a panic.
+    pub fn from_env() -> Result<Option<&'static Scenario>, UnknownScenario> {
+        match neurocube_sim::serve_scenario() {
+            None => Ok(None),
+            Some(name) => Scenario::parse(&name).map(Some),
         }
     }
 }
@@ -134,7 +232,8 @@ fn unit_draw(seed: u64, id: u64, salt: u64) -> f64 {
 /// # Panics
 ///
 /// Panics when the mix is empty, names a model missing from the catalog,
-/// has zero total weight, or the slack range is inverted.
+/// has zero total weight, the slack range is inverted, or the priority
+/// tiers (when given) are empty or weightless.
 #[must_use]
 pub fn generate(catalog: &ModelCatalog, spec: &TrafficSpec) -> Vec<Request> {
     assert!(!spec.mix.is_empty(), "traffic mix must name a model");
@@ -151,6 +250,18 @@ pub fn generate(catalog: &ModelCatalog, spec: &TrafficSpec) -> Vec<Request> {
             "mix model {name} is not in the catalog"
         );
     }
+    let tier_weight: u64 = spec
+        .tiers
+        .as_ref()
+        .map(|t| {
+            assert!(!t.is_empty(), "priority tiers must not be empty");
+            t.iter().map(|(_, w)| u64::from(*w)).sum()
+        })
+        .unwrap_or(0);
+    assert!(
+        spec.tiers.is_none() || tier_weight > 0,
+        "priority tiers need positive weight"
+    );
 
     let mut trace = Vec::with_capacity(spec.count as usize);
     let mut arrival = 0u64;
@@ -174,8 +285,27 @@ pub fn generate(catalog: &ModelCatalog, spec: &TrafficSpec) -> Vec<Request> {
         }
         let entry = catalog.lookup(pick).expect("mix checked above");
 
-        let priority =
-            (neurocube_fault::draw(spec.seed, DOMAIN_TRAFFIC, id, salt::PRIORITY) % 4) as u8;
+        // Priority: the legacy uniform draw over 0..=3 without tiers
+        // (bit-compatible with pre-tier traces), weight-proportional
+        // over the scenario's tiers otherwise. Same salt either way, so
+        // a spec only changes the trace where it changes the policy.
+        let pri_draw = neurocube_fault::draw(spec.seed, DOMAIN_TRAFFIC, id, salt::PRIORITY);
+        let priority = match &spec.tiers {
+            None => (pri_draw % 4) as u8,
+            Some(tiers) => {
+                let mut w = pri_draw % tier_weight;
+                let mut pick = tiers[0].0;
+                for (p, weight) in tiers {
+                    let weight = u64::from(*weight);
+                    if w < weight {
+                        pick = *p;
+                        break;
+                    }
+                    w -= weight;
+                }
+                pick
+            }
+        };
         let s =
             spec.slack.0 + (spec.slack.1 - spec.slack.0) * unit_draw(spec.seed, id, salt::SLACK);
         let cold_start = entry.service_cycles + entry.reprogram_cycles;
@@ -288,6 +418,71 @@ mod tests {
         assert!(trace.iter().any(|r| r.input.is_empty()));
         assert!(trace.iter().any(|r| r.input.len() == 2));
         assert!(trace.iter().any(|r| r.deadline == r.arrival));
+    }
+
+    #[test]
+    fn tiers_reshape_priorities_and_none_is_legacy_compatible() {
+        let cat = catalog();
+        let base = TrafficSpec::poisson(21, 300.0, 512, vec![("a".to_string(), 1)]);
+        let legacy = generate(&cat, &base);
+        // Explicit uniform tiers draw from the same salt but through the
+        // weighted path; the *absence* of tiers is what preserves the
+        // legacy bits.
+        let again = generate(&cat, &base.clone());
+        assert_eq!(legacy, again);
+        for p in 0..4u8 {
+            assert!(legacy.iter().any(|r| r.priority == p), "priority {p}");
+        }
+        // A bimodal tier set produces only its listed priorities, in
+        // roughly weight proportion.
+        let rush = generate(
+            &cat,
+            &TrafficSpec {
+                tiers: Some(vec![(0, 3), (3, 1)]),
+                ..base.clone()
+            },
+        );
+        assert!(rush.iter().all(|r| r.priority == 0 || r.priority == 3));
+        let zeros = rush.iter().filter(|r| r.priority == 0).count();
+        assert!(
+            (256..=512).contains(&zeros),
+            "3:1 weighting should dominate: {zeros}/512"
+        );
+        // Arrivals and model picks are untouched by the tier change.
+        for (l, r) in legacy.iter().zip(&rush) {
+            assert_eq!(l.arrival, r.arrival);
+            assert_eq!(l.model, r.model);
+        }
+    }
+
+    #[test]
+    fn scenarios_parse_by_name_and_reject_unknowns_typed() {
+        let s = Scenario::parse("diurnal").expect("preset exists");
+        assert_eq!(s.profile, LoadProfile::Diurnal);
+        let err = Scenario::parse("weekend").unwrap_err();
+        assert_eq!(err, UnknownScenario("weekend".to_string()));
+        assert!(err.to_string().contains("valid: steady, diurnal, rush"));
+        for preset in &SCENARIOS {
+            assert_eq!(Scenario::parse(preset.name), Ok(preset));
+            assert!(!preset.tiers.is_empty());
+        }
+        let cat = catalog();
+        let spec = TrafficSpec::poisson(9, 250.0, 128, vec![("b".to_string(), 1)])
+            .with_scenario(Scenario::parse("rush").unwrap());
+        assert_eq!(spec.profile, LoadProfile::Bursty);
+        let trace = generate(&cat, &spec);
+        assert!(trace.iter().all(|r| [0, 1, 3].contains(&r.priority)));
+    }
+
+    #[test]
+    #[should_panic(expected = "priority tiers must not be empty")]
+    fn empty_tiers_are_rejected() {
+        let cat = catalog();
+        let spec = TrafficSpec {
+            tiers: Some(Vec::new()),
+            ..TrafficSpec::poisson(1, 100.0, 4, vec![("a".to_string(), 1)])
+        };
+        let _ = generate(&cat, &spec);
     }
 
     #[test]

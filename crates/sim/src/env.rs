@@ -20,13 +20,20 @@
 //! `NEUROCUBE_FAULT_SEED`, `NEUROCUBE_SERVE_SEED`,
 //! `NEUROCUBE_SERVE_MAX_BATCH`, `NEUROCUBE_SERVE_MAX_DELAY`,
 //! `NEUROCUBE_SERVE_POOL` (u64); `NEUROCUBE_FAULT_RATE`,
-//! `NEUROCUBE_BENCH_MIN_SPEEDUP` (f64); `NEUROCUBE_SCALE`,
-//! `NEUROCUBE_SERVE_LOAD` (string). The serving-layer knobs have
+//! `NEUROCUBE_BENCH_MIN_SPEEDUP`, `NEUROCUBE_SERVE_AUDIT_RATE` (f64);
+//! `NEUROCUBE_SCALE`, `NEUROCUBE_SERVE_LOAD`,
+//! `NEUROCUBE_SERVE_SCENARIO` (string). The serving-layer knobs have
 //! dedicated accessors ([`serve_seed`], [`serve_load`],
-//! [`serve_max_batch`], [`serve_max_delay`], [`serve_pool`]) so the
-//! variable names live in exactly one place. Path-valued variables
-//! (`NEUROCUBE_CSV`, `NEUROCUBE_BENCH_OUT`, `NEUROCUBE_BENCH_SERVE_OUT`)
-//! stay on `var_os` — paths may legitimately be non-UTF-8.
+//! [`serve_max_batch`], [`serve_max_delay`], [`serve_pool`],
+//! [`serve_audit_rate`], [`serve_scenario`]) so the variable names live
+//! in exactly one place. Path-valued variables (`NEUROCUBE_CSV`,
+//! `NEUROCUBE_BENCH_OUT`, `NEUROCUBE_BENCH_SERVE_OUT`) stay on `var_os`
+//! — paths may legitimately be non-UTF-8.
+//!
+//! These accessors read fixed process-global variable names, so their
+//! tests live in the integration suite (`tests/tests/env_knobs.rs`)
+//! behind a shared mutex-backed environment guard — unit tests here
+//! stick to `NC_TEST_*` names no other test reads.
 
 use std::ffi::OsString;
 
@@ -96,6 +103,24 @@ pub fn serve_pool() -> Option<u64> {
     env_u64("NEUROCUBE_SERVE_POOL")
 }
 
+/// `NEUROCUBE_SERVE_AUDIT_RATE`: fraction of dispatches the two-speed
+/// serving path replays cycle-accurately (f64 rules — `0` is a
+/// legitimate rate meaning "no audits", not an off switch; unset, empty
+/// or unparseable reads as `None` and the caller's default applies; the
+/// audit sampler clamps whatever arrives to `[0, 1]`).
+#[must_use]
+pub fn serve_audit_rate() -> Option<f64> {
+    env_f64("NEUROCUBE_SERVE_AUDIT_RATE")
+}
+
+/// `NEUROCUBE_SERVE_SCENARIO`: named traffic-scenario preset (string
+/// rules; the serving layer resolves the name and rejects unknown ones
+/// with a typed error at configuration time, not here).
+#[must_use]
+pub fn serve_scenario() -> Option<String> {
+    env_str("NEUROCUBE_SERVE_SCENARIO")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,66 +158,10 @@ mod tests {
         assert_eq!(env_f64("NC_TEST_F64_UNSET_XYZ"), None);
     }
 
-    // The serve accessors read fixed variable names, so each variable is
-    // exercised by exactly one test (and no other test in this binary
-    // reads it) to stay safe under the parallel test runner.
-
-    #[test]
-    fn serve_seed_follows_u64_rules() {
-        std::env::remove_var("NEUROCUBE_SERVE_SEED");
-        assert_eq!(serve_seed(), None);
-        std::env::set_var("NEUROCUBE_SERVE_SEED", "0");
-        assert_eq!(serve_seed(), Some(0), "0 is a seed, not an off switch");
-        std::env::set_var("NEUROCUBE_SERVE_SEED", " 1234 ");
-        assert_eq!(serve_seed(), Some(1234));
-        std::env::set_var("NEUROCUBE_SERVE_SEED", "not-a-number");
-        assert_eq!(serve_seed(), None);
-        std::env::remove_var("NEUROCUBE_SERVE_SEED");
-    }
-
-    #[test]
-    fn serve_load_follows_string_rules() {
-        std::env::remove_var("NEUROCUBE_SERVE_LOAD");
-        assert_eq!(serve_load(), None);
-        std::env::set_var("NEUROCUBE_SERVE_LOAD", "");
-        assert_eq!(serve_load(), None, "empty reads as unset");
-        std::env::set_var("NEUROCUBE_SERVE_LOAD", "bursty");
-        assert_eq!(serve_load().as_deref(), Some("bursty"));
-        std::env::remove_var("NEUROCUBE_SERVE_LOAD");
-    }
-
-    #[test]
-    fn serve_max_batch_follows_u64_rules() {
-        std::env::remove_var("NEUROCUBE_SERVE_MAX_BATCH");
-        assert_eq!(serve_max_batch(), None);
-        std::env::set_var("NEUROCUBE_SERVE_MAX_BATCH", "8");
-        assert_eq!(serve_max_batch(), Some(8));
-        std::env::set_var("NEUROCUBE_SERVE_MAX_BATCH", "-1");
-        assert_eq!(serve_max_batch(), None, "negative is unparseable as u64");
-        std::env::remove_var("NEUROCUBE_SERVE_MAX_BATCH");
-    }
-
-    #[test]
-    fn serve_max_delay_follows_u64_rules() {
-        std::env::remove_var("NEUROCUBE_SERVE_MAX_DELAY");
-        assert_eq!(serve_max_delay(), None);
-        std::env::set_var("NEUROCUBE_SERVE_MAX_DELAY", "0");
-        assert_eq!(serve_max_delay(), Some(0), "0 delay means dispatch eagerly");
-        std::env::set_var("NEUROCUBE_SERVE_MAX_DELAY", "50000");
-        assert_eq!(serve_max_delay(), Some(50_000));
-        std::env::remove_var("NEUROCUBE_SERVE_MAX_DELAY");
-    }
-
-    #[test]
-    fn serve_pool_follows_u64_rules() {
-        std::env::remove_var("NEUROCUBE_SERVE_POOL");
-        assert_eq!(serve_pool(), None);
-        std::env::set_var("NEUROCUBE_SERVE_POOL", "4");
-        assert_eq!(serve_pool(), Some(4));
-        std::env::set_var("NEUROCUBE_SERVE_POOL", "");
-        assert_eq!(serve_pool(), None, "empty reads as unset");
-        std::env::remove_var("NEUROCUBE_SERVE_POOL");
-    }
+    // The serve accessors read fixed process-global variable names, so
+    // their set/unset tests live in the integration suite
+    // (`tests/tests/env_knobs.rs`) behind the shared `EnvGuard` mutex;
+    // every test in this binary sticks to its own `NC_TEST_*` name.
 
     #[cfg(unix)]
     #[test]

@@ -1,0 +1,126 @@
+//! Edge-case suite for `sim::Histogram`: empty-histogram percentiles,
+//! single-bucket nearest-rank behavior, merge-order independence at
+//! million-sample scale, and monotonic `diff` semantics after merges.
+
+use neurocube_sim::Histogram;
+
+#[test]
+fn empty_histograms_answer_none_everywhere() {
+    let h = Histogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    assert_eq!(h.mean(), None);
+    for q in [0.0, 0.5, 0.99, 1.0, -3.0, f64::INFINITY, f64::NAN] {
+        assert_eq!(h.percentile(q), None, "empty histogram at q={q}");
+    }
+    assert_eq!(h.buckets().count(), 0);
+}
+
+#[test]
+fn single_bucket_nearest_rank_is_that_value_at_every_quantile() {
+    let mut h = Histogram::new();
+    h.record_n(42, 1);
+    for q in [0.0, 1e-12, 0.25, 0.5, 0.999, 1.0] {
+        assert_eq!(h.percentile(q), Some(42), "single sample at q={q}");
+    }
+    // NaN and out-of-range quantiles clamp, never panic.
+    assert_eq!(h.percentile(f64::NAN), Some(42));
+    assert_eq!(h.percentile(-1.0), Some(42));
+    assert_eq!(h.percentile(2.0), Some(42));
+    assert_eq!(
+        (h.min(), h.max(), h.mean()),
+        (Some(42), Some(42), Some(42.0))
+    );
+
+    // Still one bucket after a million more samples of the same value:
+    // nearest-rank stays exact, mean stays exact.
+    h.record_n(42, 1_000_000 - 1);
+    assert_eq!(h.count(), 1_000_000);
+    assert_eq!(h.buckets().count(), 1);
+    assert_eq!(h.percentile(0.5), Some(42));
+    assert_eq!(h.mean(), Some(42.0));
+}
+
+/// Shards a deterministic million-sample distribution, merges the
+/// shards in several orders, and requires bitwise-equal summaries: the
+/// bucket-wise representation makes merge exact and commutative.
+#[test]
+fn merge_is_order_independent_at_million_sample_scale() {
+    // 64 shards × values spread over a wide range, counts chosen so
+    // the total lands exactly on 10^6 samples.
+    let shards: Vec<Histogram> = (0..64u64)
+        .map(|s| {
+            let mut h = Histogram::new();
+            for i in 0..25u64 {
+                // A deterministic pseudo-random value per (shard, i).
+                let v = (s * 25 + i) * 7919 % 100_000;
+                h.record_n(v, 625);
+            }
+            h
+        })
+        .collect();
+    assert_eq!(shards.iter().map(Histogram::count).sum::<u64>(), 1_000_000);
+
+    let merge_in = |order: &mut dyn Iterator<Item = usize>| {
+        let mut total = Histogram::new();
+        for i in order {
+            total.merge(&shards[i]);
+        }
+        total
+    };
+    let forward = merge_in(&mut (0..64));
+    let backward = merge_in(&mut (0..64).rev());
+    let interleaved = merge_in(&mut (0..64).step_by(2).chain((0..64).skip(1).step_by(2)));
+
+    for other in [&backward, &interleaved] {
+        assert_eq!(forward.count(), other.count());
+        assert_eq!(forward.min(), other.min());
+        assert_eq!(forward.max(), other.max());
+        // Mean accumulates in ascending value order, so even the float
+        // is bitwise reproducible across merge orders.
+        assert_eq!(forward.mean(), other.mean());
+        for q in [0.001, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(forward.percentile(q), other.percentile(q));
+        }
+        assert_eq!(forward.summary(), other.summary());
+        assert!(forward.buckets().eq(other.buckets()));
+    }
+    assert_eq!(forward.count(), 1_000_000);
+}
+
+#[test]
+fn diff_after_merge_is_exactly_the_merged_increment() {
+    let mut earlier = Histogram::new();
+    earlier.record_n(10, 5);
+    earlier.record_n(20, 3);
+
+    let mut later = earlier.clone();
+    let mut increment = Histogram::new();
+    increment.record_n(10, 2);
+    increment.record_n(30, 7);
+    later.merge(&increment);
+
+    // Histograms are running multisets (totals, not deltas): the diff
+    // against the earlier snapshot recovers the increment exactly.
+    let d = later.diff(&earlier, "t");
+    assert_eq!(d.count(), increment.count());
+    assert!(d.buckets().eq(increment.buckets()));
+    // Diffing against itself is empty, and the identity merge diffs
+    // empty too.
+    assert!(later.diff(&later, "t").is_empty());
+    let mut unchanged = later.clone();
+    unchanged.merge(&Histogram::new());
+    assert!(unchanged.diff(&later, "t").is_empty());
+}
+
+#[test]
+#[should_panic(expected = "decreased")]
+fn diff_panics_when_a_bucket_shrinks() {
+    let mut earlier = Histogram::new();
+    earlier.record_n(10, 5);
+    let mut later = Histogram::new();
+    later.record_n(10, 4);
+    let _ = later.diff(&earlier, "t");
+}
