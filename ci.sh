@@ -16,13 +16,20 @@
 #   ci.sh --bench  - same gate, then the simulator wall-clock benchmark
 #                    (fig. 14/15 sweep shapes, BENCH_sim.json). Fails if
 #                    the skipping loop's geomean throughput over the
-#                    sweep falls below 2x the pinned seed baseline's
-#                    naive loop — the wall-clock regression guard. (On
-#                    the saturated fig. 14 shapes the same-binary naive
-#                    loop is within noise of the skipping loop by
-#                    construction, so the durable signal is throughput
-#                    vs the pinned seed; the geomean is gated because
-#                    sub-second workloads jitter ±15% individually.)
+#                    sweep falls below 4x the pinned seed baseline's
+#                    naive loop — the wall-clock regression guard — or if
+#                    skip mode regresses vs the same-binary naive loop
+#                    (per-workload min 0.90x, sweep geomean 1.0x). The
+#                    SoA datapath work measures 4.3-4.8x geomean on the
+#                    reference container; the enforced floor sits at 4x
+#                    because sub-second workloads jitter ±15%
+#                    individually and the aggregate ±5% run-to-run.
+#   ci.sh --simd   - same gate, then the datapath equivalence suites at
+#                    depth (scalar vs SoA vs stage-parallel, with and
+#                    without faults, plus the lane-kernel boundary
+#                    properties — 512 cases each) and the wall-clock
+#                    benchmark under the 4x gate. The standard gate
+#                    already runs the suite at the pinned 32-case budget.
 #   ci.sh --serve  - same gate, then the serving-layer suites at depth
 #                    (scheduler-vs-oracle, determinism, malformed fuzz at
 #                    512 cases each) and the serving load benchmark
@@ -60,6 +67,10 @@ PROPTEST_CASES=64 cargo test -q
 # properties, and the DAG equivalence/differential properties.
 PROPTEST_CASES=32 cargo test -q \
     -p neurocube-integration-tests --test fault_fuzz --test skip_equivalence
+# Datapath equivalence: the SoA lane kernels and the stage-parallel PE
+# tick against the per-lane scalar oracle, full-registry bitwise.
+PROPTEST_CASES=32 cargo test -q \
+    -p neurocube-integration-tests --test simd_equivalence
 PROPTEST_CASES=32 cargo test -q \
     -p neurocube-integration-tests --test graph_equivalence --test graph_differential
 PROPTEST_CASES=32 cargo test -q \
@@ -92,8 +103,18 @@ if [[ "${1:-}" == "--faults" ]]; then
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "== simulator wall-clock benchmark (gate: 2x vs seed baseline) =="
-    NEUROCUBE_BENCH_MIN_SPEEDUP="${NEUROCUBE_BENCH_MIN_SPEEDUP:-2}" \
+    echo "== simulator wall-clock benchmark (gate: 4x vs seed baseline) =="
+    NEUROCUBE_BENCH_MIN_SPEEDUP="${NEUROCUBE_BENCH_MIN_SPEEDUP:-4}" \
+        cargo bench -p neurocube-bench --bench bench_sim
+fi
+
+if [[ "${1:-}" == "--simd" ]]; then
+    echo "== datapath equivalence suites (PROPTEST_CASES=512) =="
+    PROPTEST_CASES=512 cargo test -q --release \
+        -p neurocube-integration-tests --test simd_equivalence
+    PROPTEST_CASES=512 cargo test -q --release -p neurocube-fixed
+    echo "== simulator wall-clock benchmark (gate: 4x vs seed baseline) =="
+    NEUROCUBE_BENCH_MIN_SPEEDUP="${NEUROCUBE_BENCH_MIN_SPEEDUP:-4}" \
         cargo bench -p neurocube-bench --bench bench_sim
 fi
 

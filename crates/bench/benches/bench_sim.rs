@@ -17,76 +17,13 @@
 //! process exits non-zero if the sweep's geomean `speedup_vs_seed` falls
 //! below `x` (the `ci.sh --bench` regression guard).
 
-use neurocube::SystemConfig;
-use neurocube_bench::{header, run_inference_faulty, run_inference_mode, SkipTelemetry};
+use neurocube_bench::{
+    bench_workloads, header, run_inference_faulty, run_inference_variant,
+    BenchWorkload as Workload, SkipTelemetry,
+};
 use neurocube_fault::FaultConfig;
-use neurocube_fixed::Activation;
-use neurocube_nn::{LayerSpec, NetworkSpec, Shape};
 use std::path::PathBuf;
 use std::time::Instant;
-
-struct Workload {
-    name: &'static str,
-    cfg: SystemConfig,
-    spec: NetworkSpec,
-    seed: u64,
-}
-
-fn conv_net(input: usize, maps: usize, kernel: usize) -> NetworkSpec {
-    NetworkSpec::new(
-        Shape::new(1, input, input),
-        vec![LayerSpec::conv(maps, kernel, Activation::Tanh)],
-    )
-    .expect("geometry fits")
-}
-
-fn fc_net(inputs: usize, hidden: usize) -> NetworkSpec {
-    NetworkSpec::new(
-        Shape::flat(inputs),
-        vec![LayerSpec::fc(hidden, Activation::Sigmoid)],
-    )
-    .expect("geometry fits")
-}
-
-/// The Fig. 14/15 shapes the sweeps spend their wall-clock on: the conv
-/// kernel sweep's end points (with and without duplication), the FC
-/// hidden-width sweep, the Fig. 15 channel-count extremes and the DDR3
-/// baseline whose two injection points leave the fabric mostly idle —
-/// the workload class event-horizon skipping exists for.
-fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "fig14_conv_k3_dup",
-            cfg: SystemConfig::paper(true),
-            spec: conv_net(128, 16, 3),
-            seed: 14,
-        },
-        Workload {
-            name: "fig14_conv_k7_nodup",
-            cfg: SystemConfig::paper(false),
-            spec: conv_net(128, 16, 7),
-            seed: 14,
-        },
-        Workload {
-            name: "fig14_fc_2048x1024_dup",
-            cfg: SystemConfig::paper(true),
-            spec: fc_net(2048, 1024),
-            seed: 14,
-        },
-        Workload {
-            name: "fig15_conv96_hmc16",
-            cfg: SystemConfig::hmc_with_channels(16),
-            spec: conv_net(96, 16, 7),
-            seed: 15,
-        },
-        Workload {
-            name: "fig15_conv96_ddr3",
-            cfg: SystemConfig::ddr3(),
-            spec: conv_net(96, 16, 7),
-            seed: 15,
-        },
-    ]
-}
 
 /// Naive-loop throughput (simulated cycles per host-second) of the PR 2
 /// baseline, measured with `seed_baseline.rs` (this harness's workload
@@ -109,6 +46,7 @@ struct Row {
     cycles: u64,
     naive_secs: f64,
     skip_secs: f64,
+    scalar_secs: f64,
     telemetry: SkipTelemetry,
 }
 
@@ -121,6 +59,10 @@ impl Row {
         self.cycles as f64 / self.skip_secs
     }
 
+    fn scalar_cps(&self) -> f64 {
+        self.cycles as f64 / self.scalar_secs
+    }
+
     fn speedup_vs_seed(&self) -> f64 {
         let (_, seed_cps) = SEED_NAIVE_CPS
             .iter()
@@ -130,18 +72,51 @@ impl Row {
     }
 }
 
+/// Timing repetitions per mode; the reported time is the *fastest* rep.
+/// Single sub-second runs jitter ±15% and worse on shared hardware,
+/// which swamps the real skip-vs-naive margin on the saturated shapes;
+/// the minimum over a few reps is the standard noise-robust estimator of
+/// the achievable time. `NEUROCUBE_BENCH_REPS` overrides (min 1).
+fn reps() -> u32 {
+    neurocube_sim::env_u64("NEUROCUBE_BENCH_REPS").map_or(3, |v| (v as u32).max(1))
+}
+
+/// Runs `w` at least `reps()` times in one mode (`simd = None` is the
+/// process default, i.e. the SoA path) and returns the fastest wall-clock
+/// time plus the (deterministic, rep-invariant) observables of the last
+/// rep. Short workloads get extra draws: a 0.4 s run needs more samples
+/// than a 20 s run for the minimum to converge, so the loop keeps going
+/// until the mode has accumulated ~4 s of measurement (capped at three
+/// times the base rep count) — without this, the sub-second workloads'
+/// skip-vs-naive ratios swing ±15 % between otherwise identical runs.
 fn timed(
     w: &Workload,
     skip: bool,
+    simd: Option<bool>,
 ) -> (
     f64,
     neurocube::RunReport,
     neurocube_sim::StatsRegistry,
     SkipTelemetry,
 ) {
-    let start = Instant::now();
-    let (report, stats, telemetry) = run_inference_mode(w.cfg.clone(), &w.spec, w.seed, Some(skip));
-    (start.elapsed().as_secs_f64(), report, stats, telemetry)
+    let base = reps();
+    let cap = base.saturating_mul(3);
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut done = 0u32;
+    let mut out = None;
+    while done < base || (total < 4.0 && done < cap) {
+        let start = Instant::now();
+        let (report, stats, telemetry) =
+            run_inference_variant(w.cfg.clone(), &w.spec, w.seed, Some(skip), simd);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        total += secs;
+        done += 1;
+        out = Some((report, stats, telemetry));
+    }
+    let (report, stats, telemetry) = out.expect("at least one rep");
+    (best, report, stats, telemetry)
 }
 
 fn json_escape_free(name: &str) -> &str {
@@ -162,16 +137,19 @@ fn write_json(rows: &[Row], path: &PathBuf) {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"simulated_cycles\": {}, \"naive_host_secs\": {:.4}, \
              \"skip_host_secs\": {:.4}, \"naive_cycles_per_sec\": {:.0}, \
+             \"scalar_cycles_per_sec\": {:.0}, \
              \"skip_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \
-             \"speedup_vs_seed\": {:.2}, \
+             \"soa_speedup\": {:.2}, \"speedup_vs_seed\": {:.2}, \
              \"skipped_cycles\": {}, \"horizon_jumps\": {}}}{}\n",
             json_escape_free(r.name),
             r.cycles,
             r.naive_secs,
             r.skip_secs,
             r.cycles as f64 / r.naive_secs,
+            r.scalar_cps(),
             r.skip_cps(),
             r.speedup(),
+            r.skip_cps() / r.scalar_cps(),
             r.speedup_vs_seed(),
             r.telemetry.skipped_cycles,
             r.telemetry.horizon_jumps,
@@ -198,20 +176,25 @@ fn main() {
         "event-horizon fast-forward vs naive per-cycle loop (Fig. 14/15 workloads)",
     );
     println!(
-        "{:<24} {:>12} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "{:<24} {:>12} {:>10} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8}",
         "workload",
         "sim cycles",
         "naive s",
         "skip s",
         "naive c/s",
+        "scalar c/s",
         "skip c/s",
         "speedup",
         "vs seed"
     );
     let mut rows = Vec::new();
-    for (i, w) in workloads().iter().enumerate() {
-        let (naive_secs, naive_report, naive_stats, naive_tel) = timed(w, false);
-        let (skip_secs, skip_report, skip_stats, skip_tel) = timed(w, true);
+    for (i, w) in bench_workloads().iter().enumerate() {
+        let (naive_secs, naive_report, naive_stats, naive_tel) = timed(w, false, None);
+        let (skip_secs, skip_report, skip_stats, skip_tel) = timed(w, true, None);
+        // Scalar column: the per-lane MacUnit oracle (NEUROCUBE_NO_SIMD's
+        // path) through the same skipping loop — the SoA datapath win is
+        // skip_cps / scalar_cps, measured in one binary.
+        let (scalar_secs, scalar_report, scalar_stats, _) = timed(w, true, Some(false));
         assert_eq!(
             naive_tel,
             SkipTelemetry::default(),
@@ -231,6 +214,16 @@ fn main() {
         assert_eq!(
             naive_stats, skip_stats,
             "{}: fast-forward run diverged from the oracle's statistics",
+            w.name
+        );
+        assert_eq!(
+            scalar_report, skip_report,
+            "{}: scalar-datapath run diverged from the SoA report",
+            w.name
+        );
+        assert_eq!(
+            scalar_stats, skip_stats,
+            "{}: scalar-datapath run diverged from the SoA statistics",
             w.name
         );
         if i == 0 {
@@ -263,15 +256,17 @@ fn main() {
             cycles,
             naive_secs,
             skip_secs,
+            scalar_secs,
             telemetry: skip_tel,
         };
         println!(
-            "{:<24} {:>12} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x {:>7.2}x",
+            "{:<24} {:>12} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>12.0} {:>7.2}x {:>7.2}x",
             w.name,
             cycles,
             naive_secs,
             skip_secs,
             cycles as f64 / naive_secs,
+            row.scalar_cps(),
             row.skip_cps(),
             row.speedup(),
             row.speedup_vs_seed()
@@ -322,5 +317,30 @@ fn main() {
              < required {gate:.2}x (per-workload: min {min_seed:.2}x)"
         );
         println!("speedup gate passed (geomean vs seed {gm:.2}x >= {gate:.2}x)");
+        // Skipping must not lose to the naive loop in the same binary. On
+        // the saturated fig. 14/15 shapes it recovers almost no cycles
+        // (conv_k7: 567 of 1.06M) while still paying the spaced-out
+        // horizon probes, so its true per-workload ratio hovers at ~1.0
+        // — and multi-second runs on this hardware draw ±10% even as a
+        // best-of-N, so a tight per-workload floor would flake on timer
+        // jitter alone. The floor exists to catch a real probe-cost
+        // pathology (the pre-backoff regression was 20-30%), so the
+        // enforced contract is: bounded overhead everywhere (min >= 0.90)
+        // and a net win across the sweep (geomean >= 1.0, carried by the
+        // idle-heavy shapes the mechanism exists for, with ~15% margin).
+        let gm_naive = geomean(&rows, Row::speedup);
+        assert!(
+            min >= 0.90,
+            "skip-mode probe overhead regression: min skip-vs-naive {min:.2}x < 0.90x \
+             (raise NEUROCUBE_BENCH_REPS to rule out timing noise)"
+        );
+        assert!(
+            gm_naive >= 1.0,
+            "skip-mode loses to the naive loop across the sweep: \
+             geomean skip-vs-naive {gm_naive:.2}x < 1.0x"
+        );
+        println!(
+            "skip-vs-naive floor passed (min {min:.2}x >= 0.90x, geomean {gm_naive:.2}x >= 1.0x)"
+        );
     }
 }

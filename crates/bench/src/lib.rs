@@ -79,9 +79,25 @@ pub fn run_inference_mode(
     seed: u64,
     skip: Option<bool>,
 ) -> (RunReport, StatsRegistry, SkipTelemetry) {
+    run_inference_variant(cfg, spec, seed, skip, None)
+}
+
+/// [`run_inference_mode`] with the PE datapath also pinned: `simd =
+/// Some(false)` forces the per-lane scalar `MacUnit` oracle, `Some(true)`
+/// the SoA lane kernels, `None` the process default. The benchmark uses
+/// this to time the scalar column and to assert it is bitwise identical
+/// to the SoA run it reports.
+pub fn run_inference_variant(
+    cfg: SystemConfig,
+    spec: &NetworkSpec,
+    seed: u64,
+    skip: Option<bool>,
+    simd: Option<bool>,
+) -> (RunReport, StatsRegistry, SkipTelemetry) {
     let params = spec.init_params(seed, 0.25);
     let mut cube = Neurocube::new(cfg);
     cube.set_cycle_skip(skip);
+    cube.set_simd(simd);
     let loaded = cube.load(spec.clone(), params);
     let input = ramp_input(spec);
     let (_, report) = cube.run_inference(&loaded, &input);
@@ -91,6 +107,84 @@ pub fn run_inference_mode(
         horizon_jumps: cube.horizon_jumps(),
     };
     (report, stats, telemetry)
+}
+
+/// One workload of the simulator wall-clock benchmark (`bench_sim`):
+/// a named system configuration + network shape + parameter seed. The
+/// table lives here (not in the bench target) so profiling tools can
+/// run exactly the shapes the gate measures.
+pub struct BenchWorkload {
+    /// Stable identifier used in `BENCH_sim.json` and the seed table.
+    pub name: &'static str,
+    /// System configuration the workload runs on.
+    pub cfg: SystemConfig,
+    /// Network shape to run.
+    pub spec: NetworkSpec,
+    /// Parameter-initialisation seed.
+    pub seed: u64,
+}
+
+fn bench_conv_net(input: usize, maps: usize, kernel: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        neurocube_nn::Shape::new(1, input, input),
+        vec![neurocube_nn::LayerSpec::conv(
+            maps,
+            kernel,
+            neurocube_fixed::Activation::Tanh,
+        )],
+    )
+    .expect("geometry fits")
+}
+
+fn bench_fc_net(inputs: usize, hidden: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        neurocube_nn::Shape::flat(inputs),
+        vec![neurocube_nn::LayerSpec::fc(
+            hidden,
+            neurocube_fixed::Activation::Sigmoid,
+        )],
+    )
+    .expect("geometry fits")
+}
+
+/// The Fig. 14/15 shapes the sweeps spend their wall-clock on: the conv
+/// kernel sweep's end points (with and without duplication), the FC
+/// hidden-width sweep, the Fig. 15 channel-count extremes and the DDR3
+/// baseline whose two injection points leave the fabric mostly idle —
+/// the workload class event-horizon skipping exists for.
+pub fn bench_workloads() -> Vec<BenchWorkload> {
+    vec![
+        BenchWorkload {
+            name: "fig14_conv_k3_dup",
+            cfg: SystemConfig::paper(true),
+            spec: bench_conv_net(128, 16, 3),
+            seed: 14,
+        },
+        BenchWorkload {
+            name: "fig14_conv_k7_nodup",
+            cfg: SystemConfig::paper(false),
+            spec: bench_conv_net(128, 16, 7),
+            seed: 14,
+        },
+        BenchWorkload {
+            name: "fig14_fc_2048x1024_dup",
+            cfg: SystemConfig::paper(true),
+            spec: bench_fc_net(2048, 1024),
+            seed: 14,
+        },
+        BenchWorkload {
+            name: "fig15_conv96_hmc16",
+            cfg: SystemConfig::hmc_with_channels(16),
+            spec: bench_conv_net(96, 16, 7),
+            seed: 15,
+        },
+        BenchWorkload {
+            name: "fig15_conv96_ddr3",
+            cfg: SystemConfig::ddr3(),
+            spec: bench_conv_net(96, 16, 7),
+            seed: 15,
+        },
+    ]
 }
 
 /// Deterministic pseudo-image input sized to a graph's input shape; the

@@ -12,8 +12,17 @@ use neurocube_pe::ProcessingElement;
 use neurocube_png::layout::NetworkLayout;
 use neurocube_png::{compile_graph, compile_layer, graph_load_weights, LayerProgram, Png};
 use neurocube_png::{program, CompileError, MultiLayerProgram, PngHookup};
-use neurocube_sim::{Clocked, CycleLoop, StatSource, StatsRegistry};
-use std::sync::Arc;
+use neurocube_sim::{env_flag, Clocked, CycleLoop, StatSource, StatsRegistry};
+use std::sync::{Arc, OnceLock};
+
+/// Process default for stage-parallel PE ticking: the `NEUROCUBE_STAGE_PAR`
+/// flag, read once. Off by default — the per-cycle thread fan-out is a
+/// correctness fixture (it proves the PEs' tick-independence claim under
+/// the bitwise-equivalence suite), not a throughput win at 16 PEs.
+fn stage_par_default() -> bool {
+    static PAR: OnceLock<bool> = OnceLock::new();
+    *PAR.get_or_init(|| env_flag("NEUROCUBE_STAGE_PAR"))
+}
 
 /// A network loaded into the cube: its placement, parameters and compiled
 /// per-layer programs.
@@ -98,9 +107,15 @@ pub struct Neurocube {
     /// Per mesh node: the regions whose PNGs inject there.
     attach_groups: Vec<Vec<u8>>,
     now: u64,
-    /// Scratch: the PE progress values last broadcast to the PNGs (reused
-    /// across ticks so the credit-return stage never allocates).
+    /// The PE progress values the PNGs currently hold, kept in lockstep
+    /// with every PNG's own view so the credit-return stage can broadcast
+    /// only the entries that changed each cycle. Initialized to
+    /// `u64::MAX` per node — exactly the "no progress seen" value a fresh
+    /// PNG holds — so the delta stream starts from a synchronized state.
     progress: Vec<u64>,
+    /// Stage-parallel PE ticking: resolved from `NEUROCUBE_STAGE_PAR` at
+    /// construction, overridable per cube via [`Neurocube::set_stage_par`].
+    stage_par: bool,
     /// Per-cube override of the fast-forward default (`NEUROCUBE_NO_SKIP`);
     /// `None` inherits the process default.
     skip_override: Option<bool>,
@@ -169,7 +184,8 @@ impl Neurocube {
             pngs,
             attach_groups,
             now: 0,
-            progress: vec![0; nodes],
+            progress: vec![u64::MAX; nodes],
+            stage_par: stage_par_default(),
             skip_override: None,
             horizon_jumps: 0,
             skipped_cycles: 0,
@@ -271,6 +287,33 @@ impl Neurocube {
     /// bitwise-identical cycle counts and statistics.
     pub fn set_cycle_skip(&mut self, enabled: Option<bool>) {
         self.skip_override = enabled;
+    }
+
+    /// Selects every PE's MAC arithmetic path: `Some(true)` forces the SoA
+    /// batch kernels, `Some(false)` forces the per-lane scalar `MacUnit`
+    /// oracle, `None` restores the process default (`NEUROCUBE_NO_SIMD`).
+    /// Both paths are bitwise identical in every observable — the
+    /// equivalence suite runs the same workload down each and compares
+    /// full registries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any PE is mid-layer (call between runs, not during one).
+    pub fn set_simd(&mut self, simd: Option<bool>) {
+        for pe in &mut self.pes {
+            pe.set_simd(simd);
+        }
+    }
+
+    /// Overrides the process-default stage-parallel setting for this cube:
+    /// `Some(true)` ticks the PEs from a scoped thread pool each cycle,
+    /// `Some(false)` forces the serial loop, `None` inherits the
+    /// `NEUROCUBE_STAGE_PAR` environment default. Both modes are bitwise
+    /// identical (the PEs are mutually independent within a tick); the
+    /// parallel mode exists to *prove* that claim under the equivalence
+    /// suite, and is off by default.
+    pub fn set_stage_par(&mut self, enabled: Option<bool>) {
+        self.stage_par = enabled.unwrap_or_else(stage_par_default);
     }
 
     /// Fast-forward jumps taken across every pass run on this cube.
@@ -893,14 +936,24 @@ struct PngCreditReturn;
 
 impl Clocked<Neurocube> for PngCreditReturn {
     fn tick(&mut self, now: u64, cube: &mut Neurocube) {
-        let mut progress = std::mem::take(&mut cube.progress);
-        progress.clear();
-        progress.extend(cube.pes.iter().map(ProcessingElement::progress));
+        // Delta broadcast: `cube.progress` mirrors what every PNG already
+        // holds (both start at the u64::MAX "nothing seen" state and only
+        // change here), so only entries that moved since the last tick
+        // need to be pushed out. A saturated cube advances one or two of
+        // sixteen counters per cycle; the old full broadcast copied all
+        // 16 × 16 every cycle.
+        for (i, pe) in cube.pes.iter().enumerate() {
+            let v = pe.progress();
+            if cube.progress[i] != v {
+                cube.progress[i] = v;
+                for png in &mut cube.pngs {
+                    png.update_pe_progress(i, v);
+                }
+            }
+        }
         for png in &mut cube.pngs {
-            png.set_pe_progress(&progress);
             png.tick(now, &mut cube.mem);
         }
-        cube.progress = progress;
     }
 
     fn next_event(&self, now: u64, cube: &Neurocube) -> Option<u64> {
@@ -1077,8 +1130,72 @@ impl Clocked<Neurocube> for NocTick {
 /// PEs: operand delivery, firing, result injection.
 struct PeTick;
 
+impl PeTick {
+    /// Stage-parallel variant of the PE tick. The serial loop fuses three
+    /// per-PE steps (accept → compute → inject); here they become three
+    /// phases so the compute step — the only one that needs no NoC access
+    /// — can fan out across a scoped thread pool.
+    ///
+    /// Bitwise equivalence to the serial loop rests on two facts. First,
+    /// each PE's own accept → compute → inject order is preserved: phase 1
+    /// completes every accept before any compute, phase 3 injects after
+    /// every compute. Second, the cross-PE reorderings the phase split
+    /// introduces only commute operations on *disjoint* state: accepts
+    /// pop from per-node PE-port *output* queues while injects push to
+    /// per-node PE-port *input* queues, `ProcessingElement::tick` touches
+    /// only that PE, and the NoC counters both paths bump are sums —
+    /// order within a cycle cannot change their totals. Each serial phase
+    /// walks nodes in ascending order, so even per-queue effects land in
+    /// a deterministic sequence.
+    fn tick_parallel(now: u64, cube: &mut Neurocube) {
+        // Phase 1 (serial): operand acceptance from the NoC.
+        for p in 0..cube.cfg.nodes() as u8 {
+            let pe = &mut cube.pes[usize::from(p)];
+            if !pe.layer_done() {
+                if let Some(&pkt) = cube.net.peek_for_pe(p, now) {
+                    if pe.try_accept(pkt) {
+                        let _ = cube.net.pop_for_pe(p, now);
+                    }
+                }
+            }
+        }
+        // Phase 2 (parallel): compute. PEs are mutually independent
+        // within a tick, so disjoint chunks may run concurrently.
+        let shards = std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .clamp(1, cube.pes.len());
+        let chunk = cube.pes.len().div_ceil(shards);
+        std::thread::scope(|s| {
+            for slice in cube.pes.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for pe in slice {
+                        if !pe.layer_done() {
+                            pe.tick(now);
+                        }
+                    }
+                });
+            }
+        });
+        // Phase 3 (serial): result injection.
+        for p in 0..cube.cfg.nodes() as u8 {
+            let pe = &mut cube.pes[usize::from(p)];
+            if let Some(&r) = pe.peek_result() {
+                let mut phys = r;
+                phys.dst = cube.cfg.attach[usize::from(r.dst)];
+                if cube.net.try_inject_from_pe(p, phys, now) {
+                    pe.pop_result();
+                }
+            }
+        }
+    }
+}
+
 impl Clocked<Neurocube> for PeTick {
     fn tick(&mut self, now: u64, cube: &mut Neurocube) {
+        if cube.stage_par {
+            Self::tick_parallel(now, cube);
+            return;
+        }
         for p in 0..cube.cfg.nodes() as u8 {
             let pe = &mut cube.pes[usize::from(p)];
             if !pe.layer_done() {
@@ -1380,6 +1497,28 @@ mod tests {
             stats_fast.counters().any(|(k, _)| k.starts_with("fault.")),
             "fault scope missing from the registry"
         );
+    }
+
+    /// Stage-parallel PE ticking must be invisible in every observable:
+    /// same outputs, reports, cycle counters and statistics registries as
+    /// the serial loop — the direct test of the phase-split argument on
+    /// [`PeTick::tick_parallel`].
+    #[test]
+    fn stage_parallel_pe_tick_matches_serial_bitwise() {
+        let (spec, params, input) = tiny_net();
+        let run = |par: bool| {
+            let mut cube = Neurocube::new(SystemConfig::paper(true));
+            cube.set_stage_par(Some(par));
+            let loaded = cube.load(spec.clone(), params.clone());
+            let (out, report) = cube.run_inference(&loaded, &input);
+            (out, report, cube.now(), cube.stats_registry())
+        };
+        let (out_par, rep_par, now_par, stats_par) = run(true);
+        let (out_ser, rep_ser, now_ser, stats_ser) = run(false);
+        assert_eq!(out_par.as_slice(), out_ser.as_slice(), "outputs diverge");
+        assert_eq!(rep_par, rep_ser, "reports diverge");
+        assert_eq!(now_par, now_ser, "cycle counters diverge");
+        assert_eq!(stats_par, stats_ser, "registries diverge");
     }
 
     /// The same configured layer on the full pipeline completes without

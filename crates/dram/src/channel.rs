@@ -216,6 +216,23 @@ pub struct Channel {
     /// tick turns out null, cleared by [`try_enqueue`]; purely an
     /// optimization — behaviour is bitwise identical with it disabled.
     quiet_until: u64,
+    /// Known-ready prefix of the FR-FCFS window: the first `ready_prefix`
+    /// queued requests are row-ready. Readiness is monotonic within the
+    /// window — [`may_activate`](Self::may_activate)'s still-needed guard
+    /// refuses to close a row a window entry waits on, and a bank past its
+    /// activation time stays past it — so the prefix only resets when a
+    /// refresh closes every row. While it is non-zero the data-path pick
+    /// is index 0 with no scan, and the command path starts its
+    /// candidate search past the prefix. Purely an optimization:
+    /// behaviour is bitwise identical with it pinned to zero.
+    ready_prefix: usize,
+    /// `log2(row_bytes)` when the row size is a power of two (both stock
+    /// configs are), so the per-request address split is a shift instead
+    /// of a 64-bit division. `None` falls back to division.
+    row_shift: Option<u32>,
+    /// `log2(banks)` when the bank count is a power of two — bank/row of
+    /// a global row number become mask/shift.
+    bank_shift: Option<u32>,
     /// Fault-injection lens, when the run has one attached. Read faults
     /// ride the data path; the lens's background-upset schedule clamps
     /// [`next_event`](Channel::next_event) so the fast-forward loop can
@@ -246,6 +263,15 @@ impl Channel {
             refresh_until: 0,
             refreshes: 0,
             quiet_until: 0,
+            ready_prefix: 0,
+            row_shift: cfg
+                .row_bytes
+                .is_power_of_two()
+                .then(|| cfg.row_bytes.trailing_zeros()),
+            bank_shift: cfg
+                .banks
+                .is_power_of_two()
+                .then(|| cfg.banks.trailing_zeros()),
             faults: None,
             fault_base: 0,
             fault_span: 0,
@@ -295,16 +321,30 @@ impl Channel {
         if self.queue.len() >= self.cfg.queue_capacity {
             return false;
         }
-        let row_global = req.addr / u64::from(self.cfg.row_bytes);
-        self.qmeta.push_back((
-            row_global,
-            (row_global % u64::from(self.cfg.banks)) as usize,
-            row_global / u64::from(self.cfg.banks),
-        ));
+        let row_global = match self.row_shift {
+            Some(s) => req.addr >> s,
+            None => req.addr / u64::from(self.cfg.row_bytes),
+        };
+        let (bank, row) = self.bank_row(row_global);
+        self.qmeta.push_back((row_global, bank, row));
         self.queue.push_back(req);
         // A fresh request may be serviceable immediately.
         self.quiet_until = 0;
         true
+    }
+
+    /// Splits a global row number into `(bank, row-within-bank)` — a
+    /// mask/shift when the bank count is a power of two, a division
+    /// otherwise.
+    #[inline]
+    fn bank_row(&self, row_global: u64) -> (usize, u64) {
+        match self.bank_shift {
+            Some(s) => ((row_global & ((1u64 << s) - 1)) as usize, row_global >> s),
+            None => (
+                (row_global % u64::from(self.cfg.banks)) as usize,
+                row_global / u64::from(self.cfg.banks),
+            ),
+        }
     }
 
     /// Starts an activation for global row `row_global` if its bank is free,
@@ -317,8 +357,7 @@ impl Channel {
         if !self.may_activate(row_global, now) {
             return false;
         }
-        let bank = (row_global % u64::from(self.cfg.banks)) as usize;
-        let row = row_global / u64::from(self.cfg.banks);
+        let (bank, row) = self.bank_row(row_global);
         self.open_rows[bank] = Some(row);
         self.bank_ready[bank] = now + u64::from(self.cfg.row_miss_penalty);
         self.ready_heap
@@ -330,8 +369,7 @@ impl Channel {
     /// Side-effect-free half of [`try_activate`](Self::try_activate): would
     /// an activation for `row_global` be issued at `now`?
     fn may_activate(&self, row_global: u64, now: u64) -> bool {
-        let bank = (row_global % u64::from(self.cfg.banks)) as usize;
-        let row = row_global / u64::from(self.cfg.banks);
+        let (bank, row) = self.bank_row(row_global);
         if self.open_rows[bank] == Some(row) || self.bank_ready[bank] > now {
             return false;
         }
@@ -392,6 +430,13 @@ impl Channel {
     /// inside a promised quiet window would otherwise be jumped over by
     /// the fast-forward loop and the skipping/naive runs would diverge.
     pub fn next_event(&self, now: u64) -> Option<u64> {
+        // The null-tick memo doubles as a horizon cache: a previous tick
+        // proved (with fault clamping) that every cycle before
+        // `quiet_until` is null, and `try_enqueue`/`set_faults` invalidate
+        // the proof, so probing inside the window needs no rescan.
+        if now < self.quiet_until {
+            return Some(self.quiet_until);
+        }
         let base = self.next_event_unfaulted(now);
         match &self.faults {
             Some(f) => f.clamp(now, base),
@@ -418,8 +463,10 @@ impl Channel {
         let window = (self.cfg.sched_window as usize)
             .max(1)
             .min(self.queue.len());
-        // Data path: would a word be served at `now`?
-        if (0..window).any(|i| self.row_ready_idx(i, now)) {
+        // Data path: would a word be served at `now`? A non-empty ready
+        // prefix answers without scanning (readiness is monotonic, so the
+        // prefix proven at the last tick still holds).
+        if self.ready_prefix > 0 || (0..window).any(|i| self.row_ready_idx(i, now)) {
             let ready_cycle = self.ready_units.div_ceil(u64::from(self.cfg.cpw_den));
             if now >= ready_cycle {
                 return None;
@@ -427,7 +474,9 @@ impl Channel {
             horizon = horizon.min(ready_cycle);
         }
         // Command path: would a demand activation be issued at `now`?
-        for i in 0..window {
+        // Entries inside the ready prefix are row-ready by definition and
+        // can be skipped.
+        for i in self.ready_prefix.min(window)..window {
             if !self.row_ready_idx(i, now) && self.may_activate(self.qmeta[i].0, now) {
                 return None;
             }
@@ -500,6 +549,8 @@ impl Channel {
                 self.refreshes = now / r.interval;
                 self.refresh_until = now + r.duration;
                 self.open_rows.iter_mut().for_each(|b| *b = None);
+                // Every row just closed: the ready-prefix proof is void.
+                self.ready_prefix = 0;
             }
             if now < self.refresh_until {
                 return None;
@@ -519,23 +570,39 @@ impl Channel {
             self.ready_heap.pop();
         }
 
-        // Command path: issue (at most) one demand activation per cycle,
-        // for the oldest request in the scheduling window whose row is not
-        // open and whose bank permits it.
+        // Refresh the known-ready prefix: extend it over newly ready
+        // leading entries. Each serve shrinks it by at most one, so the
+        // extension work is amortized O(1) per served word.
         let window = (self.cfg.sched_window as usize)
             .max(1)
             .min(self.queue.len());
-        for i in 0..window {
+        self.ready_prefix = self.ready_prefix.min(window);
+        while self.ready_prefix < window && self.row_ready_idx(self.ready_prefix, now) {
+            self.ready_prefix += 1;
+        }
+
+        // Command path: issue (at most) one demand activation per cycle,
+        // for the oldest request in the scheduling window whose row is not
+        // open and whose bank permits it. Prefix entries are row-ready and
+        // never candidates.
+        for i in self.ready_prefix..window {
             if !self.row_ready_idx(i, now) && self.try_activate(self.qmeta[i].0, now) {
                 break;
             }
         }
 
         // Data path (FR-FCFS): serve the oldest request whose row is open
-        // and activated.
-        let Some(pick) = (0..window).find(|&i| self.row_ready_idx(i, now)) else {
-            self.note_quiet(now);
-            return None;
+        // and activated. A non-empty prefix means the queue head is it.
+        let pick = if self.ready_prefix > 0 {
+            0
+        } else {
+            match (0..window).find(|&i| self.row_ready_idx(i, now)) {
+                Some(p) => p,
+                None => {
+                    self.note_quiet(now);
+                    return None;
+                }
+            }
         };
         let req = self.queue[pick];
 
@@ -559,6 +626,9 @@ impl Channel {
             .qmeta
             .remove(pick)
             .expect("qmeta in lockstep with queue");
+        if pick < self.ready_prefix {
+            self.ready_prefix -= 1;
+        }
         self.busy_cycles += 1;
         let bytes = u64::from(self.cfg.word_bits / 8);
         let data = match req.kind {

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod lanes;
 mod lut;
 mod mac;
 mod q88;
 
+pub use lanes::{accumulate_narrow_lanes, accumulate_wide_lanes, wide_result_bits};
 pub use lut::{Activation, ActivationLut, LUT_ENTRIES};
 pub use mac::{dot, AccumulatorWidth, MacUnit};
 pub use q88::{ParseQ88Error, Q88};

@@ -6,8 +6,14 @@
 //! entries, and retrieving the entries for the next operation is a *full
 //! search* of one sub-bank costing between 16 and 64 cycles depending on
 //! occupancy — a cost the PE model charges against the next firing.
+//!
+//! The storage is struct-of-arrays: one flat packet array with a length
+//! counter per sub-bank, so an insert is a bounds check plus one store and
+//! the total occupancy is a running counter rather than a 16-bank scan.
+//! (`try_insert` sits on the per-delivery hot path — the NoC hands a
+//! saturated PE roughly one packet per cycle.)
 
-use neurocube_noc::Packet;
+use neurocube_noc::{Packet, PacketKind};
 
 /// Number of cache sub-banks (one per OP-ID residue class).
 pub const CACHE_SUB_BANKS: usize = 16;
@@ -15,11 +21,25 @@ pub const CACHE_SUB_BANKS: usize = 16;
 /// Maximum entries per sub-bank ("max 64 entries", §V-B).
 pub const SUB_BANK_ENTRIES: usize = 64;
 
+/// Filler for never-written slots of the flat bank array.
+const EMPTY_SLOT: Packet = Packet {
+    dst: 0,
+    src: 0,
+    mac_id: 0,
+    op_id: 0,
+    kind: PacketKind::State,
+    data: 0,
+};
+
 /// The out-of-order packet cache.
 #[derive(Clone, Debug)]
 pub struct PacketCache {
-    banks: [Vec<Packet>; CACHE_SUB_BANKS],
+    /// Flat sub-bank storage: bank `b` owns
+    /// `slots[b * entries_per_bank .. b * entries_per_bank + len[b]]`.
+    slots: Vec<Packet>,
+    len: [u16; CACHE_SUB_BANKS],
     entries_per_bank: usize,
+    total: usize,
     high_water: usize,
 }
 
@@ -44,8 +64,10 @@ impl PacketCache {
     pub fn with_capacity(entries_per_bank: usize) -> PacketCache {
         assert!(entries_per_bank > 0, "sub-banks need capacity");
         PacketCache {
-            banks: Default::default(),
+            slots: vec![EMPTY_SLOT; entries_per_bank * CACHE_SUB_BANKS],
+            len: [0; CACHE_SUB_BANKS],
             entries_per_bank,
+            total: 0,
             high_water: 0,
         }
     }
@@ -60,13 +82,15 @@ impl PacketCache {
     /// full — the PE must then stop accepting packets from the NoC, which is
     /// exactly the backpressure path that throttles a too-fast PNG.
     pub fn try_insert(&mut self, pkt: Packet) -> bool {
-        let bank = &mut self.banks[Self::bank_of(pkt.op_id)];
-        if bank.len() >= self.entries_per_bank {
+        let bank = Self::bank_of(pkt.op_id);
+        let n = usize::from(self.len[bank]);
+        if n >= self.entries_per_bank {
             return false;
         }
-        bank.push(pkt);
-        let occ = self.occupancy();
-        self.high_water = self.high_water.max(occ);
+        self.slots[bank * self.entries_per_bank + n] = pkt;
+        self.len[bank] = (n + 1) as u16;
+        self.total += 1;
+        self.high_water = self.high_water.max(self.total);
         true
     }
 
@@ -74,24 +98,39 @@ impl PacketCache {
     /// cycle cost of the full sub-bank search that found them:
     /// `max(16, entries scanned)`.
     pub fn take_matching(&mut self, op_id: u8) -> (Vec<Packet>, u64) {
-        let bank = &mut self.banks[Self::bank_of(op_id)];
-        let scanned = bank.len();
         let mut hits = Vec::new();
-        bank.retain(|p| {
-            if p.op_id == op_id {
-                hits.push(*p);
-                false
-            } else {
-                true
-            }
-        });
-        let cost = scanned.max(CACHE_SUB_BANKS) as u64;
+        let cost = self.take_matching_into(op_id, &mut hits);
         (hits, cost)
     }
 
+    /// Like [`take_matching`](Self::take_matching), but appends the hits to
+    /// a caller-owned buffer (the PE reuses one scratch vector across
+    /// firings to keep the fire path allocation-free).
+    pub fn take_matching_into(&mut self, op_id: u8, hits: &mut Vec<Packet>) -> u64 {
+        let bank = Self::bank_of(op_id);
+        let base = bank * self.entries_per_bank;
+        let scanned = usize::from(self.len[bank]);
+        // In-place compaction preserving residual order, exactly like the
+        // `Vec::retain` the AoS layout used.
+        let mut kept = 0usize;
+        for i in 0..scanned {
+            let p = self.slots[base + i];
+            if p.op_id == op_id {
+                hits.push(p);
+            } else {
+                self.slots[base + kept] = p;
+                kept += 1;
+            }
+        }
+        self.len[bank] = kept as u16;
+        self.total -= scanned - kept;
+        scanned.max(CACHE_SUB_BANKS) as u64
+    }
+
     /// Total buffered packets across all sub-banks.
+    #[inline]
     pub fn occupancy(&self) -> usize {
-        self.banks.iter().map(Vec::len).sum()
+        self.total
     }
 
     /// Highest total occupancy ever observed (sizing statistic).
@@ -100,13 +139,16 @@ impl PacketCache {
     }
 
     /// `true` when nothing is cached.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.banks.iter().all(Vec::is_empty)
+        self.total == 0
     }
 
     /// Diagnostic: the `(src, mac, data)` of entries with the given OP-ID.
     pub fn debug_entries(&self, op_id: u8) -> Vec<(u8, u8, u16)> {
-        self.banks[Self::bank_of(op_id)]
+        let bank = Self::bank_of(op_id);
+        let base = bank * self.entries_per_bank;
+        self.slots[base..base + usize::from(self.len[bank])]
             .iter()
             .filter(|p| p.op_id == op_id)
             .map(|p| (p.src, p.mac_id, p.data))
@@ -115,7 +157,7 @@ impl PacketCache {
 
     /// Free slots in the sub-bank that `op_id` maps to.
     pub fn free_in_bank(&self, op_id: u8) -> usize {
-        self.entries_per_bank - self.banks[Self::bank_of(op_id)].len()
+        self.entries_per_bank - usize::from(self.len[Self::bank_of(op_id)])
     }
 }
 
@@ -153,6 +195,24 @@ mod tests {
         assert!(hits.iter().all(|p| p.op_id == 3));
         assert_eq!(cost, 16); // min search cost
         assert_eq!(c.occupancy(), 1); // op 19 remains
+    }
+
+    #[test]
+    fn take_matching_preserves_residual_order() {
+        let mut c = PacketCache::new();
+        for (op, mac) in [(3u8, 0u8), (19, 1), (3, 2), (19, 3), (35, 4)] {
+            assert!(c.try_insert(pkt(op, mac)));
+        }
+        let _ = c.take_matching(3);
+        let (hits, _) = c.take_matching(19);
+        assert_eq!(
+            hits.iter().map(|p| p.mac_id).collect::<Vec<_>>(),
+            vec![1, 3],
+            "compaction must keep insertion order"
+        );
+        let (hits, _) = c.take_matching(35);
+        assert_eq!(hits[0].mac_id, 4);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -1,12 +1,37 @@
 //! The processing element proper: MAC array + temporal buffer + sequencing.
+//!
+//! The per-cycle hot state is kept in struct-of-arrays form: the temporal
+//! buffer is a pair of packed `i16` lane arrays with fill bitmasks (one bit
+//! per MAC) instead of `Vec<Option<Q88>>`, and the MAC accumulators are
+//! flat `i32`/`i16` lane banks fed by the branch-free batch kernels in
+//! `neurocube_fixed::lanes`. A fire gathers the active lanes into two
+//! scratch rows, applies any transient-fault upsets as a sparse pass over
+//! the state row (same lens-call order as the scalar loop, so `fault`
+//! determinism is untouched), and accumulates all lanes in one pass.
+//!
+//! The original scalar path — per-lane [`MacUnit`] accumulation — survives
+//! behind `NEUROCUBE_NO_SIMD=1` (or [`ProcessingElement::set_simd`]) as
+//! the differential oracle; both paths are asserted bitwise identical by
+//! the integration equivalence suite.
 
 use crate::cache::PacketCache;
 use crate::config::{PeLayerConfig, StateMode, WeightMode};
 use neurocube_fault::{FaultConfig, PeFaultCounts, PeFaults};
-use neurocube_fixed::{AccumulatorWidth, MacUnit, Q88};
+use neurocube_fixed::{
+    accumulate_narrow_lanes, accumulate_wide_lanes, wide_result_bits, AccumulatorWidth, MacUnit,
+    Q88,
+};
 use neurocube_noc::{NodeId, Packet, PacketKind};
-use neurocube_sim::{ScopedStats, StatSource};
+use neurocube_sim::{env_flag, ScopedStats, StatSource};
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Process-wide default for the SoA batch path: on unless
+/// `NEUROCUBE_NO_SIMD` is set (the scalar-oracle escape hatch).
+fn simd_default() -> bool {
+    static SIMD: OnceLock<bool> = OnceLock::new();
+    *SIMD.get_or_init(|| !env_flag("NEUROCUBE_NO_SIMD"))
+}
 
 /// Lifetime/layer counters exposed by a PE.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,15 +65,34 @@ pub struct ProcessingElement {
     cfg: Option<PeLayerConfig>,
     local_weights: Vec<Q88>,
     cache: PacketCache,
-    state_slots: Vec<Option<Q88>>,
-    weight_slots: Vec<Option<Q88>>,
+    /// Temporal-buffer lanes: raw `Q1.7.8` bits, one per MAC, with fill
+    /// bitmasks (bit `m` set ⟺ lane `m`'s slot holds an operand).
+    state_bits: Vec<i16>,
+    weight_bits: Vec<i16>,
+    state_mask: u64,
+    weight_mask: u64,
     shared_state: Option<Q88>,
+    /// MAC accumulator banks for the batch path (one of the two is live,
+    /// by configured [`AccumulatorWidth`]).
+    acc_wide: Vec<i32>,
+    acc_narrow: Vec<i16>,
+    /// Scalar-oracle MAC units; populated only when `simd` is off.
     macs: Vec<MacUnit>,
+    /// Gather rows reused by every firing (keeps the fire path
+    /// allocation-free).
+    w_lanes: Vec<i16>,
+    x_lanes: Vec<i16>,
+    hits_scratch: Vec<Packet>,
     group: u64,
     op: u32,
+    /// Cumulative operation counter (`group * conns + op`, maintained
+    /// incrementally): `progress()` and the expected OP-ID (`as u8`) in
+    /// one register.
+    global_op: u64,
     next_fire_at: u64,
     results: VecDeque<Packet>,
     done: bool,
+    simd: bool,
     stats: PeStats,
     /// Optional transient-MAC-fault lens. MAC faults strike only fires
     /// that were about to happen, so no event-horizon clamping is needed.
@@ -83,15 +127,24 @@ impl ProcessingElement {
             cfg: None,
             local_weights: Vec::new(),
             cache: PacketCache::with_capacity(cache_entries),
-            state_slots: Vec::new(),
-            weight_slots: Vec::new(),
+            state_bits: Vec::new(),
+            weight_bits: Vec::new(),
+            state_mask: 0,
+            weight_mask: 0,
             shared_state: None,
+            acc_wide: Vec::new(),
+            acc_narrow: Vec::new(),
             macs: Vec::new(),
+            w_lanes: Vec::new(),
+            x_lanes: Vec::new(),
+            hits_scratch: Vec::new(),
             group: 0,
             op: 0,
+            global_op: 0,
             next_fire_at: 0,
             results: VecDeque::new(),
             done: true,
+            simd: simd_default(),
             stats: PeStats::default(),
             faults: None,
             lenient: false,
@@ -103,6 +156,24 @@ impl ProcessingElement {
     /// The mesh node this PE sits at.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Selects the MAC arithmetic path: `Some(true)` forces the SoA batch
+    /// kernels, `Some(false)` forces the per-lane scalar [`MacUnit`]
+    /// oracle, `None` restores the process default (`NEUROCUBE_NO_SIMD`).
+    /// Both paths are bitwise identical in every observable; the scalar
+    /// path exists as the differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in the middle of an active layer (the accumulator
+    /// banks live in different representations per path).
+    pub fn set_simd(&mut self, simd: Option<bool>) {
+        assert!(
+            self.done,
+            "set_simd must not switch arithmetic paths mid-layer"
+        );
+        self.simd = simd.unwrap_or_else(simd_default);
     }
 
     /// Attaches (or detaches) the transient-MAC-fault lens. Attaching also
@@ -135,10 +206,12 @@ impl ProcessingElement {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is inconsistent or `weights` is smaller
-    /// than the configured weight memory footprint.
+    /// Panics if the configuration is inconsistent, `weights` is smaller
+    /// than the configured weight memory footprint, or `n_mac` exceeds the
+    /// 64 lanes the fill bitmasks carry.
     pub fn configure(&mut self, cfg: PeLayerConfig, weights: Vec<Q88>) {
         cfg.validate();
+        assert!(cfg.n_mac <= 64, "lane bitmasks carry at most 64 MACs");
         if let WeightMode::Local {
             weights_per_neuron,
             rows,
@@ -152,12 +225,23 @@ impl ProcessingElement {
         let n = cfg.n_mac as usize;
         self.local_weights = weights;
         self.cache = PacketCache::with_capacity(self.cache_entries);
-        self.state_slots = vec![None; n];
-        self.weight_slots = vec![None; n];
+        self.state_bits = vec![0; n];
+        self.weight_bits = vec![0; n];
+        self.state_mask = 0;
+        self.weight_mask = 0;
         self.shared_state = None;
-        self.macs = (0..n).map(|_| MacUnit::new(self.accumulator)).collect();
+        self.acc_wide = vec![0; n];
+        self.acc_narrow = vec![0; n];
+        self.macs = if self.simd {
+            Vec::new()
+        } else {
+            (0..n).map(|_| MacUnit::new(self.accumulator)).collect()
+        };
+        self.w_lanes = vec![0; n];
+        self.x_lanes = vec![0; n];
         self.group = 0;
         self.op = 0;
+        self.global_op = 0;
         self.next_fire_at = 0;
         self.results.clear();
         self.done = false;
@@ -183,21 +267,11 @@ impl ProcessingElement {
     /// Deadlock diagnostics: `(group, op, filled-state-slot bitmap,
     /// filled-weight-slot bitmap, shared-state present, cache occupancy)`.
     pub fn debug_position(&self) -> (u64, u32, u32, u32, bool, usize) {
-        let states = self
-            .state_slots
-            .iter()
-            .enumerate()
-            .fold(0u32, |m, (i, s)| m | (u32::from(s.is_some()) << i));
-        let weights = self
-            .weight_slots
-            .iter()
-            .enumerate()
-            .fold(0u32, |m, (i, s)| m | (u32::from(s.is_some()) << i));
         (
             self.group,
             self.op,
-            states,
-            weights,
+            self.state_mask as u32,
+            self.weight_mask as u32,
             self.shared_state.is_some(),
             self.cache.occupancy(),
         )
@@ -207,28 +281,30 @@ impl ProcessingElement {
     /// has completed this layer, `u64::MAX` when unconfigured or done (no
     /// flow-control gating applies). This is the credit value the PNGs'
     /// run-ahead window compares against.
+    #[inline]
     pub fn progress(&self) -> u64 {
-        match &self.cfg {
-            Some(cfg) if !self.done => {
-                self.group * u64::from(cfg.conns_per_neuron) + u64::from(self.op)
-            }
-            _ => u64::MAX,
+        if self.cfg.is_some() && !self.done {
+            self.global_op
+        } else {
+            u64::MAX
         }
     }
 
     /// The OP-ID expected by the current operation: the cumulative
     /// operation counter modulo 256, matching the PNG's stamping.
+    #[inline]
     fn current_op_id(&self) -> u8 {
-        let cfg = self.cfg.as_ref().expect("configured");
-        ((self.group * u64::from(cfg.conns_per_neuron) + u64::from(self.op)) % 256) as u8
+        self.global_op as u8
     }
 
     fn slot_fill(&mut self, pkt: Packet) -> bool {
         let mac = usize::from(pkt.mac_id);
         match pkt.kind {
             PacketKind::State => {
-                if self.state_slots[mac].is_none() {
-                    self.state_slots[mac] = Some(Q88::from_bits(pkt.data as i16));
+                let bit = 1u64 << mac;
+                if self.state_mask & bit == 0 {
+                    self.state_bits[mac] = pkt.data as i16;
+                    self.state_mask |= bit;
                     return true;
                 }
             }
@@ -239,8 +315,10 @@ impl ProcessingElement {
                 }
             }
             PacketKind::Weight => {
-                if self.weight_slots[mac].is_none() {
-                    self.weight_slots[mac] = Some(Q88::from_bits(pkt.data as i16));
+                let bit = 1u64 << mac;
+                if self.weight_mask & bit == 0 {
+                    self.weight_bits[mac] = pkt.data as i16;
+                    self.weight_mask |= bit;
                     return true;
                 }
             }
@@ -313,21 +391,55 @@ impl ProcessingElement {
         }
     }
 
-    fn buffer_complete(&self, active: u32) -> bool {
-        let cfg = self.cfg.as_ref().expect("configured");
+    #[inline]
+    fn buffer_complete(&self, cfg: &PeLayerConfig, active: u32) -> bool {
+        let need = lane_mask(active);
         let states_ok = match cfg.states {
-            StateMode::PerMac => self.state_slots[..active as usize]
-                .iter()
-                .all(Option::is_some),
+            StateMode::PerMac => self.state_mask & need == need,
             StateMode::Shared => self.shared_state.is_some(),
         };
         let weights_ok = match cfg.weights {
             WeightMode::Local { .. } => true,
-            WeightMode::Stream => self.weight_slots[..active as usize]
-                .iter()
-                .all(Option::is_some),
+            WeightMode::Stream => self.weight_mask & need == need,
         };
         states_ok && weights_ok
+    }
+
+    /// Gathers this firing's weight and state operands into the scratch
+    /// lane rows and applies any transient-fault upsets to the state row —
+    /// lane-ascending, the same lens-call order as the scalar loop.
+    fn gather_lanes(&mut self, cfg: &PeLayerConfig, active: usize, now: u64) {
+        match cfg.weights {
+            WeightMode::Local {
+                weights_per_neuron, ..
+            } => {
+                let row = cfg.weight_row(self.group);
+                let w = self.local_weights[(row * weights_per_neuron + self.op) as usize].to_bits();
+                self.w_lanes[..active].fill(w);
+            }
+            WeightMode::Stream => {
+                self.w_lanes[..active].copy_from_slice(&self.weight_bits[..active]);
+            }
+        }
+        match cfg.states {
+            StateMode::PerMac => {
+                self.x_lanes[..active].copy_from_slice(&self.state_bits[..active]);
+            }
+            StateMode::Shared => {
+                let x = self.shared_state.expect("checked complete").to_bits();
+                self.x_lanes[..active].fill(x);
+            }
+        }
+        // Transient MAC faults: a single-event upset flips one bit of the
+        // state operand as it enters a lane's multiplier. Sparse pass over
+        // the gathered row, lens consulted once per lane in fire order.
+        if let Some(lens) = &mut self.faults {
+            for (m, x) in self.x_lanes[..active].iter_mut().enumerate() {
+                if let Some(bit) = lens.mac_upset(now, m as u64) {
+                    *x ^= 1 << bit;
+                }
+            }
+        }
     }
 
     /// Advances one reference cycle: fires the MAC array if the temporal
@@ -339,56 +451,68 @@ impl ProcessingElement {
             return;
         }
         let active = cfg.active_macs(self.group);
-        if !self.buffer_complete(active) {
+        if !self.buffer_complete(&cfg, active) {
             self.stats.starved_cycles += 1;
             return;
         }
 
-        // Fire: one multiply-accumulate per active MAC.
-        for m in 0..active as usize {
-            let w = match cfg.weights {
-                WeightMode::Local {
-                    weights_per_neuron, ..
-                } => {
-                    let row = cfg.weight_row(self.group);
-                    self.local_weights[(row * weights_per_neuron + self.op) as usize]
-                }
-                WeightMode::Stream => self.weight_slots[m].take().expect("checked complete"),
-            };
-            let mut x = match cfg.states {
-                StateMode::PerMac => self.state_slots[m].take().expect("checked complete"),
-                StateMode::Shared => self.shared_state.expect("checked complete"),
-            };
-            // Transient MAC fault: a single-event upset flips one bit of
-            // the state operand as it enters the multiplier.
-            if let Some(lens) = &mut self.faults {
-                if let Some(bit) = lens.mac_upset(now, m as u64) {
-                    x = Q88::from_bits(x.to_bits() ^ (1 << bit));
-                }
+        // Fire: one multiply-accumulate per active MAC, all lanes in one
+        // batch pass (or through the per-lane scalar oracle units).
+        let active = active as usize;
+        self.gather_lanes(&cfg, active, now);
+        if self.simd {
+            match self.accumulator {
+                AccumulatorWidth::Wide32 => accumulate_wide_lanes(
+                    &mut self.acc_wide[..active],
+                    &self.w_lanes[..active],
+                    &self.x_lanes[..active],
+                ),
+                AccumulatorWidth::Narrow16 => accumulate_narrow_lanes(
+                    &mut self.acc_narrow[..active],
+                    &self.w_lanes[..active],
+                    &self.x_lanes[..active],
+                ),
             }
-            self.macs[m].accumulate(w, x);
+        } else {
+            for m in 0..active {
+                self.macs[m].accumulate(
+                    Q88::from_bits(self.w_lanes[m]),
+                    Q88::from_bits(self.x_lanes[m]),
+                );
+            }
         }
         self.shared_state = None;
-        self.state_slots.iter_mut().for_each(|s| *s = None);
-        self.weight_slots.iter_mut().for_each(|s| *s = None);
-        self.stats.mac_ops += u64::from(active);
+        self.state_mask = 0;
+        self.weight_mask = 0;
+        self.stats.mac_ops += active as u64;
         self.stats.ops_fired += 1;
         self.op += 1;
+        self.global_op += 1;
 
         if self.op == cfg.conns_per_neuron {
             // Neuron group complete: write back one result per active MAC.
-            for m in 0..active as usize {
+            for m in 0..active {
+                let bits = if self.simd {
+                    match self.accumulator {
+                        AccumulatorWidth::Wide32 => wide_result_bits(self.acc_wide[m]),
+                        AccumulatorWidth::Narrow16 => self.acc_narrow[m],
+                    }
+                } else {
+                    self.macs[m].result().to_bits()
+                };
                 self.results.push_back(Packet {
                     dst: self.node,
                     src: self.node,
                     mac_id: m as u8,
                     op_id: (self.group % 256) as u8,
                     kind: PacketKind::Result,
-                    data: self.macs[m].result().to_bits() as u16,
+                    data: bits as u16,
                 });
-                self.macs[m].clear();
                 self.stats.results_emitted += 1;
             }
+            self.acc_wide.fill(0);
+            self.acc_narrow.fill(0);
+            self.macs.iter_mut().for_each(MacUnit::clear);
             self.stats.groups_done += 1;
             self.op = 0;
             self.group += 1;
@@ -400,8 +524,12 @@ impl ProcessingElement {
 
         // Pull any parked packets for the new current operation; the full
         // sub-bank search overlaps the MAC array's n_mac-cycle latency.
-        let (hits, search_cost) = self.cache.take_matching(self.current_op_id());
-        for pkt in hits {
+        let mut hits = std::mem::take(&mut self.hits_scratch);
+        hits.clear();
+        let search_cost = self
+            .cache
+            .take_matching_into(self.current_op_id(), &mut hits);
+        for &pkt in &hits {
             let filled = self.slot_fill(pkt);
             assert!(
                 filled,
@@ -409,6 +537,7 @@ impl ProcessingElement {
                 self.node, self.group, self.op
             );
         }
+        self.hits_scratch = hits;
         self.next_fire_at = now + u64::from(cfg.n_mac).max(search_cost);
     }
 
@@ -431,7 +560,7 @@ impl ProcessingElement {
         if now < self.next_fire_at {
             return Some(self.next_fire_at);
         }
-        if self.buffer_complete(cfg.active_macs(self.group)) {
+        if self.buffer_complete(cfg, cfg.active_macs(self.group)) {
             None
         } else {
             Some(u64::MAX)
@@ -448,7 +577,7 @@ impl ProcessingElement {
             return;
         }
         debug_assert!(
-            !self.buffer_complete(cfg.active_macs(self.group)),
+            !self.buffer_complete(&cfg, cfg.active_macs(self.group)),
             "skipped over a fireable PE"
         );
         self.stats.starved_cycles += to - from;
@@ -463,6 +592,17 @@ impl ProcessingElement {
     /// after a successful NoC injection.
     pub fn pop_result(&mut self) -> Option<Packet> {
         self.results.pop_front()
+    }
+}
+
+/// Mask with the low `active` lane bits set.
+#[inline]
+fn lane_mask(active: u32) -> u64 {
+    debug_assert!(active <= 64);
+    if active >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << active) - 1
     }
 }
 
@@ -653,6 +793,52 @@ mod tests {
         assert_eq!(pe.stats().mac_ops, 20);
     }
 
+    /// Lane-masking check: a partially-active group must accumulate only
+    /// its active lanes, and the batch path must agree with the scalar
+    /// oracle packet-for-packet and counter-for-counter on it.
+    #[test]
+    fn partial_groups_match_scalar_oracle_bitwise() {
+        let run = |simd: bool| {
+            let mut pe = ProcessingElement::new(0, AccumulatorWidth::Wide32);
+            pe.set_simd(Some(simd));
+            // 21 neurons per map, 2 maps: groups of 16/5/16/5 active lanes.
+            pe.configure(
+                conv_cfg(21, 2, 3),
+                vec![
+                    Q88::from_f64(0.5),
+                    Q88::from_f64(-1.0),
+                    Q88::from_f64(2.0),
+                    Q88::from_f64(1.5),
+                    Q88::from_f64(0.25),
+                    Q88::from_f64(-0.5),
+                ],
+            );
+            let mut pkts = Vec::new();
+            let mut global_op = 0u64;
+            for g in 0..4u64 {
+                let active = if g % 2 == 0 { 16 } else { 5 };
+                for _ in 0..3u32 {
+                    for mac in 0..active as u8 {
+                        pkts.push(state(
+                            mac,
+                            (global_op % 256) as u8,
+                            f64::from(mac) - 113.0 / 32.0,
+                        ));
+                    }
+                    global_op += 1;
+                }
+            }
+            let out = run_to_completion(&mut pe, pkts, 100_000);
+            (out, *pe.stats())
+        };
+        let (soa, soa_stats) = run(true);
+        let (scalar, scalar_stats) = run(false);
+        assert_eq!(soa, scalar, "batch path diverged from the scalar oracle");
+        assert_eq!(soa_stats, scalar_stats);
+        assert_eq!(soa.len(), 42);
+        assert_eq!(soa_stats.mac_ops, (16 + 5) * 2 * 3);
+    }
+
     #[test]
     fn weight_rows_advance_with_output_maps() {
         let mut pe = ProcessingElement::new(0, AccumulatorWidth::Wide32);
@@ -727,6 +913,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "mid-layer")]
+    fn simd_switch_rejected_mid_layer() {
+        let mut pe = ProcessingElement::new(0, AccumulatorWidth::Wide32);
+        pe.configure(conv_cfg(16, 1, 1), vec![Q88::ONE]);
+        pe.set_simd(Some(false));
+    }
+
+    #[test]
     fn lenient_mode_counts_drops_instead_of_panicking() {
         let mut pe = ProcessingElement::new(2, AccumulatorWidth::Wide32);
         pe.set_lenient(true);
@@ -753,8 +947,9 @@ mod tests {
 
     #[test]
     fn mac_faults_are_deterministic_and_perturb_results() {
-        let run = |rate: f64, seed: u64| {
+        let run = |rate: f64, seed: u64, simd: bool| {
             let mut pe = ProcessingElement::new(0, AccumulatorWidth::Wide32);
+            pe.set_simd(Some(simd));
             let cfg = neurocube_fault::FaultConfig {
                 seed,
                 pe_mac_rate: rate,
@@ -774,16 +969,20 @@ mod tests {
                 .collect();
             (out, pe.fault_counts())
         };
-        let (clean, c0) = run(0.0, 1);
+        let (clean, c0) = run(0.0, 1, true);
         assert_eq!(c0, PeFaultCounts::default());
-        let (a, ca) = run(0.25, 1);
-        let (b, cb) = run(0.25, 1);
+        let (a, ca) = run(0.25, 1, true);
+        let (b, cb) = run(0.25, 1, true);
         assert_eq!(a, b, "same seed must reproduce bitwise");
         assert_eq!(ca, cb);
         assert!(ca.mac_faults > 0, "no MAC faults fired at rate 0.25");
         assert_ne!(a, clean, "faults left every result untouched");
-        let (c, _) = run(0.25, 2);
+        let (c, _) = run(0.25, 2, true);
         assert_ne!(a, c, "different seeds produced identical faulty runs");
+        // The sparse upset pass must reproduce the scalar loop exactly.
+        let (s, cs) = run(0.25, 1, false);
+        assert_eq!(a, s, "faulty batch path diverged from the scalar oracle");
+        assert_eq!(ca, cs);
     }
 
     #[test]

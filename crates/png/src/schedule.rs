@@ -11,7 +11,6 @@
 use crate::program::LayerProgram;
 use neurocube_nn::{connections, ConvConnectivity, LayerSpec};
 use neurocube_noc::{NodeId, PacketKind};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One operand the vault must fetch from DRAM and packetize.
@@ -45,7 +44,11 @@ pub struct OperandStream {
     pi: usize,
     max_groups: u64,
     conns: u32,
-    buf: VecDeque<OperandEvent>,
+    /// One `(g, k)` step's events, batch-generated into a flat buffer that
+    /// `next` drains by cursor; the allocation is reused for every step, so
+    /// steady-state streaming never touches the allocator.
+    buf: Vec<OperandEvent>,
+    cursor: usize,
     emitted: u64,
 }
 
@@ -72,7 +75,8 @@ impl OperandStream {
             g: 0,
             k: 0,
             pi: 0,
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            cursor: 0,
             emitted: 0,
         }
     }
@@ -84,7 +88,7 @@ impl OperandStream {
 
     /// `true` once the stream is exhausted (after `next` returned `None`).
     pub fn is_exhausted(&self) -> bool {
-        self.g >= self.max_groups && self.buf.is_empty()
+        self.g >= self.max_groups && self.cursor >= self.buf.len()
     }
 
     fn fill_for(&mut self, p: NodeId) {
@@ -129,7 +133,7 @@ impl OperandStream {
                         + 2 * (gin * u64::from(self.conns) * n_mac
                             + u64::from(self.k) * u64::from(active)
                             + u64::from(m));
-                    self.buf.push_back(OperandEvent {
+                    self.buf.push(OperandEvent {
                         addr,
                         dst: p,
                         mac_id: m as u8,
@@ -152,7 +156,7 @@ impl OperandStream {
                     .in_vol
                     .local_addr(self.vault, idx)
                     .expect("source vault stores the operand");
-                self.buf.push_back(OperandEvent {
+                self.buf.push(OperandEvent {
                     addr,
                     dst: p,
                     mac_id: 0,
@@ -181,7 +185,7 @@ impl OperandStream {
                         .in_vol
                         .local_addr(self.vault, conn.input_index)
                         .expect("source vault stores the operand");
-                    self.buf.push_back(OperandEvent {
+                    self.buf.push(OperandEvent {
                         addr,
                         dst: p,
                         mac_id: m as u8,
@@ -295,7 +299,7 @@ impl OperandStream {
                 // `local_addr` of the vault's stored rectangle, with the
                 // channel term folded into `base`.
                 let addr = base + 2 * ((iy - sv.y0) * svw + (ix - sv.x0)) as u64;
-                self.buf.push_back(OperandEvent {
+                self.buf.push(OperandEvent {
                     addr,
                     dst: p,
                     mac_id: m as u8,
@@ -320,13 +324,17 @@ impl OperandStream {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<OperandEvent> {
         loop {
-            if let Some(e) = self.buf.pop_front() {
+            if self.cursor < self.buf.len() {
+                let e = self.buf[self.cursor];
+                self.cursor += 1;
                 self.emitted += 1;
                 return Some(e);
             }
             if self.g >= self.max_groups {
                 return None;
             }
+            self.buf.clear();
+            self.cursor = 0;
             let p = self.serves[self.pi];
             self.fill_for(p);
             // Advance (p, k, g) — PE innermost so one (g, k) step feeds

@@ -261,6 +261,21 @@ impl Png {
         self.pe_progress.extend_from_slice(progress);
     }
 
+    /// Updates the PNG's view of a single PE's operation counter — the
+    /// delta form of [`set_pe_progress`](Self::set_pe_progress). The
+    /// credit-return stage broadcasts only the entries that changed since
+    /// the last cycle (a saturated cube changes one or two of sixteen per
+    /// cycle), so the common case is a handful of stores instead of a full
+    /// copy per PNG per cycle. Entries never written stay `u64::MAX`
+    /// ("no such PE"), matching what a full broadcast's out-of-range
+    /// lookup reads.
+    pub fn update_pe_progress(&mut self, idx: usize, value: u64) {
+        if idx >= self.pe_progress.len() {
+            self.pe_progress.resize(idx + 1, u64::MAX);
+        }
+        self.pe_progress[idx] = value;
+    }
+
     /// The standard HMC hookup: PNG of vault `v` at mesh node `v`, 32-bit
     /// words, a full private request queue.
     pub fn hmc(vault: NodeId) -> Png {

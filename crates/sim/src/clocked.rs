@@ -152,10 +152,27 @@ pub struct CycleLoop<B: ?Sized> {
     /// the stage that vetoed the last jump is probed first, so an actively
     /// busy stage (usually the NoC) rejects fast-forward in O(1) per cycle.
     probe_from: usize,
+    /// Per-stage count of probes this stage vetoed (returned `None`) —
+    /// the profile's "which stage blocks fast-forward" answer.
+    veto_counts: Vec<u64>,
     jumps: u64,
     skipped_cycles: u64,
     last_jump: Option<JumpRecord>,
 }
+
+/// Consecutive vetoed probes before the loop starts spacing probes out.
+/// On saturated workloads a busy stage vetoes every cycle for thousands of
+/// cycles straight; probing each one buys nothing and costs a `next_event`
+/// sweep. After this many consecutive vetoes the loop probes once every
+/// `streak / VETO_BACKOFF_AFTER` cycles (capped at [`MAX_PROBE_HOLDOFF`]),
+/// ticking in between — always safe, since ticking is the oracle the skip
+/// path is measured against; the only cost is jumping a few cycles later
+/// into a quiescent stretch.
+const VETO_BACKOFF_AFTER: u32 = 8;
+
+/// Upper bound on the probe hold-off, so a long-saturated run still
+/// notices a quiescent stretch within 16 cycles of it starting.
+const MAX_PROBE_HOLDOFF: u64 = 15;
 
 impl<B: ?Sized> Default for CycleLoop<B> {
     fn default() -> Self {
@@ -172,6 +189,7 @@ impl<B: ?Sized> CycleLoop<B> {
             watchdog: Watchdog::default(),
             skip: env_skip_enabled(),
             probe_from: 0,
+            veto_counts: Vec::new(),
             jumps: 0,
             skipped_cycles: 0,
             last_jump: None,
@@ -201,6 +219,7 @@ impl<B: ?Sized> CycleLoop<B> {
     /// Registers a stage; stages tick in registration order each cycle.
     pub fn stage(mut self, stage: impl Clocked<B> + 'static) -> Self {
         self.stages.push(Box::new(stage));
+        self.veto_counts.push(0);
         self
     }
 
@@ -239,6 +258,7 @@ impl<B: ?Sized> CycleLoop<B> {
             match self.stages[i].next_event(now, bus) {
                 None => {
                     self.probe_from = i;
+                    self.veto_counts[i] += 1;
                     return None;
                 }
                 Some(t) => {
@@ -324,7 +344,14 @@ impl<B: ?Sized> CycleLoop<B> {
         let profile = stage_profile_enabled();
         let mut stage_nanos = vec![0u64; self.stages.len()];
         let mut probe_nanos = 0u64;
+        let mut skip_nanos = 0u64;
         let mut ticked: u64 = 0;
+        // Veto-streak probe backoff (see [`VETO_BACKOFF_AFTER`]): on long
+        // saturated stretches the probe is spaced out and the loop just
+        // ticks — bitwise identical by the tick/skip contract, minus the
+        // per-cycle probe sweep.
+        let mut veto_streak: u32 = 0;
+        let mut probe_holdoff: u64 = 0;
         // Label passed explicitly: labels are hygienic in macro_rules, so
         // the macro cannot name the loop's label directly.
         macro_rules! sample {
@@ -352,15 +379,20 @@ impl<B: ?Sized> CycleLoop<B> {
             };
         }
         let end = 'run: loop {
-            if self.skip {
+            if self.skip && probe_holdoff == 0 {
                 let probe_start = profile.then(std::time::Instant::now);
                 let jump = self.horizon(now, bus);
                 if let Some(t0) = probe_start {
                     probe_nanos += t0.elapsed().as_nanos() as u64;
                 }
                 if let Some((target, stage)) = jump {
+                    veto_streak = 0;
+                    let skip_start = profile.then(std::time::Instant::now);
                     for s in &mut self.stages {
                         s.skip(now, target, bus);
+                    }
+                    if let Some(t0) = skip_start {
+                        skip_nanos += t0.elapsed().as_nanos() as u64;
                     }
                     self.jumps += 1;
                     self.skipped_cycles += target - now;
@@ -375,6 +407,13 @@ impl<B: ?Sized> CycleLoop<B> {
                     }
                     continue;
                 }
+                veto_streak = veto_streak.saturating_add(1);
+                if veto_streak >= VETO_BACKOFF_AFTER {
+                    probe_holdoff =
+                        u64::from(veto_streak / VETO_BACKOFF_AFTER).min(MAX_PROBE_HOLDOFF);
+                }
+            } else {
+                probe_holdoff = probe_holdoff.saturating_sub(1);
             }
             if profile {
                 for (i, stage) in self.stages.iter_mut().enumerate() {
@@ -398,21 +437,26 @@ impl<B: ?Sized> CycleLoop<B> {
             let total: u64 = stage_nanos.iter().sum();
             eprintln!(
                 "[stage profile] {} cycles ({} ticked, {} skipped in {} jumps), \
-                 {:.1} ms staged + {:.1} ms horizon probes",
+                 {:.1} ms staged + {:.1} ms horizon probes + {:.1} ms skip charges",
                 end - start,
                 ticked,
                 self.skipped_cycles,
                 self.jumps,
                 total as f64 / 1e6,
                 probe_nanos as f64 / 1e6,
+                skip_nanos as f64 / 1e6,
             );
             for (i, stage) in self.stages.iter().enumerate() {
                 eprintln!(
-                    "[stage profile]   {:<20} {:>10.1} ms  {:>5.1}%  ({:.0} ns/ticked-cycle)",
+                    "[stage profile]   {:<20} {:>10.1} ms  {:>5.1}%  \
+                     ({:.0} ns/tick over {} ticks, {} jumps, {} probe vetoes)",
                     stage.name(),
                     stage_nanos[i] as f64 / 1e6,
                     100.0 * stage_nanos[i] as f64 / total.max(1) as f64,
                     stage_nanos[i] as f64 / ticked.max(1) as f64,
+                    ticked,
+                    self.jumps,
+                    self.veto_counts[i],
                 );
             }
         }

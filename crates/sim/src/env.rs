@@ -16,7 +16,9 @@
 //!   to the caller.
 //!
 //! Known variables routed through here: `NEUROCUBE_NO_SKIP`,
-//! `NEUROCUBE_STAGE_PROFILE`, `NEUROCUBE_FAULT_ECC` (flags);
+//! `NEUROCUBE_STAGE_PROFILE`, `NEUROCUBE_FAULT_ECC`,
+//! `NEUROCUBE_NO_SIMD` (scalar `MacUnit` oracle instead of the SoA batch
+//! kernels), `NEUROCUBE_STAGE_PAR` (stage-parallel PE ticking) (flags);
 //! `NEUROCUBE_FAULT_SEED`, `NEUROCUBE_SERVE_SEED`,
 //! `NEUROCUBE_SERVE_MAX_BATCH`, `NEUROCUBE_SERVE_MAX_DELAY`,
 //! `NEUROCUBE_SERVE_POOL` (u64); `NEUROCUBE_FAULT_RATE`,

@@ -1,0 +1,303 @@
+//! Differential properties for the struct-of-arrays datapath: the batch
+//! lane kernels (`NEUROCUBE_NO_SIMD=0`, the default) and the stage-parallel
+//! PE tick (`NEUROCUBE_STAGE_PAR=1`, off by default) must be
+//! *observationally invisible* — for random multi-layer networks the full
+//! statistics registry, output tensor and cycle counts are compared
+//! bitwise against the per-lane scalar oracle, with and without fault
+//! injection.
+//!
+//! The modes are selected through [`Neurocube::set_simd`] and
+//! [`Neurocube::set_stage_par`], not the environment variables: the env
+//! defaults are read once per process and tests run multithreaded, so
+//! mutating them mid-run would race other suites.
+//!
+//! The kernel-level half of the contract rides in the same binary: the
+//! lane kernels are driven against [`MacUnit`] step-for-step across the
+//! saturation and rounding boundaries pinned by `q88_boundary.rs`
+//! (representable midpoints, `>> 8` truncation direction, both clamp
+//! edges), and the `..active` lane masking the PE relies on is checked to
+//! leave parked lanes untouched.
+
+mod common;
+
+use common::{diff_case, DiffCase};
+use neurocube::{Neurocube, SystemConfig};
+use neurocube_fault::FaultConfig;
+use neurocube_fixed::{
+    accumulate_narrow_lanes, accumulate_wide_lanes, wide_result_bits, AccumulatorWidth, MacUnit,
+    Q88,
+};
+use neurocube_sim::StatsRegistry;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One observable world: everything two datapath variants must agree on.
+struct Observables {
+    layer_cycles: Vec<u64>,
+    final_cycle: u64,
+    output: Vec<Q88>,
+    stats: StatsRegistry,
+}
+
+/// Runs `case` with the given datapath selection. `simd = false` is the
+/// per-lane scalar oracle; `stage_par = true` ticks the PEs from scoped
+/// threads. Skipping stays on process default — the skip/naive axis has
+/// its own suite (`skip_equivalence.rs`).
+fn run_variant(
+    case: &DiffCase,
+    simd: bool,
+    stage_par: bool,
+    fault: Option<FaultConfig>,
+) -> Observables {
+    let cfg = SystemConfig::paper(case.dup);
+    let params = case.net.init_params(case.seed, 0.25);
+    let mut cube = Neurocube::new(cfg);
+    cube.set_simd(Some(simd));
+    cube.set_stage_par(Some(stage_par));
+    cube.set_fault_config(fault);
+    let loaded = cube.load(case.net.clone(), params);
+    let input = neurocube_bench::ramp_input(&case.net);
+    let (output, report) = cube.run_inference(&loaded, &input);
+    Observables {
+        layer_cycles: report.layers.iter().map(|l| l.cycles).collect(),
+        final_cycle: cube.now(),
+        output: output.as_slice().to_vec(),
+        stats: cube.stats_registry(),
+    }
+}
+
+/// Asserts two variant runs agree on every observable, naming the first
+/// diverging statistic on failure.
+fn assert_identical(a: &Observables, b: &Observables, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        &a.layer_cycles,
+        &b.layer_cycles,
+        "per-layer cycle counts diverge ({})",
+        what
+    );
+    prop_assert_eq!(
+        a.final_cycle,
+        b.final_cycle,
+        "final cycle counters diverge ({})",
+        what
+    );
+    prop_assert_eq!(&a.output, &b.output, "output tensors diverge ({})", what);
+    if let Some(delta) = a.stats.first_difference(&b.stats) {
+        return Err(TestCaseError::fail(format!(
+            "statistics diverge at {delta} ({what})"
+        )));
+    }
+    Ok(())
+}
+
+/// Case budget: `PROPTEST_CASES` when set (`ci.sh` pins 32 for the
+/// standard gate, 512 for `--simd`), otherwise `default`.
+fn cases(default: u32) -> u32 {
+    neurocube_sim::env_u64("PROPTEST_CASES").map_or(default, |v| v as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    /// The SoA batch kernels are bitwise identical to the scalar MacUnit
+    /// oracle over whole inferences: same registry, same tensor, same
+    /// cycle counts, for random networks.
+    #[test]
+    fn soa_path_matches_scalar_oracle(case in diff_case()) {
+        let soa = run_variant(&case, true, false, None);
+        let scalar = run_variant(&case, false, false, None);
+        assert_identical(&soa, &scalar, &format!(
+            "SoA vs scalar, dup={}, seed={}", case.dup, case.seed
+        ))?;
+    }
+
+    /// Stage-parallel PE ticking is bitwise identical to the serial loop —
+    /// the PEs really are independent within a tick. Runs on the SoA path
+    /// (the default the parallel mode would ship with).
+    #[test]
+    fn stage_parallel_matches_serial(case in diff_case()) {
+        let par = run_variant(&case, true, true, None);
+        let serial = run_variant(&case, true, false, None);
+        assert_identical(&par, &serial, &format!(
+            "stage-par vs serial, dup={}, seed={}", case.dup, case.seed
+        ))?;
+    }
+
+    /// The equivalences survive fault injection: with a deterministic
+    /// injector attached at the same seed, all three variants (scalar,
+    /// SoA, SoA + stage-par) still agree on every observable, including
+    /// the fault counters inside the registry.
+    #[test]
+    fn variants_agree_under_faults(
+        case in diff_case(),
+        rate_exp in 4u32..7, // uniform rate 1e-6 .. 1e-3
+        fault_seed in 0u64..1 << 32,
+    ) {
+        let cfg = FaultConfig::uniform(fault_seed, 10f64.powi(-(rate_exp as i32)));
+        let scalar = run_variant(&case, false, false, Some(cfg.clone()));
+        let soa = run_variant(&case, true, false, Some(cfg.clone()));
+        let par = run_variant(&case, true, true, Some(cfg));
+        assert_identical(&soa, &scalar, &format!(
+            "SoA vs scalar under faults, dup={}, seeds={}/{}",
+            case.dup, case.seed, fault_seed
+        ))?;
+        assert_identical(&par, &soa, &format!(
+            "stage-par vs serial under faults, dup={}, seeds={}/{}",
+            case.dup, case.seed, fault_seed
+        ))?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level boundary pinning: lane kernels vs MacUnit, step for step.
+// ---------------------------------------------------------------------------
+
+/// Raw `Q1.7.8` operands biased hard toward the boundaries the scalar
+/// unit's clamps and shifts act on: both clamp edges, the values around
+/// one LSB and one integer unit, and the representable midpoints pinned by
+/// `q88_boundary.rs` (`k + 0.5` LSB inputs quantize to `k`/`k+1`, so raw
+/// patterns adjacent to every `k` boundary appear here via `k ± 1`).
+fn boundary_operand() -> impl Strategy<Value = i16> {
+    const EDGES: [i16; 19] = [
+        i16::MAX,
+        i16::MIN,
+        i16::MAX - 1,
+        i16::MIN + 1,
+        0,
+        1,
+        -1,
+        127,
+        -127,
+        128,
+        -128,
+        129,
+        -129,
+        255,
+        256,
+        257,
+        -255,
+        -256,
+        -257,
+    ];
+    // Three in four draws land on an edge value; the rest are raw i16s.
+    (any::<i16>(), any::<u8>()).prop_map(|(raw, pick)| {
+        if pick < 192 {
+            EDGES[usize::from(pick) % EDGES.len()]
+        } else {
+            raw
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// `accumulate_wide_lanes` matches `MacUnit::accumulate` (Wide32) bit
+    /// for bit after *every* step of a boundary-biased operand sequence —
+    /// including deep in the i32 clamp and back out of it.
+    #[test]
+    fn wide_lanes_match_mac_unit_at_boundaries(
+        pairs in proptest::collection::vec((boundary_operand(), boundary_operand()), 1..200)
+    ) {
+        let mut mac = MacUnit::new(AccumulatorWidth::Wide32);
+        let mut acc = [0i32; 1];
+        for (step, &(w, x)) in pairs.iter().enumerate() {
+            mac.accumulate(Q88::from_bits(w), Q88::from_bits(x));
+            accumulate_wide_lanes(&mut acc, &[w], &[x]);
+            prop_assert_eq!(
+                mac.result().to_bits(), wide_result_bits(acc[0]),
+                "wide lane diverged from MacUnit at step {} on ({}, {})", step, w, x
+            );
+        }
+    }
+
+    /// `accumulate_narrow_lanes` matches `MacUnit::accumulate` (Narrow16)
+    /// bit for bit — the per-step renormalization (`>> 8` toward -inf,
+    /// saturate) and the 16-bit saturating add both pinned.
+    #[test]
+    fn narrow_lanes_match_mac_unit_at_boundaries(
+        pairs in proptest::collection::vec((boundary_operand(), boundary_operand()), 1..200)
+    ) {
+        let mut mac = MacUnit::new(AccumulatorWidth::Narrow16);
+        let mut acc = [0i16; 1];
+        for (step, &(w, x)) in pairs.iter().enumerate() {
+            mac.accumulate(Q88::from_bits(w), Q88::from_bits(x));
+            accumulate_narrow_lanes(&mut acc, &[w], &[x]);
+            prop_assert_eq!(
+                mac.result().to_bits(), acc[0],
+                "narrow lane diverged from MacUnit at step {} on ({}, {})", step, w, x
+            );
+        }
+    }
+
+    /// Lane masking: accumulating into the `..active` prefix of a lane
+    /// bank (exactly what the PE does when a layer parks trailing lanes)
+    /// leaves the parked tail bitwise untouched and drives every active
+    /// lane exactly as an independent scalar unit would.
+    #[test]
+    fn lane_masking_leaves_parked_lanes_untouched(
+        weights in proptest::collection::vec(boundary_operand(), 16),
+        states in proptest::collection::vec(boundary_operand(), 16),
+        park in proptest::collection::vec(any::<i32>(), 16),
+        active in 0usize..=16,
+        steps in 1usize..8,
+    ) {
+        let mut acc: Vec<i32> = park.clone();
+        acc[..active].fill(0);
+        for _ in 0..steps {
+            accumulate_wide_lanes(&mut acc[..active], &weights[..active], &states[..active]);
+        }
+        for lane in active..16 {
+            prop_assert_eq!(
+                acc[lane], park[lane],
+                "parked lane {} was clobbered by a masked accumulate", lane
+            );
+        }
+        for lane in 0..active {
+            let mut mac = MacUnit::new(AccumulatorWidth::Wide32);
+            for _ in 0..steps {
+                mac.accumulate(Q88::from_bits(weights[lane]), Q88::from_bits(states[lane]));
+            }
+            prop_assert_eq!(
+                mac.result().to_bits(), wide_result_bits(acc[lane]),
+                "active lane {} diverged from its scalar unit", lane
+            );
+        }
+    }
+}
+
+/// Deterministic anchor: on a paper-style workload all three datapath
+/// variants produce identical registries, and the run actually exercises
+/// MACs (a vacuously-idle workload would prove nothing).
+#[test]
+fn all_variants_agree_on_paper_workload() {
+    let case = DiffCase {
+        net: neurocube_nn::workloads::mnist_mlp(64),
+        dup: true,
+        seed: 7,
+    };
+    let scalar = run_variant(&case, false, false, None);
+    let soa = run_variant(&case, true, false, None);
+    let par = run_variant(&case, true, true, None);
+    let macs: u64 = (0..16)
+        .map(|i| scalar.stats.counter(&format!("pe{i}.mac_ops")))
+        .sum();
+    assert!(
+        macs > 0,
+        "mnist_mlp no longer fires any MACs; the anchor is vacuous"
+    );
+    assert_eq!(
+        scalar.stats.first_difference(&soa.stats),
+        None,
+        "SoA registry diverges from scalar on mnist_mlp"
+    );
+    assert_eq!(
+        soa.stats.first_difference(&par.stats),
+        None,
+        "stage-par registry diverges from serial on mnist_mlp"
+    );
+    assert_eq!(scalar.output, soa.output);
+    assert_eq!(soa.output, par.output);
+    assert_eq!(scalar.final_cycle, soa.final_cycle);
+    assert_eq!(soa.final_cycle, par.final_cycle);
+}
