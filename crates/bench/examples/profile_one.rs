@@ -10,10 +10,13 @@
 //!
 //! The second argument is `skip`, `naive`, or omitted (process default).
 //! An optional third argument repeats the run N times and reports the
-//! fastest (wall-clock noise on shared hardware swamps single runs).
+//! fastest (wall-clock noise on shared hardware swamps single runs). An
+//! optional fourth argument is a substring filter: every final-registry
+//! counter whose key contains it is printed (e.g. `stalls` to see where
+//! the PNGs spent their null ticks).
 //! Run with no arguments to list the workload names.
 
-use neurocube_bench::{bench_workloads, run_inference_mode};
+use neurocube_bench::{bench_workloads, run_inference_mode, run_inference_stats};
 use std::time::Instant;
 
 fn main() {
@@ -59,4 +62,12 @@ fn main() {
         telemetry.horizon_jumps,
         telemetry.skipped_cycles,
     );
+    if let Some(filter) = args.get(3) {
+        let (_, stats) = run_inference_stats(w.cfg.clone(), &w.spec, w.seed);
+        for (key, value) in stats.counters() {
+            if key.contains(filter.as_str()) {
+                println!("  {key} = {value}");
+            }
+        }
+    }
 }

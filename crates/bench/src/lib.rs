@@ -109,6 +109,42 @@ pub fn run_inference_variant(
     (report, stats, telemetry)
 }
 
+/// One sparsity-pinned run (see the `sparsity_sweep` bench): output,
+/// report and final registry.
+pub struct SparsityRun {
+    /// The inference output tensor.
+    pub output: Tensor,
+    /// The run's report.
+    pub report: RunReport,
+    /// Final registry snapshot (includes the `sparsity.*` rollup).
+    pub stats: StatsRegistry,
+}
+
+/// Like [`run_inference_variant`], but the caller supplies the parameter
+/// image and input tensor (to control operand density) and pins the PE
+/// zero-operand fast paths: `Some(false)` forces the dense kernels,
+/// `Some(true)` enables skipping, `None` inherits `NEUROCUBE_NO_SPARSITY`.
+/// Both settings are bitwise identical in every observable (DESIGN.md
+/// §13); the sweep asserts that before reporting anything.
+pub fn run_inference_sparsity(
+    cfg: SystemConfig,
+    spec: &NetworkSpec,
+    params: Vec<Vec<Q88>>,
+    input: &Tensor,
+    sparsity: Option<bool>,
+) -> SparsityRun {
+    let mut cube = Neurocube::new(cfg);
+    cube.set_sparsity(sparsity);
+    let loaded = cube.load(spec.clone(), params);
+    let (output, report) = cube.run_inference(&loaded, input);
+    let stats = cube.stats_registry();
+    SparsityRun {
+        output,
+        report,
+        stats,
+    }
+}
+
 /// One workload of the simulator wall-clock benchmark (`bench_sim`):
 /// a named system configuration + network shape + parameter seed. The
 /// table lives here (not in the bench target) so profiling tools can

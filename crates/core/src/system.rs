@@ -12,17 +12,11 @@ use neurocube_pe::ProcessingElement;
 use neurocube_png::layout::NetworkLayout;
 use neurocube_png::{compile_graph, compile_layer, graph_load_weights, LayerProgram, Png};
 use neurocube_png::{program, CompileError, MultiLayerProgram, PngHookup};
-use neurocube_sim::{env_flag, Clocked, CycleLoop, StatSource, StatsRegistry};
-use std::sync::{Arc, OnceLock};
-
-/// Process default for stage-parallel PE ticking: the `NEUROCUBE_STAGE_PAR`
-/// flag, read once. Off by default — the per-cycle thread fan-out is a
-/// correctness fixture (it proves the PEs' tick-independence claim under
-/// the bitwise-equivalence suite), not a throughput win at 16 PEs.
-fn stage_par_default() -> bool {
-    static PAR: OnceLock<bool> = OnceLock::new();
-    *PAR.get_or_init(|| env_flag("NEUROCUBE_STAGE_PAR"))
-}
+use neurocube_sim::{
+    simd_default, sparsity_default, stage_par_default, Clocked, CycleLoop, StatSource,
+    StatsRegistry,
+};
+use std::sync::Arc;
 
 /// A network loaded into the cube: its placement, parameters and compiled
 /// per-layer programs.
@@ -107,11 +101,11 @@ pub struct Neurocube {
     /// Per mesh node: the regions whose PNGs inject there.
     attach_groups: Vec<Vec<u8>>,
     now: u64,
-    /// The PE progress values the PNGs currently hold, kept in lockstep
-    /// with every PNG's own view so the credit-return stage can broadcast
-    /// only the entries that changed each cycle. Initialized to
-    /// `u64::MAX` per node — exactly the "no progress seen" value a fresh
-    /// PNG holds — so the delta stream starts from a synchronized state.
+    /// The canonical per-PE operation-counter array (the credit-return
+    /// path): refreshed from the PEs at the top of the credit-return
+    /// stage and read in place by every PNG's run-ahead gate, so there is
+    /// exactly one copy of the credit state. Initialized to `u64::MAX`
+    /// per node — the "no progress seen" value that never gates.
     progress: Vec<u64>,
     /// Stage-parallel PE ticking: resolved from `NEUROCUBE_STAGE_PAR` at
     /// construction, overridable per cube via [`Neurocube::set_stage_par`].
@@ -140,11 +134,34 @@ impl Neurocube {
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
-    /// [`SystemConfig::validate`]).
+    /// [`SystemConfig::validate`]) or the topology exceeds the fabric's
+    /// hard limits (see [`Neurocube::try_new`] for the non-panicking
+    /// constructor).
     pub fn new(cfg: SystemConfig) -> Neurocube {
+        match Neurocube::try_new(cfg) {
+            Ok(cube) => cube,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds an idle Neurocube, surfacing fabric-construction failures
+    /// (oversized topologies) as [`CompileError::Noc`] instead of
+    /// panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the configuration is inconsistent (see
+    /// [`SystemConfig::validate`]) — those are caller bugs, not inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Noc`] when the topology wires more routers
+    /// or ports than the fabric's occupancy masks and arbiter pointers can
+    /// index.
+    pub fn try_new(cfg: SystemConfig) -> Result<Neurocube, CompileError> {
         cfg.validate();
         let mem = MemorySystem::new(cfg.memory.clone());
-        let net = Network::new(cfg.topology);
+        let net = Network::try_new(cfg.topology)?;
         let pes = (0..cfg.nodes() as u8)
             .map(|p| ProcessingElement::with_cache(p, cfg.accumulator, cfg.cache_entries_per_bank))
             .collect();
@@ -197,7 +214,7 @@ impl Neurocube {
         if let Some(fault_cfg) = FaultConfig::from_env() {
             cube.set_fault_config(Some(fault_cfg));
         }
-        cube
+        Ok(cube)
     }
 
     /// Attaches (or detaches, with `None`) a deterministic fault injector:
@@ -291,10 +308,11 @@ impl Neurocube {
 
     /// Selects every PE's MAC arithmetic path: `Some(true)` forces the SoA
     /// batch kernels, `Some(false)` forces the per-lane scalar `MacUnit`
-    /// oracle, `None` restores the process default (`NEUROCUBE_NO_SIMD`).
-    /// Both paths are bitwise identical in every observable — the
-    /// equivalence suite runs the same workload down each and compares
-    /// full registries.
+    /// oracle, `None` re-reads the `NEUROCUBE_NO_SIMD` environment default
+    /// fresh (never a cached value, so tests that restore the variable get
+    /// the restored behaviour). Both paths are bitwise identical in every
+    /// observable — the equivalence suite runs the same workload down each
+    /// and compares full registries.
     ///
     /// # Panics
     ///
@@ -305,15 +323,47 @@ impl Neurocube {
         }
     }
 
-    /// Overrides the process-default stage-parallel setting for this cube:
-    /// `Some(true)` ticks the PEs from a scoped thread pool each cycle,
-    /// `Some(false)` forces the serial loop, `None` inherits the
-    /// `NEUROCUBE_STAGE_PAR` environment default. Both modes are bitwise
-    /// identical (the PEs are mutually independent within a tick); the
-    /// parallel mode exists to *prove* that claim under the equivalence
-    /// suite, and is off by default.
+    /// Whether the PEs currently use the SoA batch kernels.
+    pub fn simd(&self) -> bool {
+        self.pes
+            .first()
+            .map_or_else(simd_default, ProcessingElement::simd)
+    }
+
+    /// Selects every PE's zero-operand fast paths: `Some(true)` lets a PE
+    /// skip host work for gated lanes, `Some(false)` forces the dense
+    /// kernels, `None` re-reads the `NEUROCUBE_NO_SPARSITY` environment
+    /// default fresh. The modes are bitwise identical in every observable
+    /// — gated lanes still charge full architectural cost and zero
+    /// operands are the MAC's additive identity (DESIGN.md §13) — so this
+    /// knob only changes host throughput.
+    pub fn set_sparsity(&mut self, sparsity: Option<bool>) {
+        for pe in &mut self.pes {
+            pe.set_sparsity(sparsity);
+        }
+    }
+
+    /// Whether the PEs currently use the zero-operand fast paths.
+    pub fn sparsity(&self) -> bool {
+        self.pes
+            .first()
+            .map_or_else(sparsity_default, ProcessingElement::sparsity)
+    }
+
+    /// Overrides the stage-parallel setting for this cube: `Some(true)`
+    /// ticks the PEs from a scoped thread pool each cycle, `Some(false)`
+    /// forces the serial loop, `None` re-reads the `NEUROCUBE_STAGE_PAR`
+    /// environment default fresh (never a cached value). Both modes are
+    /// bitwise identical (the PEs are mutually independent within a tick);
+    /// the parallel mode exists to *prove* that claim under the
+    /// equivalence suite, and is off by default.
     pub fn set_stage_par(&mut self, enabled: Option<bool>) {
         self.stage_par = enabled.unwrap_or_else(stage_par_default);
+    }
+
+    /// Whether this cube ticks its PEs from a scoped thread pool.
+    pub fn stage_par(&self) -> bool {
+        self.stage_par
     }
 
     /// Fast-forward jumps taken across every pass run on this cube.
@@ -340,6 +390,42 @@ impl Neurocube {
         }
         self.net.report(&mut reg.scoped("noc"));
         self.mem.report(&mut reg.scoped("mem"));
+        // Always-on sparsity rollup (DESIGN.md §13): zero-operand
+        // classification summed across components. Present in every
+        // registry — with or without the fast paths enabled — because it
+        // is pure classification; `neurocube_power::gating` prices these
+        // counters into would-be energy savings after the fact.
+        {
+            let mut s = reg.scoped("sparsity");
+            s.counter(
+                "pe.lanes_gated",
+                self.pes.iter().map(|p| p.stats().lanes_gated).sum(),
+            );
+            s.counter(
+                "png.zero_state_operands",
+                self.pngs
+                    .iter()
+                    .map(|p| p.stats().zero_state_operands)
+                    .sum(),
+            );
+            s.counter(
+                "png.zero_weight_operands",
+                self.pngs
+                    .iter()
+                    .map(|p| p.stats().zero_weight_operands)
+                    .sum(),
+            );
+            s.counter(
+                "png.zero_activations",
+                self.pngs.iter().map(|p| p.stats().zero_activations).sum(),
+            );
+            s.counter("dram.zero_words_read", self.mem.total_zero_words_read());
+            s.counter(
+                "dram.zero_words_written",
+                self.mem.total_zero_words_written(),
+            );
+            s.counter("dram.zero_read_runs", self.mem.total_zero_read_runs());
+        }
         // The `fault` scope exists only while an injector is attached, so
         // fault-free registries stay bitwise identical to builds that never
         // heard of fault injection.
@@ -936,23 +1022,22 @@ struct PngCreditReturn;
 
 impl Clocked<Neurocube> for PngCreditReturn {
     fn tick(&mut self, now: u64, cube: &mut Neurocube) {
-        // Delta broadcast: `cube.progress` mirrors what every PNG already
-        // holds (both start at the u64::MAX "nothing seen" state and only
-        // change here), so only entries that moved since the last tick
-        // need to be pushed out. A saturated cube advances one or two of
-        // sixteen counters per cycle; the old full broadcast copied all
-        // 16 × 16 every cycle.
+        // Credit capture: `cube.progress` is the canonical counter array
+        // every PNG reads in place (no per-PNG mirrors — the old delta
+        // broadcast fanned each change out to all sixteen PNGs, a 16 × 16
+        // store pattern on saturated cubes). Refreshing it is sixteen
+        // loads and stores into one cache line.
         for (i, pe) in cube.pes.iter().enumerate() {
-            let v = pe.progress();
-            if cube.progress[i] != v {
-                cube.progress[i] = v;
-                for png in &mut cube.pngs {
-                    png.update_pe_progress(i, v);
-                }
-            }
+            cube.progress[i] = pe.progress();
         }
-        for png in &mut cube.pngs {
-            png.tick(now, &mut cube.mem);
+        let Neurocube {
+            pngs,
+            mem,
+            progress,
+            ..
+        } = cube;
+        for png in pngs.iter_mut() {
+            png.tick(now, mem, progress);
         }
     }
 
@@ -971,14 +1056,20 @@ impl Clocked<Neurocube> for PngCreditReturn {
         }
         let mut horizon = u64::MAX;
         for png in &cube.pngs {
-            horizon = horizon.min(png.next_event(now, &cube.mem)?);
+            horizon = horizon.min(png.next_event(now, &cube.mem, &cube.progress)?);
         }
         Some(horizon)
     }
 
     fn skip(&mut self, from: u64, to: u64, cube: &mut Neurocube) {
-        for png in &mut cube.pngs {
-            png.skip(from, to, &cube.mem);
+        let Neurocube {
+            pngs,
+            mem,
+            progress,
+            ..
+        } = cube;
+        for png in pngs.iter_mut() {
+            png.skip(from, to, mem, progress);
         }
     }
 
@@ -1069,9 +1160,17 @@ impl Clocked<Neurocube> for PngInjection {
             if sharing.is_empty() {
                 continue;
             }
-            let offset = (now as usize) % sharing.len();
-            for i in 0..sharing.len() {
-                let v = sharing[(offset + i) % sharing.len()];
+            // Single-owner attach nodes (every HMC node) take the no-spin
+            // path: the round-robin reduction is a real `div` per node per
+            // cycle otherwise.
+            let n = sharing.len();
+            let offset = if n == 1 { 0 } else { (now as usize) % n };
+            for i in 0..n {
+                let mut slot = offset + i;
+                if slot >= n {
+                    slot -= n;
+                }
+                let v = sharing[slot];
                 if let Some(&pkt) = cube.pngs[usize::from(v)].peek_outgoing() {
                     if cube.net.try_inject_from_mem(node, pkt, now) {
                         cube.pngs[usize::from(v)].pop_outgoing();

@@ -233,6 +233,12 @@ pub struct Channel {
     /// `log2(banks)` when the bank count is a power of two — bank/row of
     /// a global row number become mask/shift.
     bank_shift: Option<u32>,
+    /// `log2(cpw_den)` when the pacing denominator is a power of two
+    /// (both stock configs: 1 for HMC, 8 for DDR3), so the per-tick
+    /// `ready_units.div_ceil(cpw_den)` becomes an add-and-shift instead
+    /// of a 64-bit division — it runs on every streaming tick and every
+    /// horizon probe of every channel.
+    den_shift: Option<u32>,
     /// Fault-injection lens, when the run has one attached. Read faults
     /// ride the data path; the lens's background-upset schedule clamps
     /// [`next_event`](Channel::next_event) so the fast-forward loop can
@@ -247,6 +253,15 @@ pub struct Channel {
     words_written: u64,
     row_misses: u64,
     busy_cycles: u64,
+    // sparsity classification (see DESIGN.md §13): how many channel words
+    // carried an all-zero payload, and how those zero reads cluster into
+    // runs. Classification only — zero words still occupy their full slot
+    // of channel time and are charged full transfer energy; the counters
+    // feed the gated-transfer savings model in `neurocube_power`.
+    zero_words_read: u64,
+    zero_words_written: u64,
+    zero_read_runs: u64,
+    prev_read_zero: bool,
 }
 
 impl Channel {
@@ -272,6 +287,10 @@ impl Channel {
                 .banks
                 .is_power_of_two()
                 .then(|| cfg.banks.trailing_zeros()),
+            den_shift: cfg
+                .cpw_den
+                .is_power_of_two()
+                .then(|| cfg.cpw_den.trailing_zeros()),
             faults: None,
             fault_base: 0,
             fault_span: 0,
@@ -279,6 +298,10 @@ impl Channel {
             words_written: 0,
             row_misses: 0,
             busy_cycles: 0,
+            zero_words_read: 0,
+            zero_words_written: 0,
+            zero_read_runs: 0,
+            prev_read_zero: false,
             cfg,
         }
     }
@@ -333,6 +356,16 @@ impl Channel {
         true
     }
 
+    /// `ready_units.div_ceil(cpw_den)` — the cycle at which the next word
+    /// may cross — as a shift when the denominator is a power of two.
+    #[inline]
+    fn ready_cycle(&self) -> u64 {
+        match self.den_shift {
+            Some(s) => (self.ready_units + ((1u64 << s) - 1)) >> s,
+            None => self.ready_units.div_ceil(u64::from(self.cfg.cpw_den)),
+        }
+    }
+
     /// Splits a global row number into `(bank, row-within-bank)` — a
     /// mask/shift when the bank count is a power of two, a division
     /// otherwise.
@@ -357,36 +390,77 @@ impl Channel {
         if !self.may_activate(row_global, now) {
             return false;
         }
+        self.activate(row_global, now);
+        true
+    }
+
+    /// Unconditionally opens `row_global`'s row (the mutation half of
+    /// [`try_activate`](Self::try_activate); callers have already checked
+    /// [`may_activate`](Self::may_activate) or its masked form).
+    fn activate(&mut self, row_global: u64, now: u64) {
         let (bank, row) = self.bank_row(row_global);
         self.open_rows[bank] = Some(row);
         self.bank_ready[bank] = now + u64::from(self.cfg.row_miss_penalty);
         self.ready_heap
             .push(Reverse(now + u64::from(self.cfg.row_miss_penalty)));
         self.row_misses += 1;
-        true
+    }
+
+    /// Bit `b` set ⇔ bank `b`'s currently open row is still needed by a
+    /// request in the scheduling window (closing it would livelock — see
+    /// [`may_activate`](Self::may_activate)). One pass over the window, so
+    /// the command paths check each activation candidate in O(1) instead
+    /// of rescanning the window per candidate. `None` when the bank count
+    /// exceeds the mask (never the stock 16/8-bank configs), in which case
+    /// callers fall back to the per-candidate rescan.
+    fn window_needed(&self, window: usize) -> Option<u64> {
+        if self.cfg.banks > 64 {
+            return None;
+        }
+        let mut needed = 0u64;
+        for &(_, b, r) in self.qmeta.iter().take(window) {
+            if self.open_rows[b] == Some(r) {
+                needed |= 1u64 << b;
+            }
+        }
+        Some(needed)
     }
 
     /// Side-effect-free half of [`try_activate`](Self::try_activate): would
     /// an activation for `row_global` be issued at `now`?
     fn may_activate(&self, row_global: u64, now: u64) -> bool {
+        self.may_activate_with(row_global, now, None)
+    }
+
+    /// [`may_activate`](Self::may_activate) with the still-needed window
+    /// scan optionally pre-computed by
+    /// [`window_needed`](Self::window_needed).
+    fn may_activate_with(&self, row_global: u64, now: u64, needed: Option<u64>) -> bool {
         let (bank, row) = self.bank_row(row_global);
         if self.open_rows[bank] == Some(row) || self.bank_ready[bank] > now {
             return false;
         }
-        if let Some(cur) = self.open_rows[bank] {
-            let window = (self.cfg.sched_window as usize)
-                .max(1)
-                .min(self.queue.len());
-            let still_needed = self
-                .qmeta
-                .iter()
-                .take(window)
-                .any(|&(_, b, r)| b == bank && r == cur);
-            if still_needed {
-                return false;
+        match needed {
+            // A set bit implies the bank's row is open *and* needed; a
+            // bank with no open row never has its bit set.
+            Some(mask) => mask & (1u64 << bank) == 0,
+            None => {
+                if let Some(cur) = self.open_rows[bank] {
+                    let window = (self.cfg.sched_window as usize)
+                        .max(1)
+                        .min(self.queue.len());
+                    let still_needed = self
+                        .qmeta
+                        .iter()
+                        .take(window)
+                        .any(|&(_, b, r)| b == bank && r == cur);
+                    if still_needed {
+                        return false;
+                    }
+                }
+                true
             }
         }
-        true
     }
 
     /// The earliest in-flight activation completing strictly after `now`,
@@ -467,7 +541,7 @@ impl Channel {
         // prefix answers without scanning (readiness is monotonic, so the
         // prefix proven at the last tick still holds).
         if self.ready_prefix > 0 || (0..window).any(|i| self.row_ready_idx(i, now)) {
-            let ready_cycle = self.ready_units.div_ceil(u64::from(self.cfg.cpw_den));
+            let ready_cycle = self.ready_cycle();
             if now >= ready_cycle {
                 return None;
             }
@@ -475,9 +549,16 @@ impl Channel {
         }
         // Command path: would a demand activation be issued at `now`?
         // Entries inside the ready prefix are row-ready by definition and
-        // can be skipped.
+        // can be skipped. The needed mask is computed on the first real
+        // candidate — an all-ready window (the streaming steady state)
+        // never pays for it.
+        let mut needed = None;
         for i in self.ready_prefix.min(window)..window {
-            if !self.row_ready_idx(i, now) && self.may_activate(self.qmeta[i].0, now) {
+            if self.row_ready_idx(i, now) {
+                continue;
+            }
+            let mask = *needed.get_or_insert_with(|| self.window_needed(window));
+            if self.may_activate_with(self.qmeta[i].0, now, mask) {
                 return None;
             }
         }
@@ -584,9 +665,17 @@ impl Channel {
         // Command path: issue (at most) one demand activation per cycle,
         // for the oldest request in the scheduling window whose row is not
         // open and whose bank permits it. Prefix entries are row-ready and
-        // never candidates.
+        // never candidates. The needed mask is computed on the first real
+        // candidate and stays exact through the scan: nothing mutates
+        // until a candidate passes, and then the loop ends.
+        let mut needed = None;
         for i in self.ready_prefix..window {
-            if !self.row_ready_idx(i, now) && self.try_activate(self.qmeta[i].0, now) {
+            if self.row_ready_idx(i, now) {
+                continue;
+            }
+            let mask = *needed.get_or_insert_with(|| self.window_needed(window));
+            if self.may_activate_with(self.qmeta[i].0, now, mask) {
+                self.activate(self.qmeta[i].0, now);
                 break;
             }
         }
@@ -608,7 +697,7 @@ impl Channel {
 
         // Rational rate pacing: next transfer at ceil(ready_units / cpw_den).
         let den = u64::from(self.cfg.cpw_den);
-        let ready_cycle = self.ready_units.div_ceil(den);
+        let ready_cycle = self.ready_cycle();
         if now < ready_cycle {
             self.note_quiet(now);
             return None;
@@ -670,6 +759,28 @@ impl Channel {
             }
         };
 
+        // Sparsity classification on the value that actually crossed the
+        // channel (post-fault for reads): a zero-run-aware compressor or a
+        // transfer-gated link could elide these words. Timing and energy
+        // above are untouched — see DESIGN.md §13.
+        match req.kind {
+            RequestKind::Read => {
+                let zero = data == 0;
+                if zero {
+                    self.zero_words_read += 1;
+                    if !self.prev_read_zero {
+                        self.zero_read_runs += 1;
+                    }
+                }
+                self.prev_read_zero = zero;
+            }
+            RequestKind::Write(_) | RequestKind::Write16(_) => {
+                if data == 0 {
+                    self.zero_words_written += 1;
+                }
+            }
+        }
+
         // Schedule the next word: one word time, plus the burst gap when a
         // burst completes.
         self.ready_units += u64::from(self.cfg.cpw_num);
@@ -716,6 +827,23 @@ impl Channel {
     /// Refresh commands issued.
     pub fn refreshes(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Read words whose (post-fault) payload was all zero.
+    pub fn zero_words_read(&self) -> u64 {
+        self.zero_words_read
+    }
+
+    /// Written words whose payload was all zero.
+    pub fn zero_words_written(&self) -> u64 {
+        self.zero_words_written
+    }
+
+    /// Maximal runs of consecutive zero read words on this channel — the
+    /// unit a zero-run compressor (see [`crate::zerorun`]) would replace
+    /// with a single run header.
+    pub fn zero_read_runs(&self) -> u64 {
+        self.zero_read_runs
     }
 
     /// Total bits moved across the channel.
@@ -884,6 +1012,79 @@ mod tests {
         assert_eq!(ch.words_written(), 1);
         assert_eq!(ch.bits_transferred(), 32);
         assert!((ch.energy_joules() - 32.0 * 3.7e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_words_classify_without_touching_timing_or_energy() {
+        // Pattern: Z Z N Z N N Z Z Z — 3 zero runs, 6 zero reads.
+        let values: [u32; 9] = [0, 0, 7, 0, 9, 9, 0, 0, 0];
+        let run = |vals: &[u32]| {
+            let mut ch = Channel::new(ChannelConfig::hmc_int());
+            let mut storage = Storage::new();
+            for (i, &v) in vals.iter().enumerate() {
+                let addr = i as u64 * 4;
+                storage.write_u32(addr, v);
+                assert!(ch.try_enqueue(Request {
+                    addr,
+                    tag: i as u64,
+                    kind: RequestKind::Read,
+                }));
+            }
+            let mut cycles = Vec::new();
+            let mut now = 0u64;
+            while cycles.len() < vals.len() {
+                if let Some(c) = ch.tick(now, &mut storage) {
+                    cycles.push(c.cycle);
+                }
+                now += 1;
+                assert!(now < 1_000_000);
+            }
+            (ch, cycles)
+        };
+        let (ch, cycles) = run(&values);
+        assert_eq!(ch.zero_words_read(), 6);
+        assert_eq!(ch.zero_read_runs(), 3);
+        assert_eq!(ch.zero_words_written(), 0);
+        // Classification only: a dense stream of the same length has
+        // identical timing and energy.
+        let (dense, dense_cycles) = run(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(cycles, dense_cycles);
+        assert_eq!(
+            ch.energy_joules().to_bits(),
+            dense.energy_joules().to_bits()
+        );
+        assert_eq!(dense.zero_words_read(), 0);
+        assert_eq!(dense.zero_read_runs(), 0);
+    }
+
+    #[test]
+    fn zero_writes_classify_for_both_write_kinds() {
+        let mut ch = Channel::new(ChannelConfig::hmc_int());
+        let mut storage = Storage::new();
+        for (i, kind) in [
+            RequestKind::Write(0),
+            RequestKind::Write(3),
+            RequestKind::Write16(0),
+            RequestKind::Write16(5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(ch.try_enqueue(Request {
+                addr: i as u64 * 4,
+                tag: i as u64,
+                kind,
+            }));
+        }
+        let mut done = 0;
+        let mut now = 0u64;
+        while done < 4 {
+            done += usize::from(ch.tick(now, &mut storage).is_some());
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        assert_eq!(ch.zero_words_written(), 2);
+        assert_eq!(ch.zero_words_read(), 0);
     }
 
     #[test]

@@ -277,6 +277,22 @@ impl MemorySystem {
     pub fn total_row_misses(&self) -> u64 {
         self.channels.iter().map(Channel::row_misses).sum()
     }
+
+    /// Read words whose (post-fault) payload was all zero, across all
+    /// channels. Classification only — see DESIGN.md §13.
+    pub fn total_zero_words_read(&self) -> u64 {
+        self.channels.iter().map(Channel::zero_words_read).sum()
+    }
+
+    /// Written words whose payload was all zero, across all channels.
+    pub fn total_zero_words_written(&self) -> u64 {
+        self.channels.iter().map(Channel::zero_words_written).sum()
+    }
+
+    /// Maximal runs of consecutive zero read words, across all channels.
+    pub fn total_zero_read_runs(&self) -> u64 {
+        self.channels.iter().map(Channel::zero_read_runs).sum()
+    }
 }
 
 impl StatSource for MemorySystem {
@@ -284,6 +300,9 @@ impl StatSource for MemorySystem {
         stats.counter("bits_transferred", self.total_bits_transferred());
         stats.counter("row_misses", self.total_row_misses());
         stats.metric("energy_j", self.total_energy_joules());
+        stats.counter("zero_words_read", self.total_zero_words_read());
+        stats.counter("zero_words_written", self.total_zero_words_written());
+        stats.counter("zero_read_runs", self.total_zero_read_runs());
     }
 }
 

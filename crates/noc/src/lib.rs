@@ -33,7 +33,7 @@ mod router;
 mod stats;
 mod topology;
 
-pub use network::Network;
+pub use network::{Network, NocError};
 pub use packet::{NodeId, Packet, PacketKind};
 pub use router::BUFFER_DEPTH;
 pub use stats::NocStats;

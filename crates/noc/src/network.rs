@@ -77,6 +77,17 @@ pub struct Network {
     busy: u128,
     /// Per-router flit counts backing the `busy` mask.
     occ: Vec<u32>,
+    /// Count of [`tick`](Self::tick) calls. With `seen` it drives the lazy
+    /// idle-arbiter rotation: an idle router's only observable behaviour is
+    /// its every-cycle `+1` pointer rotation, so instead of touching every
+    /// idle router's pointers each tick, phase 1 folds the accumulated lag
+    /// in (mod `ports`) when a router next holds flits.
+    ticks: u64,
+    /// Per-router `ticks` value at which the arbiter pointers were last
+    /// brought current; `ticks - seen[n]` tick calls of pending idle
+    /// rotation are outstanding (every such call found the router idle, or
+    /// it would have been processed and stamped).
+    seen: Vec<u64>,
     /// Scratch for phase-1 switch allocation: per output port, the winning
     /// `(rank << 8) | input` pair ([`NO_GRANT`] = no requester), where rank
     /// is the input's distance from the output's priority pointer. Reused
@@ -106,18 +117,80 @@ pub struct Network {
     diagnosed_unroutable: bool,
 }
 
+/// A topology the flat-pool fabric representation cannot carry — the
+/// typed form of what used to be construction-time panics, so compilers
+/// and hosts can surface oversized configurations gracefully (the PR 4
+/// degradation policy) instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NocError {
+    /// More routers than the `u128` occupancy mask can track.
+    MeshTooLarge {
+        /// Routers the topology wires.
+        nodes: usize,
+        /// The representation's limit (128).
+        max: usize,
+    },
+    /// More ports per router than the `u8` arbiter priority pointers can
+    /// index (a fully connected fabric needs `nodes + 1` ports).
+    TooManyPorts {
+        /// Ports per router the topology needs.
+        ports: usize,
+        /// The representation's limit (255).
+        max: usize,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NocError::MeshTooLarge { nodes, max } => write!(
+                f,
+                "topology wires {nodes} routers but the occupancy mask supports at most {max}"
+            ),
+            NocError::TooManyPorts { ports, max } => write!(
+                f,
+                "topology needs {ports} ports per router but the arbiter pointers index at most {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
+
 impl Network {
     /// Builds an idle fabric with the given wiring.
     ///
     /// # Panics
     ///
-    /// Panics if the topology has more than 128 nodes (the occupancy
-    /// mask is a `u128`; every Neurocube configuration is 16).
+    /// Panics if the topology exceeds the fabric representation's limits
+    /// (see [`Network::try_new`]; every Neurocube configuration is 16
+    /// nodes, far inside them).
     pub fn new(topo: Topology) -> Network {
+        match Network::try_new(topo) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds an idle fabric with the given wiring, or reports a typed
+    /// [`NocError`] when the topology exceeds what the flat-pool
+    /// representation can carry: at most 128 routers (the occupancy mask
+    /// is a `u128`) and at most 255 ports per router (arbiter priority
+    /// pointers are `u8`).
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::TooManyPorts`] or [`NocError::MeshTooLarge`] on an
+    /// oversized topology.
+    pub fn try_new(topo: Topology) -> Result<Network, NocError> {
         let ports = topo.ports();
         let nodes = usize::from(topo.nodes());
-        assert!(nodes <= 128, "occupancy mask supports ≤128 nodes");
-        assert!(ports < 256, "arbiter pointers are u8");
+        if ports >= 256 {
+            return Err(NocError::TooManyPorts { ports, max: 255 });
+        }
+        if nodes > 128 {
+            return Err(NocError::MeshTooLarge { nodes, max: 128 });
+        }
         let mut route_lut = vec![NO_LINK; nodes * nodes];
         for cur in 0..nodes {
             for dst in 0..nodes {
@@ -135,7 +208,7 @@ impl Network {
                 }
             }
         }
-        Network {
+        Ok(Network {
             nodes,
             ports,
             inputs: FlatQueues::new(nodes * ports),
@@ -146,6 +219,8 @@ impl Network {
             mem_port: topo.mesh_ports() + 1,
             busy: 0,
             occ: vec![0; nodes],
+            ticks: 0,
+            seen: vec![0; nodes],
             grant: vec![NO_GRANT; ports],
             route_lut,
             links,
@@ -154,7 +229,7 @@ impl Network {
             drop_counts: NocFaultCounts::default(),
             diagnosed_unroutable: false,
             topo,
-        }
+        })
     }
 
     /// Attaches (or detaches) the link-fault lens. Attaching also switches
@@ -379,20 +454,15 @@ impl Network {
     /// cycle.
     pub fn tick(&mut self, now: u64) {
         let ports = self.ports;
+        self.ticks += 1;
+        let ticks = self.ticks;
 
         // Phase 1: switch allocation within each router. Only routers
         // holding flits run the want/grant scan; an empty router's sole
-        // observable behaviour is its every-cycle arbiter rotation, applied
-        // directly on the idle path.
-        let all = u128::MAX >> (128 - self.nodes);
-        let mut idle = !self.busy & all;
-        while idle != 0 {
-            let node = idle.trailing_zeros() as usize;
-            idle &= idle - 1;
-            for p in &mut self.priority[node * ports..(node + 1) * ports] {
-                *p = wrap(usize::from(*p) + 1, ports) as u8;
-            }
-        }
+        // observable behaviour is its every-cycle arbiter rotation, which
+        // is deferred (`ticks`/`seen`) and folded in below when the router
+        // next holds flits — an idle router costs nothing per cycle.
+        //
         // Flits never cross routers in phase 1, so the mask snapshot is
         // exact for the whole phase.
         let mut pending = self.busy;
@@ -401,6 +471,17 @@ impl Network {
             let node = pending.trailing_zeros() as usize;
             pending &= pending - 1;
             let base = node * ports;
+            // Ticks since the last stamp all found this router idle; apply
+            // their pending rotation (the current tick is not one of them —
+            // the grant loop below rotates or resets each pointer itself).
+            let lag = (ticks - 1) - self.seen[node];
+            self.seen[node] = ticks;
+            let k = (lag % ports as u64) as usize;
+            if k != 0 {
+                for p in &mut self.priority[base..base + ports] {
+                    *p = wrap(usize::from(*p) + k, ports) as u8;
+                }
+            }
             // One pass over the input heads computes every output's winner
             // directly: the rotating daisy chain grants the requesting
             // input closest past the priority pointer, i.e. the one with
@@ -552,13 +633,27 @@ impl Network {
     pub fn skip_cycles(&mut self, cycles: u64) {
         debug_assert!(self.is_idle(), "fast-forward over a non-idle fabric");
         let ports = self.ports;
-        let k = (cycles % ports as u64) as usize;
-        if k == 0 {
-            return;
+        for node in 0..self.nodes {
+            // Outstanding lazy rotation from ticked idle cycles, plus the
+            // skipped stretch itself.
+            let lag = (self.ticks - self.seen[node]) + cycles;
+            self.seen[node] = self.ticks;
+            let k = (lag % ports as u64) as usize;
+            if k == 0 {
+                continue;
+            }
+            for p in &mut self.priority[node * ports..(node + 1) * ports] {
+                *p = wrap(usize::from(*p) + k, ports) as u8;
+            }
         }
-        for p in &mut self.priority {
-            *p = ((usize::from(*p) + k) % ports) as u8;
-        }
+    }
+
+    /// Applies every lazily-pending idle-arbiter rotation so `priority`
+    /// holds the effective pointers (tests compare the arrays directly;
+    /// the hot paths never need this — phase 1 folds lag per router).
+    #[cfg(test)]
+    fn sync_arbiters(&mut self) {
+        self.skip_cycles(0);
     }
 }
 
@@ -590,6 +685,56 @@ mod tests {
     use super::*;
     use crate::packet::PacketKind;
     use crate::router::BUFFER_DEPTH;
+
+    #[test]
+    fn oversized_mesh_is_a_typed_error() {
+        // 12×12 = 144 routers: past the u128 occupancy mask.
+        let err = Network::try_new(Topology::Mesh {
+            width: 12,
+            height: 12,
+        })
+        .expect_err("144 nodes must not construct");
+        assert_eq!(
+            err,
+            NocError::MeshTooLarge {
+                nodes: 144,
+                max: 128
+            }
+        );
+        assert!(err.to_string().contains("144 routers"));
+    }
+
+    #[test]
+    fn oversized_port_count_is_a_typed_error() {
+        // 255 fully connected routers need 256 ports per router: past the
+        // u8 arbiter pointers (checked before the node count so each
+        // limit has its own reachable error).
+        let err = Network::try_new(Topology::FullyConnected { nodes: 255 })
+            .expect_err("256 ports must not construct");
+        assert_eq!(
+            err,
+            NocError::TooManyPorts {
+                ports: 256,
+                max: 255
+            }
+        );
+        assert!(err.to_string().contains("256 ports"));
+    }
+
+    #[test]
+    fn in_range_topologies_still_construct() {
+        assert!(Network::try_new(Topology::mesh4x4()).is_ok());
+        assert!(Network::try_new(Topology::FullyConnected { nodes: 128 }).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy mask")]
+    fn panicking_constructor_keeps_its_teeth() {
+        let _ = Network::new(Topology::Mesh {
+            width: 13,
+            height: 10,
+        });
+    }
 
     fn pkt(src: NodeId, dst: NodeId, kind: PacketKind, data: u16) -> Packet {
         Packet {
@@ -793,6 +938,10 @@ mod tests {
                 }
                 let mut skipped = seed.clone();
                 skipped.skip_cycles(gap);
+                // Rotation is lazy on the ticked side: materialize both
+                // before comparing the raw pointer arrays.
+                ticked.sync_arbiters();
+                skipped.sync_arbiters();
                 assert_eq!(ticked.priority, skipped.priority, "gap {gap}");
                 // The two fabrics must stay bitwise interchangeable: same
                 // delivery schedule for the next packet, injected at the

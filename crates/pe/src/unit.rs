@@ -13,25 +13,30 @@
 //! behind `NEUROCUBE_NO_SIMD=1` (or [`ProcessingElement::set_simd`]) as
 //! the differential oracle; both paths are asserted bitwise identical by
 //! the integration equivalence suite.
+//!
+//! **Sparsity.** Every fire classifies its operand lanes: a lane whose
+//! weight or state operand is exactly `0` contributes nothing to its
+//! accumulator in either `Q1.7.8` width (`0·x = 0`, and adding `0` is the
+//! identity under both wrapping and saturating accumulation), so a
+//! gated-update MAC array could clock-gate it. The PE counts those lanes
+//! (`lanes_gated`) on every fire, and — on the SoA path with no fault
+//! lens attached — skips or mask-iterates them on the host, which is
+//! bitwise invisible by construction. `NEUROCUBE_NO_SPARSITY=1` (or
+//! [`ProcessingElement::set_sparsity`]) disables the host fast paths
+//! while leaving the classification counters on.
 
 use crate::cache::PacketCache;
 use crate::config::{PeLayerConfig, StateMode, WeightMode};
 use neurocube_fault::{FaultConfig, PeFaultCounts, PeFaults};
 use neurocube_fixed::{
-    accumulate_narrow_lanes, accumulate_wide_lanes, wide_result_bits, AccumulatorWidth, MacUnit,
-    Q88,
+    accumulate_narrow_broadcast_state, accumulate_narrow_broadcast_weight, accumulate_narrow_lanes,
+    accumulate_narrow_masked, accumulate_wide_broadcast_state, accumulate_wide_broadcast_weight,
+    accumulate_wide_lanes, accumulate_wide_masked, wide_result_bits, AccumulatorWidth, LaneSrc,
+    MacUnit, Q88,
 };
 use neurocube_noc::{NodeId, Packet, PacketKind};
-use neurocube_sim::{env_flag, ScopedStats, StatSource};
+use neurocube_sim::{simd_default, sparsity_default, ScopedStats, StatSource};
 use std::collections::VecDeque;
-use std::sync::OnceLock;
-
-/// Process-wide default for the SoA batch path: on unless
-/// `NEUROCUBE_NO_SIMD` is set (the scalar-oracle escape hatch).
-fn simd_default() -> bool {
-    static SIMD: OnceLock<bool> = OnceLock::new();
-    *SIMD.get_or_init(|| !env_flag("NEUROCUBE_NO_SIMD"))
-}
 
 /// Lifetime/layer counters exposed by a PE.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,6 +53,11 @@ pub struct PeStats {
     pub results_emitted: u64,
     /// Packets that had to be parked in the SRAM cache.
     pub cached_packets: u64,
+    /// MAC lane-cycles whose weight or state operand was exactly zero —
+    /// the lanes a gated-update MAC array would have clock-gated. Always
+    /// counted (independent of the host fast paths); a subset of
+    /// `mac_ops`, which keeps charging the full architectural op count.
+    pub lanes_gated: u64,
 }
 
 /// One Neurocube processing element.
@@ -71,6 +81,11 @@ pub struct ProcessingElement {
     weight_bits: Vec<i16>,
     state_mask: u64,
     weight_mask: u64,
+    /// Zero-operand bitmasks, maintained alongside the fill bitmasks: bit
+    /// `m` tracks whether lane `m`'s most recent operand was exactly zero
+    /// (meaningful only while the corresponding fill bit is set).
+    state_zero_mask: u64,
+    weight_zero_mask: u64,
     shared_state: Option<Q88>,
     /// MAC accumulator banks for the batch path (one of the two is live,
     /// by configured [`AccumulatorWidth`]).
@@ -93,6 +108,10 @@ pub struct ProcessingElement {
     results: VecDeque<Packet>,
     done: bool,
     simd: bool,
+    /// Host fast paths for zero-operand lanes (skip / masked iteration).
+    /// Never changes any observable — classification counters stay on
+    /// either way.
+    sparsity: bool,
     stats: PeStats,
     /// Optional transient-MAC-fault lens. MAC faults strike only fires
     /// that were about to happen, so no event-horizon clamping is needed.
@@ -131,6 +150,8 @@ impl ProcessingElement {
             weight_bits: Vec::new(),
             state_mask: 0,
             weight_mask: 0,
+            state_zero_mask: 0,
+            weight_zero_mask: 0,
             shared_state: None,
             acc_wide: Vec::new(),
             acc_narrow: Vec::new(),
@@ -145,6 +166,7 @@ impl ProcessingElement {
             results: VecDeque::new(),
             done: true,
             simd: simd_default(),
+            sparsity: sparsity_default(),
             stats: PeStats::default(),
             faults: None,
             lenient: false,
@@ -160,9 +182,10 @@ impl ProcessingElement {
 
     /// Selects the MAC arithmetic path: `Some(true)` forces the SoA batch
     /// kernels, `Some(false)` forces the per-lane scalar [`MacUnit`]
-    /// oracle, `None` restores the process default (`NEUROCUBE_NO_SIMD`).
-    /// Both paths are bitwise identical in every observable; the scalar
-    /// path exists as the differential oracle.
+    /// oracle, `None` re-resolves the environment default
+    /// (`NEUROCUBE_NO_SIMD`, read fresh — never cached). Both paths are
+    /// bitwise identical in every observable; the scalar path exists as
+    /// the differential oracle.
     ///
     /// # Panics
     ///
@@ -174,6 +197,25 @@ impl ProcessingElement {
             "set_simd must not switch arithmetic paths mid-layer"
         );
         self.simd = simd.unwrap_or_else(simd_default);
+    }
+
+    /// The arithmetic path currently selected (`true` = SoA batch).
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// Enables/disables the zero-operand host fast paths: `Some(..)`
+    /// forces, `None` re-resolves the environment default
+    /// (`NEUROCUBE_NO_SPARSITY`, read fresh — never cached). Safe at any
+    /// time, including mid-layer: the fast paths are stateless and every
+    /// observable (results, counters, timing) is identical either way.
+    pub fn set_sparsity(&mut self, sparsity: Option<bool>) {
+        self.sparsity = sparsity.unwrap_or_else(sparsity_default);
+    }
+
+    /// Whether the zero-operand host fast paths are enabled.
+    pub fn sparsity(&self) -> bool {
+        self.sparsity
     }
 
     /// Attaches (or detaches) the transient-MAC-fault lens. Attaching also
@@ -229,6 +271,8 @@ impl ProcessingElement {
         self.weight_bits = vec![0; n];
         self.state_mask = 0;
         self.weight_mask = 0;
+        self.state_zero_mask = 0;
+        self.weight_zero_mask = 0;
         self.shared_state = None;
         self.acc_wide = vec![0; n];
         self.acc_narrow = vec![0; n];
@@ -305,6 +349,11 @@ impl ProcessingElement {
                 if self.state_mask & bit == 0 {
                     self.state_bits[mac] = pkt.data as i16;
                     self.state_mask |= bit;
+                    if pkt.data == 0 {
+                        self.state_zero_mask |= bit;
+                    } else {
+                        self.state_zero_mask &= !bit;
+                    }
                     return true;
                 }
             }
@@ -319,6 +368,11 @@ impl ProcessingElement {
                 if self.weight_mask & bit == 0 {
                     self.weight_bits[mac] = pkt.data as i16;
                     self.weight_mask |= bit;
+                    if pkt.data == 0 {
+                        self.weight_zero_mask |= bit;
+                    } else {
+                        self.weight_zero_mask &= !bit;
+                    }
                     return true;
                 }
             }
@@ -457,28 +511,146 @@ impl ProcessingElement {
         }
 
         // Fire: one multiply-accumulate per active MAC, all lanes in one
-        // batch pass (or through the per-lane scalar oracle units).
+        // batch pass (or through the per-lane scalar oracle units). Every
+        // path first classifies the zero-operand lanes (the gated-update
+        // model); only the batch-without-faults path may then exploit the
+        // classification on the host.
+        let need = lane_mask(active);
         let active = active as usize;
-        self.gather_lanes(&cfg, active, now);
-        if self.simd {
-            match self.accumulator {
-                AccumulatorWidth::Wide32 => accumulate_wide_lanes(
-                    &mut self.acc_wide[..active],
-                    &self.w_lanes[..active],
-                    &self.x_lanes[..active],
-                ),
-                AccumulatorWidth::Narrow16 => accumulate_narrow_lanes(
-                    &mut self.acc_narrow[..active],
-                    &self.w_lanes[..active],
-                    &self.x_lanes[..active],
-                ),
+        if self.simd && self.faults.is_none() {
+            // Batch path, no fault lens: classify straight from the slot
+            // state (no gather copies) and fire on the slot arrays
+            // themselves; the broadcast kernel variants splat Local
+            // weights / Shared states without filling a scratch row.
+            let w_splat = match cfg.weights {
+                WeightMode::Local {
+                    weights_per_neuron, ..
+                } => {
+                    let row = cfg.weight_row(self.group);
+                    let idx = (row * weights_per_neuron + self.op) as usize;
+                    Some(self.local_weights[idx].to_bits())
+                }
+                WeightMode::Stream => None,
+            };
+            let x_splat = match cfg.states {
+                StateMode::PerMac => None,
+                StateMode::Shared => Some(self.shared_state.expect("checked complete").to_bits()),
+            };
+            let wz = match w_splat {
+                Some(0) => need,
+                Some(_) => 0,
+                None => self.weight_zero_mask & need,
+            };
+            let xz = match x_splat {
+                Some(0) => need,
+                Some(_) => 0,
+                None => self.state_zero_mask & need,
+            };
+            let gated = wz | xz;
+            self.stats.lanes_gated += u64::from(gated.count_ones());
+            if self.sparsity && gated == need {
+                // Every lane holds a zero operand: the fire is an
+                // arithmetic no-op in both accumulator widths.
+            } else if self.sparsity && gated != 0 {
+                let live = need & !gated;
+                let w = match w_splat {
+                    Some(w) => LaneSrc::Splat(w),
+                    None => LaneSrc::Lanes(&self.weight_bits[..active]),
+                };
+                let x = match x_splat {
+                    Some(x) => LaneSrc::Splat(x),
+                    None => LaneSrc::Lanes(&self.state_bits[..active]),
+                };
+                match self.accumulator {
+                    AccumulatorWidth::Wide32 => {
+                        accumulate_wide_masked(&mut self.acc_wide[..active], w, x, live);
+                    }
+                    AccumulatorWidth::Narrow16 => {
+                        accumulate_narrow_masked(&mut self.acc_narrow[..active], w, x, live);
+                    }
+                }
+            } else {
+                match (self.accumulator, w_splat, x_splat) {
+                    (AccumulatorWidth::Wide32, Some(w), None) => accumulate_wide_broadcast_weight(
+                        &mut self.acc_wide[..active],
+                        w,
+                        &self.state_bits[..active],
+                    ),
+                    (AccumulatorWidth::Wide32, None, Some(x)) => accumulate_wide_broadcast_state(
+                        &mut self.acc_wide[..active],
+                        &self.weight_bits[..active],
+                        x,
+                    ),
+                    (AccumulatorWidth::Wide32, None, None) => accumulate_wide_lanes(
+                        &mut self.acc_wide[..active],
+                        &self.weight_bits[..active],
+                        &self.state_bits[..active],
+                    ),
+                    (AccumulatorWidth::Wide32, Some(w), Some(x)) => accumulate_wide_masked(
+                        &mut self.acc_wide[..active],
+                        LaneSrc::Splat(w),
+                        LaneSrc::Splat(x),
+                        need,
+                    ),
+                    (AccumulatorWidth::Narrow16, Some(w), None) => {
+                        accumulate_narrow_broadcast_weight(
+                            &mut self.acc_narrow[..active],
+                            w,
+                            &self.state_bits[..active],
+                        );
+                    }
+                    (AccumulatorWidth::Narrow16, None, Some(x)) => {
+                        accumulate_narrow_broadcast_state(
+                            &mut self.acc_narrow[..active],
+                            &self.weight_bits[..active],
+                            x,
+                        );
+                    }
+                    (AccumulatorWidth::Narrow16, None, None) => accumulate_narrow_lanes(
+                        &mut self.acc_narrow[..active],
+                        &self.weight_bits[..active],
+                        &self.state_bits[..active],
+                    ),
+                    (AccumulatorWidth::Narrow16, Some(w), Some(x)) => accumulate_narrow_masked(
+                        &mut self.acc_narrow[..active],
+                        LaneSrc::Splat(w),
+                        LaneSrc::Splat(x),
+                        need,
+                    ),
+                }
             }
         } else {
+            // Scalar oracle and/or fault lens: gather into the scratch
+            // rows (the lens is consulted once per lane, in fire order)
+            // and classify from the post-upset operands — an upset can
+            // turn a zero state nonzero, so the gated-update model must
+            // see what the multiplier sees. No host fast paths here.
+            self.gather_lanes(&cfg, active, now);
+            let mut gated = 0u32;
             for m in 0..active {
-                self.macs[m].accumulate(
-                    Q88::from_bits(self.w_lanes[m]),
-                    Q88::from_bits(self.x_lanes[m]),
-                );
+                gated += u32::from(self.w_lanes[m] == 0 || self.x_lanes[m] == 0);
+            }
+            self.stats.lanes_gated += u64::from(gated);
+            if self.simd {
+                match self.accumulator {
+                    AccumulatorWidth::Wide32 => accumulate_wide_lanes(
+                        &mut self.acc_wide[..active],
+                        &self.w_lanes[..active],
+                        &self.x_lanes[..active],
+                    ),
+                    AccumulatorWidth::Narrow16 => accumulate_narrow_lanes(
+                        &mut self.acc_narrow[..active],
+                        &self.w_lanes[..active],
+                        &self.x_lanes[..active],
+                    ),
+                }
+            } else {
+                for m in 0..active {
+                    self.macs[m].accumulate(
+                        Q88::from_bits(self.w_lanes[m]),
+                        Q88::from_bits(self.x_lanes[m]),
+                    );
+                }
             }
         }
         self.shared_state = None;
@@ -614,6 +786,7 @@ impl StatSource for ProcessingElement {
         stats.counter("starved_cycles", self.stats.starved_cycles);
         stats.counter("results_emitted", self.stats.results_emitted);
         stats.counter("cached_packets", self.stats.cached_packets);
+        stats.counter("lanes_gated", self.stats.lanes_gated);
         stats.gauge("cache_high_water", self.cache_high_water() as f64);
     }
 }

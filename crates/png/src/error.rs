@@ -8,6 +8,7 @@
 //! surfaces the same variants as `Result`s.
 
 use neurocube_nn::GraphError;
+use neurocube_noc::NocError;
 use std::fmt;
 
 /// Errors produced by the host compiler and loaders.
@@ -60,6 +61,8 @@ pub enum CompileError {
     },
     /// The graph itself failed validation.
     Graph(GraphError),
+    /// The target fabric cannot be constructed (oversized topology).
+    Noc(NocError),
 }
 
 impl fmt::Display for CompileError {
@@ -91,6 +94,7 @@ impl fmt::Display for CompileError {
                 write!(f, "volume payload has {got} values, expected {expected}")
             }
             CompileError::Graph(e) => write!(f, "invalid graph: {e}"),
+            CompileError::Noc(e) => write!(f, "fabric not constructible: {e}"),
         }
     }
 }
@@ -99,6 +103,7 @@ impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompileError::Graph(e) => Some(e),
+            CompileError::Noc(e) => Some(e),
             _ => None,
         }
     }
@@ -107,6 +112,12 @@ impl std::error::Error for CompileError {
 impl From<GraphError> for CompileError {
     fn from(e: GraphError) -> CompileError {
         CompileError::Graph(e)
+    }
+}
+
+impl From<NocError> for CompileError {
+    fn from(e: NocError) -> CompileError {
+        CompileError::Noc(e)
     }
 }
 
@@ -129,6 +140,18 @@ mod tests {
         use std::error::Error;
         let e = CompileError::from(GraphError::Cycle);
         assert!(e.to_string().contains("cycle"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn noc_errors_wrap_with_source() {
+        use std::error::Error;
+        let e = CompileError::from(NocError::MeshTooLarge {
+            nodes: 144,
+            max: 128,
+        });
+        assert!(e.to_string().contains("fabric not constructible"));
+        assert!(e.to_string().contains("144 routers"));
         assert!(e.source().is_some());
     }
 }

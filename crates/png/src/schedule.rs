@@ -32,6 +32,75 @@ pub struct OperandEvent {
     pub kind: PacketKind,
 }
 
+/// Per-destination counters maintained incrementally as the stream's
+/// `(group, connection)` step advances — the `fill_for` division chains
+/// (`g / gpm`, `g % gpm`, `rem0 / rw`, …) hoisted into O(1)-per-step
+/// updates. Runtime-divisor `div`/`%` cost ~25 cycles each on the
+/// simulation host and `fill_for` runs once per destination per step
+/// (usually emitting nothing after the remote batch rejection), so the
+/// prologue divisions dominated operand generation.
+#[derive(Clone, Copy, Debug)]
+struct ServeCursor {
+    /// Output neurons per map assigned to this destination (layer
+    /// constant, > 0 for every served PE).
+    per_map: u64,
+    /// Groups per map, `per_map.div_ceil(n_mac)` (layer constant).
+    gpm: u64,
+    /// Groups this destination participates in, `gpm * maps` (layer
+    /// constant); the cursor is stale and unused once `g` passes it.
+    groups_p: u64,
+    /// `g / gpm` — the current output map.
+    map: u64,
+    /// `g % gpm` — the group index within the map.
+    gin: u64,
+    /// `map % in_channels` (the `SingleMap` input channel); maintained
+    /// for every stream, read only under that connectivity.
+    icm: u64,
+    /// Index (within the map) of the group's last neuron,
+    /// `gin * n_mac + active - 1` (spatial streams only).
+    last_idx: u64,
+    /// The destination's owned output rectangle (spatial streams only):
+    /// `y0`, `x0`, `x1`.
+    ry0: usize,
+    rx0: usize,
+    rx1: usize,
+    /// Coordinates of the group's first neuron, `rem0 = gin * n_mac`,
+    /// within the owned rectangle (spatial streams only).
+    oy0: usize,
+    ox0: usize,
+    /// Coordinates of `last_idx` (spatial streams only).
+    oy_hi: usize,
+    ox_hi: usize,
+}
+
+impl ServeCursor {
+    /// Advances a row-major position inside the owned rectangle by `d`
+    /// neurons. `d` is at most `n_mac` (16), so the carry loop beats a
+    /// division even for single-column rectangles.
+    fn advance(&self, oy: &mut usize, ox: &mut usize, d: u64) {
+        let rw = self.rx1 - self.rx0;
+        *ox += d as usize;
+        while *ox >= self.rx1 {
+            *ox -= rw;
+            *oy += 1;
+        }
+    }
+}
+
+/// How the spatial fast path derives the input channel from the cached
+/// counters (layer constant).
+#[derive(Clone, Copy, Debug)]
+enum SpatialIc {
+    /// `Conv2d` with `SingleMap` connectivity: `map % in_channels`
+    /// (the cursor's `icm`).
+    Single,
+    /// `Conv2d` with `AllMaps` connectivity: `k / kernel²` (the stream's
+    /// cached `kch`).
+    All,
+    /// `AvgPool`: the output map itself.
+    Pool,
+}
+
 /// Lazily generated operand stream of one vault for one layer.
 #[derive(Clone, Debug)]
 pub struct OperandStream {
@@ -39,11 +108,26 @@ pub struct OperandStream {
     vault: NodeId,
     /// PEs this vault can possibly serve (ownership pre-filter).
     serves: Vec<NodeId>,
+    /// Incremental per-destination counters, parallel to `serves`.
+    cursors: Vec<ServeCursor>,
     g: u64,
     k: u32,
     pi: usize,
     max_groups: u64,
     conns: u32,
+    /// Layer-constant admission of the conv/pool spatial fast path
+    /// (spatial in/out volumes, untruncated output shape).
+    spatial_ok: bool,
+    /// Kernel geometry for the spatial path (1/1 otherwise, unused).
+    kernel: usize,
+    stride: usize,
+    ic_mode: SpatialIc,
+    /// `k`-derived kernel offsets, advanced with `k`: `rk = k % kernel²`,
+    /// `ky = rk / kernel`, `kx = rk % kernel`, `kch = k / kernel²`.
+    rk: u32,
+    ky: usize,
+    kx: usize,
+    kch: usize,
     /// One `(g, k)` step's events, batch-generated into a flat buffer that
     /// `next` drains by cursor; the allocation is reused for every step, so
     /// steady-state streaming never touches the allocator.
@@ -66,19 +150,98 @@ impl OperandStream {
         } else {
             prog.max_groups()
         };
+        let (spatial_ok, kernel, stride, ic_mode) = Self::spatial_admission(&prog);
+        let n_mac = u64::from(prog.mapping.n_mac);
+        let maps = prog.maps_of();
+        let cursors = serves
+            .iter()
+            .map(|&p| {
+                use crate::layout::VolumeKind;
+                let per_map = prog.out_vol.assigned_per_map(p);
+                let gpm = per_map.div_ceil(n_mac);
+                let (ry0, rx0, rx1) = match &prog.out_vol.kind {
+                    VolumeKind::Spatial { owned, .. } if spatial_ok => {
+                        let r = owned[usize::from(p)];
+                        (r.y0, r.x0, r.x1)
+                    }
+                    _ => (0, 0, 1),
+                };
+                let mut cur = ServeCursor {
+                    per_map,
+                    gpm,
+                    groups_p: gpm * maps,
+                    map: 0,
+                    gin: 0,
+                    icm: 0,
+                    last_idx: n_mac.min(per_map) - 1,
+                    ry0,
+                    rx0,
+                    rx1,
+                    oy0: ry0,
+                    ox0: rx0,
+                    oy_hi: ry0,
+                    ox_hi: rx0,
+                };
+                if spatial_ok {
+                    let (mut oy, mut ox) = (ry0, rx0);
+                    cur.advance(&mut oy, &mut ox, cur.last_idx);
+                    cur.oy_hi = oy;
+                    cur.ox_hi = ox;
+                }
+                cur
+            })
+            .collect();
         OperandStream {
             max_groups,
             conns: prog.conns(),
             prog,
             vault,
             serves,
+            cursors,
             g: 0,
             k: 0,
             pi: 0,
+            spatial_ok,
+            kernel,
+            stride,
+            ic_mode,
+            rk: 0,
+            ky: 0,
+            kx: 0,
+            kch: 0,
             buf: Vec::new(),
             cursor: 0,
             emitted: 0,
         }
+    }
+
+    /// Layer-constant half of the spatial fast path's admission test (the
+    /// per-call half is gone: everything it checked is invariant across
+    /// the stream).
+    fn spatial_admission(prog: &LayerProgram) -> (bool, usize, usize, SpatialIc) {
+        use crate::layout::VolumeKind;
+        let (kernel, stride, ic_mode) = match prog.layer {
+            LayerSpec::Conv2d {
+                kernel,
+                stride,
+                connectivity,
+                ..
+            } => {
+                let mode = match connectivity {
+                    ConvConnectivity::SingleMap => SpatialIc::Single,
+                    ConvConnectivity::AllMaps => SpatialIc::All,
+                };
+                (kernel, stride, mode)
+            }
+            LayerSpec::AvgPool { size } => (size, size, SpatialIc::Pool),
+            LayerSpec::Eltwise { .. } | LayerSpec::FullyConnected { .. } => {
+                return (false, 1, 1, SpatialIc::Pool);
+            }
+        };
+        let spatial = matches!(prog.out_vol.kind, VolumeKind::Spatial { .. })
+            && matches!(prog.in_vol.kind, VolumeKind::Spatial { .. })
+            && prog.out_vol.shape == prog.out_shape;
+        (spatial, kernel, stride, ic_mode)
     }
 
     /// Operands emitted so far.
@@ -91,22 +254,17 @@ impl OperandStream {
         self.g >= self.max_groups && self.cursor >= self.buf.len()
     }
 
-    fn fill_for(&mut self, p: NodeId) {
+    fn fill_for(&mut self, si: usize) {
+        let p = self.serves[si];
+        let cur = self.cursors[si];
+        if self.g >= cur.groups_p {
+            return;
+        }
         let prog = &self.prog;
         let n_mac = u64::from(prog.mapping.n_mac);
-        let per_map = prog.out_vol.assigned_per_map(p);
-        if per_map == 0 {
-            return;
-        }
-        let gpm = per_map.div_ceil(n_mac);
-        let groups_p = gpm * prog.maps_of();
-        if self.g >= groups_p {
-            return;
-        }
-        let map = self.g / gpm;
-        let gin = self.g % gpm;
+        let (gpm, gin, map) = (cur.gpm, cur.gin, cur.map);
         let active = if gin + 1 == gpm {
-            (per_map - (gpm - 1) * n_mac) as u32
+            (cur.per_map - (gpm - 1) * n_mac) as u32
         } else {
             n_mac as u32
         };
@@ -165,13 +323,13 @@ impl OperandStream {
                     kind: PacketKind::SharedState,
                 });
             }
-        } else if !self.fill_conv_spatial(p, map, gin, active, global_op, op_id) {
+        } else if !self.fill_conv_spatial(si, active, global_op, op_id) {
             // Conv/pool generic path: one state per MAC, each connection
             // resolved through the canonical `connections::resolve`. Only
             // reached for volume layouts the spatial fast path declines.
             let prog = &self.prog;
             for m in 0..active {
-                let assigned = map * per_map + gin * n_mac + u64::from(m);
+                let assigned = map * cur.per_map + gin * n_mac + u64::from(m);
                 let neuron = prog.out_vol.assigned_neuron(p, assigned);
                 let conn =
                     connections::resolve(&prog.layer, prog.in_shape, neuron, self.k as usize);
@@ -199,7 +357,9 @@ impl OperandStream {
     }
 
     /// Conv/pool fast path for spatially tiled volumes — the generic loop
-    /// above with the per-MAC division chains hoisted out.
+    /// above with the per-MAC division chains hoisted out, and the
+    /// per-call prologue (`rem0 / rw`, `k % kernel²`, …) replaced by the
+    /// incrementally maintained [`ServeCursor`] / kernel-offset state.
     ///
     /// Within one `(group, k)` batch the output channel is constant
     /// (`map`), so the kernel offset `(ky, kx)` and input channel are too,
@@ -218,70 +378,40 @@ impl OperandStream {
     /// Returns `false` (caller falls back to the generic loop) for layouts
     /// it does not cover. Equivalence with the generic path is pinned by
     /// `spatial_fast_path_matches_resolve_oracle` below.
-    #[allow(clippy::too_many_arguments)]
-    fn fill_conv_spatial(
-        &mut self,
-        p: NodeId,
-        map: u64,
-        gin: u64,
-        active: u32,
-        global_op: u64,
-        op_id: u8,
-    ) -> bool {
+    fn fill_conv_spatial(&mut self, si: usize, active: u32, global_op: u64, op_id: u8) -> bool {
         use crate::layout::VolumeKind;
-        let prog = &self.prog;
-        let k = self.k as usize;
-        let (kernel, stride, ic) = match prog.layer {
-            LayerSpec::Conv2d {
-                kernel,
-                stride,
-                connectivity,
-                ..
-            } => {
-                let ic = match connectivity {
-                    ConvConnectivity::SingleMap => (map as usize) % prog.in_shape.channels,
-                    ConvConnectivity::AllMaps => k / (kernel * kernel),
-                };
-                (kernel, stride, ic)
-            }
-            LayerSpec::AvgPool { size } => (size, size, map as usize),
-            // Eltwise reads `terms` input channels per output pixel; the
-            // single-channel hoist below does not apply, so take the
-            // generic `resolve` path.
-            LayerSpec::Eltwise { .. } | LayerSpec::FullyConnected { .. } => return false,
-        };
-        let (
-            VolumeKind::Spatial {
-                owned: out_owned, ..
-            },
-            VolumeKind::Spatial {
-                owned: in_owned,
-                stored: in_stored,
-            },
-        ) = (&prog.out_vol.kind, &prog.in_vol.kind)
-        else {
-            return false;
-        };
-        if prog.out_vol.shape != prog.out_shape {
+        if !self.spatial_ok {
             return false;
         }
-        let rk = k % (kernel * kernel);
-        let (ky, kx) = (rk / kernel, rk % kernel);
-        let r = out_owned[usize::from(p)];
-        let rw = r.width();
+        let cur = self.cursors[si];
+        let p = self.serves[si];
+        let prog = &self.prog;
+        let ic = match self.ic_mode {
+            SpatialIc::Single => cur.icm as usize,
+            SpatialIc::All => self.kch,
+            SpatialIc::Pool => cur.map as usize,
+        };
+        let (ky, kx, stride) = (self.ky, self.kx, self.stride);
+        let VolumeKind::Spatial {
+            owned: in_owned,
+            stored: in_stored,
+        } = &prog.in_vol.kind
+        else {
+            // `spatial_ok` admitted only spatial input volumes.
+            return false;
+        };
         let v = usize::from(self.vault);
         let (sv, ov, sp) = (in_stored[v], in_owned[v], in_stored[usize::from(p)]);
         let local = p == self.vault;
         let active = active as usize;
-        let rem0 = (gin * u64::from(prog.mapping.n_mac)) as usize;
-        let (mut oy, mut ox) = (r.y0 + rem0 / rw, r.x0 + rem0 % rw);
+        let (mut oy, mut ox) = (cur.oy0, cur.ox0);
         if !local {
             // O(1) batch rejection: the input rows/columns this batch can
             // touch versus the vault's owned tile.
             let iy_lo = oy * stride + ky;
-            let iy_hi = (r.y0 + (rem0 + active - 1) / rw) * stride + ky;
-            let ix_lo = r.x0 * stride + kx;
-            let ix_hi = (r.x1 - 1) * stride + kx;
+            let iy_hi = cur.oy_hi * stride + ky;
+            let ix_lo = cur.rx0 * stride + kx;
+            let ix_hi = (cur.rx1 - 1) * stride + kx;
             if iy_hi < ov.y0 || iy_lo >= ov.y1 || ix_hi < ov.x0 || ix_lo >= ov.x1 {
                 return true;
             }
@@ -309,12 +439,59 @@ impl OperandStream {
                 });
             }
             ox += 1;
-            if ox == r.x1 {
-                ox = r.x0;
+            if ox == cur.rx1 {
+                ox = cur.rx0;
                 oy += 1;
             }
         }
         true
+    }
+
+    /// Steps every destination's [`ServeCursor`] to the group `self.g`
+    /// just advanced to — the incremental mirror of `map = g / gpm`,
+    /// `gin = g % gpm` and the spatial coordinates derived from them.
+    fn advance_cursors(&mut self) {
+        let g = self.g;
+        let spatial_ok = self.spatial_ok;
+        let n_mac = u64::from(self.prog.mapping.n_mac);
+        let in_channels = self.prog.in_shape.channels as u64;
+        for cur in &mut self.cursors {
+            if g >= cur.groups_p {
+                // Destination exhausted; `fill_for` no longer reads it.
+                continue;
+            }
+            cur.gin += 1;
+            if cur.gin == cur.gpm {
+                cur.gin = 0;
+                cur.map += 1;
+                cur.icm += 1;
+                if cur.icm == in_channels {
+                    cur.icm = 0;
+                }
+                cur.last_idx = n_mac.min(cur.per_map) - 1;
+                if spatial_ok {
+                    cur.oy0 = cur.ry0;
+                    cur.ox0 = cur.rx0;
+                    let (mut oy, mut ox) = (cur.ry0, cur.rx0);
+                    cur.advance(&mut oy, &mut ox, cur.last_idx);
+                    cur.oy_hi = oy;
+                    cur.ox_hi = ox;
+                }
+            } else {
+                let new_last = (cur.gin * n_mac + n_mac).min(cur.per_map) - 1;
+                if spatial_ok {
+                    let (mut oy, mut ox) = (cur.oy0, cur.ox0);
+                    cur.advance(&mut oy, &mut ox, n_mac);
+                    cur.oy0 = oy;
+                    cur.ox0 = ox;
+                    let (mut oy, mut ox) = (cur.oy_hi, cur.ox_hi);
+                    cur.advance(&mut oy, &mut ox, new_last - cur.last_idx);
+                    cur.oy_hi = oy;
+                    cur.ox_hi = ox;
+                }
+                cur.last_idx = new_last;
+            }
+        }
     }
 
     /// The next operand this vault must fetch, or `None` when the layer's
@@ -335,17 +512,35 @@ impl OperandStream {
             }
             self.buf.clear();
             self.cursor = 0;
-            let p = self.serves[self.pi];
-            self.fill_for(p);
+            self.fill_for(self.pi);
             // Advance (p, k, g) — PE innermost so one (g, k) step feeds
-            // every PE before the connection counter advances.
+            // every PE before the connection counter advances. The cached
+            // kernel offsets and per-destination cursors advance with the
+            // counters they mirror.
             self.pi += 1;
             if self.pi == self.serves.len() {
                 self.pi = 0;
                 self.k += 1;
+                self.rk += 1;
+                self.kx += 1;
+                if self.kx == self.kernel {
+                    self.kx = 0;
+                    self.ky += 1;
+                }
+                if self.rk as usize == self.kernel * self.kernel {
+                    self.rk = 0;
+                    self.ky = 0;
+                    self.kx = 0;
+                    self.kch += 1;
+                }
                 if self.k == self.conns {
                     self.k = 0;
                     self.g += 1;
+                    self.rk = 0;
+                    self.ky = 0;
+                    self.kx = 0;
+                    self.kch = 0;
+                    self.advance_cursors();
                 }
             }
         }

@@ -122,6 +122,16 @@ pub struct PngStats {
     pub queue_stalls: u64,
     /// Read-issue attempts held by a full packet-out queue.
     pub outq_stalls: u64,
+    /// State/SharedState operands packetized with an exactly-zero payload
+    /// — the operands a zero-skipping sequencer could elide from the
+    /// stream. Classification only: the shipped timing model still sends
+    /// them (see `DESIGN.md` §13).
+    pub zero_state_operands: u64,
+    /// Weight operands packetized with an exactly-zero payload.
+    pub zero_weight_operands: u64,
+    /// Own write-backs whose post-activation value is exactly zero (the
+    /// ReLU-sparsity source: these become the next layer's zero states).
+    pub zero_activations: u64,
 }
 
 /// One vault's (region's) Programmable Neurosequence Generator.
@@ -139,6 +149,15 @@ pub struct Png {
     prog: Option<Arc<LayerProgram>>,
     stream: Option<OperandStream>,
     pending_group: Option<(u64, Vec<OperandEvent>)>,
+    /// Release summary of a batch held fully gated: per destination in
+    /// `pending_group`, the minimum `global_op` among its events. Batches
+    /// stall gated for hundreds of cycles on the saturated shapes, and
+    /// "every event still gated" is per destination "the minimum
+    /// `global_op` still gated", so the per-tick recheck walks these one
+    /// or two entries instead of rescanning the whole batch. Non-empty
+    /// only while `pending_group` was stored fully gated (gating is
+    /// monotone: `progress` only advances, so a batch never re-gates).
+    pending_gate: Vec<(NodeId, u64)>,
     pending_event: Option<OperandEvent>,
     inflight: TagMap,
     /// Recycled event-batch buffers: completions return their spent batch
@@ -158,7 +177,6 @@ pub struct Png {
     pending_writes: VecDeque<(u64, u16)>,
     write_pair: Option<(u64, u16, u64)>,
     outstanding_writes: u64,
-    pe_progress: Vec<u64>,
     stats: PngStats,
     /// In lenient mode malformed packets/completions become counted drops
     /// instead of panics; fault-free runs keep `debug_assert!` teeth.
@@ -181,6 +199,7 @@ impl Png {
             prog: None,
             stream: None,
             pending_group: None,
+            pending_gate: Vec::new(),
             pending_event: None,
             inflight: TagMap::default(),
             spare_batches: Vec::new(),
@@ -197,7 +216,6 @@ impl Png {
             pending_writes: VecDeque::new(),
             write_pair: None,
             outstanding_writes: 0,
-            pe_progress: vec![u64::MAX; 64],
             stats: PngStats::default(),
             lenient: false,
             dropped_packets: 0,
@@ -254,28 +272,6 @@ impl Png {
         }
     }
 
-    /// Updates the PNG's view of every PE's operation counter (the credit
-    /// return path of the run-ahead flow control).
-    pub fn set_pe_progress(&mut self, progress: &[u64]) {
-        self.pe_progress.clear();
-        self.pe_progress.extend_from_slice(progress);
-    }
-
-    /// Updates the PNG's view of a single PE's operation counter — the
-    /// delta form of [`set_pe_progress`](Self::set_pe_progress). The
-    /// credit-return stage broadcasts only the entries that changed since
-    /// the last cycle (a saturated cube changes one or two of sixteen per
-    /// cycle), so the common case is a handful of stores instead of a full
-    /// copy per PNG per cycle. Entries never written stay `u64::MAX`
-    /// ("no such PE"), matching what a full broadcast's out-of-range
-    /// lookup reads.
-    pub fn update_pe_progress(&mut self, idx: usize, value: u64) {
-        if idx >= self.pe_progress.len() {
-            self.pe_progress.resize(idx + 1, u64::MAX);
-        }
-        self.pe_progress[idx] = value;
-    }
-
     /// The standard HMC hookup: PNG of vault `v` at mesh node `v`, 32-bit
     /// words, a full private request queue.
     pub fn hmc(vault: NodeId) -> Png {
@@ -330,6 +326,7 @@ impl Png {
         self.lut = Some(ActivationLut::new(prog.activation));
         self.stream = Some(OperandStream::new(Arc::clone(&prog), self.vault));
         self.pending_group = None;
+        self.pending_gate.clear();
         self.pending_event = None;
         self.inflight.clear();
         self.outstanding_reads = 0;
@@ -446,6 +443,9 @@ impl Png {
             };
             let y = Q88::from_bits(pkt.data as i16);
             let x = self.lut.as_ref().expect("configured").apply(y);
+            if x.to_bits() == 0 {
+                self.stats.zero_activations += 1;
+            }
             self.queue_write(addr, x.to_bits() as u16, now);
             self.own_remaining -= 1;
             for u in prog.copy_vaults(neuron, self.vault) {
@@ -505,6 +505,15 @@ impl Png {
         for ev in evs.drain(..) {
             let shift = (ev.addr - word) * 8;
             let payload = ((data >> shift) & 0xFFFF) as u16;
+            if payload == 0 {
+                // Zero-operand classification by stream kind (a DRAM read
+                // only ever produces operand packets, never Results).
+                if ev.kind == PacketKind::Weight {
+                    self.stats.zero_weight_operands += 1;
+                } else {
+                    self.stats.zero_state_operands += 1;
+                }
+            }
             self.out_queue.push_back(Packet {
                 dst: ev.dst,
                 src: self.hookup.attach,
@@ -533,7 +542,12 @@ impl Png {
     /// Advances one reference cycle: issues DRAM writes and prefetch
     /// reads. (Channel ticking, completion dispatch and NoC injection are
     /// the system's job — channels and attach nodes may be shared.)
-    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+    ///
+    /// `progress` is the system's canonical per-PE operation-counter array
+    /// (the credit-return path of the run-ahead flow control): the PNG
+    /// reads it in place rather than holding a per-PNG mirror, so the
+    /// credit "broadcast" is one shared slice instead of sixteen copies.
+    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem, progress: &[u64]) {
         if self.prog.is_none() {
             return;
         }
@@ -595,7 +609,18 @@ impl Png {
                 break;
             }
             let group = match self.pending_group.take() {
-                Some(g) => g,
+                Some(g) => {
+                    // Held-batch fast recheck: the cached per-destination
+                    // minima decide "still fully gated" without touching
+                    // the batch itself.
+                    if !self.pending_gate.is_empty() && self.held_still_gated(progress) {
+                        self.pending_group = Some(g);
+                        self.stats.gate_stalls += 1;
+                        break;
+                    }
+                    self.pending_gate.clear();
+                    g
+                }
                 None => {
                     let first = match self
                         .pending_event
@@ -631,9 +656,10 @@ impl Png {
             // pass — gating only the head would leak a neighbour's operand
             // hundreds of operations early and alias its OP-ID in the
             // receiving PE's cache.
-            let gated = group.1.iter().filter(|ev| self.gated(ev)).count();
+            let gated = group.1.iter().filter(|ev| self.gated(ev, progress)).count();
             if gated == group.1.len() {
                 // Nothing in the batch may fly yet; hold it (in order).
+                self.note_held(&group.1);
                 self.pending_group = Some(group);
                 self.stats.gate_stalls += 1;
                 break;
@@ -661,7 +687,7 @@ impl Png {
                     .pop()
                     .unwrap_or_else(|| Vec::with_capacity(16));
                 for ev in evs.drain(..) {
-                    if self.gated(&ev) {
+                    if self.gated(&ev, progress) {
                         held.push(ev);
                     } else {
                         pass.push(ev);
@@ -670,6 +696,7 @@ impl Png {
                 if self.spare_batches.len() < 64 {
                     self.spare_batches.push(evs);
                 }
+                self.note_held(&held);
                 self.pending_group = Some((word, held));
                 (word, pass)
             };
@@ -695,14 +722,39 @@ impl Png {
     /// Run-ahead gate predicate: `true` when the destination PE is too far
     /// behind for its operand cache to absorb this event yet (§V-B). Shared
     /// by [`tick`](Self::tick)'s batch partition and the event-horizon
-    /// classifier so the two can never disagree.
-    fn gated(&self, ev: &OperandEvent) -> bool {
-        let progress = self
-            .pe_progress
+    /// classifier so the two can never disagree. `progress` is the shared
+    /// per-PE counter array; an out-of-range destination reads as
+    /// `u64::MAX` ("no such PE"), which never gates.
+    fn gated(&self, ev: &OperandEvent, progress: &[u64]) -> bool {
+        let progress = progress
             .get(usize::from(ev.dst))
             .copied()
             .unwrap_or(u64::MAX);
         progress != u64::MAX && ev.global_op > progress + self.hookup.run_ahead_ops
+    }
+
+    /// Rebuilds [`pending_gate`](Self::pending_gate) for a batch about to
+    /// be held fully gated: per destination, the minimum `global_op` among
+    /// its events (a word batch almost always targets one PE, so this is
+    /// usually a single entry).
+    fn note_held(&mut self, evs: &[OperandEvent]) {
+        self.pending_gate.clear();
+        for ev in evs {
+            match self.pending_gate.iter_mut().find(|(d, _)| *d == ev.dst) {
+                Some((_, min_op)) => *min_op = (*min_op).min(ev.global_op),
+                None => self.pending_gate.push((ev.dst, ev.global_op)),
+            }
+        }
+    }
+
+    /// `true` while the held batch is still fully gated — equivalent to
+    /// `evs.iter().all(gated)` because per destination "every event
+    /// gated" is exactly "the minimum `global_op` gated".
+    fn held_still_gated(&self, progress: &[u64]) -> bool {
+        self.pending_gate.iter().all(|&(dst, min_op)| {
+            let pr = progress.get(usize::from(dst)).copied().unwrap_or(u64::MAX);
+            pr != u64::MAX && min_op > pr + self.hookup.run_ahead_ops
+        })
     }
 
     /// Classifies what [`tick`](Self::tick)'s prefetch-read loop would do
@@ -710,7 +762,7 @@ impl Png {
     /// order). Used by [`next_event`](Self::next_event) to decide whether a
     /// tick is null and by [`skip`](Self::skip) to bulk-charge the stall
     /// counter the naive loop would have incremented each cycle.
-    fn read_path_state(&self, mem: &MemorySystem) -> ReadPath {
+    fn read_path_state(&self, mem: &MemorySystem, progress: &[u64]) -> ReadPath {
         if self.out_queue.len() >= OUT_QUEUE_CAP / 2 {
             return ReadPath::OutqStall {
                 live: self.stream.as_ref().is_some_and(|st| !st.is_exhausted()),
@@ -723,7 +775,12 @@ impl Png {
             return ReadPath::QueueStall;
         }
         if let Some((_, evs)) = &self.pending_group {
-            if evs.iter().all(|ev| self.gated(ev)) {
+            let all_gated = if self.pending_gate.is_empty() {
+                evs.iter().all(|ev| self.gated(ev, progress))
+            } else {
+                self.held_still_gated(progress)
+            };
+            if all_gated {
                 return ReadPath::GateStall;
             }
             return ReadPath::Active;
@@ -747,7 +804,7 @@ impl Png {
     /// counters, which [`skip`](Self::skip) bulk-charges. Completions,
     /// ejected results and credit returns arrive through separate entry
     /// points whose quiescence the *system* stages account for.
-    pub fn next_event(&self, now: u64, mem: &MemorySystem) -> Option<u64> {
+    pub fn next_event(&self, now: u64, mem: &MemorySystem, progress: &[u64]) -> Option<u64> {
         if self.prog.is_none() {
             return Some(u64::MAX);
         }
@@ -762,7 +819,7 @@ impl Png {
         if !self.pending_writes.is_empty() && mem.free_slots(u32::from(self.vault)) > 0 {
             return None;
         }
-        if matches!(self.read_path_state(mem), ReadPath::Active) {
+        if matches!(self.read_path_state(mem, progress), ReadPath::Active) {
             return None;
         }
         Some(horizon)
@@ -772,12 +829,12 @@ impl Png {
     /// that [`next_event`](Self::next_event) reported all of them null:
     /// bulk-charges whichever stall counter the naive loop was
     /// incrementing.
-    pub fn skip(&mut self, from: u64, to: u64, mem: &MemorySystem) {
+    pub fn skip(&mut self, from: u64, to: u64, mem: &MemorySystem, progress: &[u64]) {
         if self.prog.is_none() {
             return;
         }
         let cycles = to - from;
-        match self.read_path_state(mem) {
+        match self.read_path_state(mem, progress) {
             ReadPath::OutqStall { live: true } => self.stats.outq_stalls += cycles,
             ReadPath::QueueStall => self.stats.queue_stalls += cycles,
             ReadPath::GateStall => self.stats.gate_stalls += cycles,
@@ -839,6 +896,9 @@ impl StatSource for Png {
         stats.counter("gate_stalls", self.stats.gate_stalls);
         stats.counter("queue_stalls", self.stats.queue_stalls);
         stats.counter("outq_stalls", self.stats.outq_stalls);
+        stats.counter("zero_state_operands", self.stats.zero_state_operands);
+        stats.counter("zero_weight_operands", self.stats.zero_weight_operands);
+        stats.counter("zero_activations", self.stats.zero_activations);
     }
 }
 
@@ -882,7 +942,7 @@ mod tests {
         let mut groups_sent = [0u64; 16];
         for now in 0..200_000u64 {
             for p in &mut pngs {
-                p.tick(now, &mut mem);
+                p.tick(now, &mut mem, &[]);
                 if let Some(&pkt) = p.peek_outgoing() {
                     if net_fab.try_inject_from_mem(p.attach(), pkt, now) {
                         p.pop_outgoing();
@@ -1041,16 +1101,16 @@ mod tests {
         for now in 0..200_000u64 {
             for p in &mut pngs {
                 let before = *p.stats();
-                match p.next_event(now, &mem) {
+                match p.next_event(now, &mem, &[]) {
                     Some(horizon) => {
                         assert!(
                             horizon > now,
                             "horizon {horizon} not in the future of {now}"
                         );
                         null_ticks += 1;
-                        p.skip(now, now + 1, &mem);
+                        p.skip(now, now + 1, &mem, &[]);
                         let mid = *p.stats();
-                        p.tick(now, &mut mem);
+                        p.tick(now, &mut mem, &[]);
                         let after = *p.stats();
                         assert_eq!(
                             stall_delta(&before, &mid),
@@ -1063,7 +1123,7 @@ mod tests {
                             "null tick at {now} changed a non-stall counter"
                         );
                     }
-                    None => p.tick(now, &mut mem),
+                    None => p.tick(now, &mut mem, &[]),
                 }
                 if let Some(&pkt) = p.peek_outgoing() {
                     if net_fab.try_inject_from_mem(p.attach(), pkt, now) {

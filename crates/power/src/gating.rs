@@ -1,0 +1,90 @@
+//! Gated-update energy attribution for the sparsity counters.
+//!
+//! The simulator never changes its timing or energy totals when an operand
+//! is zero — a zero-product MAC issues and a zero word crosses the channel
+//! like any other (DESIGN.md §13). What sparsity-aware hardware *would*
+//! save is computed here, after the fact, from the classification counters
+//! the datapath maintains (`sparsity.pe.lanes_gated`,
+//! `sparsity.dram.*` in the stats registry):
+//!
+//! * a clock/operand-gated MAC skips the multiply-accumulate when either
+//!   operand is zero — each gated lane-cycle saves one MAC-op of dynamic
+//!   energy, derived from the Table II MAC row,
+//! * a zero-run-aware vault controller elides zero words from the channel
+//!   — each elided bit saves the interface's pJ/bit (Table I).
+//!
+//! Both attributions are *upper bounds of the dynamic component*: gating
+//! logic overhead and leakage are not modeled, which is the same
+//! convention the paper's Table II dynamic-power column uses.
+
+use crate::table2::{ProcessNode, TABLE2_COMPONENTS};
+
+/// Dynamic energy of one MAC operation (one lane-cycle) in joules at a
+/// node: the Table II per-instance MAC dynamic power divided by the MAC's
+/// own clock (each MAC retires one op per MAC-clock cycle).
+///
+/// ```
+/// use neurocube_power::gating::mac_op_energy_j;
+/// use neurocube_power::ProcessNode;
+/// // 15 nm: 9.17 mW per MAC instance at 320 MHz -> ~28.7 pJ per op.
+/// let pj = mac_op_energy_j(ProcessNode::FinFet15) * 1e12;
+/// assert!((25.0..32.0).contains(&pj));
+/// ```
+pub fn mac_op_energy_j(node: ProcessNode) -> f64 {
+    // Table II lists per-instance dynamic power (`per_pe = 16` scales it
+    // to the PE level elsewhere), so power over the MAC clock is energy
+    // per retired op.
+    let mac = &TABLE2_COMPONENTS[0];
+    let (freq_mhz, dynamic_w) = match node {
+        ProcessNode::Cmos28 => (mac.freq_mhz.0, mac.dynamic_w.0),
+        ProcessNode::FinFet15 => (mac.freq_mhz.1, mac.dynamic_w.1),
+    };
+    dynamic_w / (freq_mhz * 1e6)
+}
+
+/// Dynamic MAC energy a gated datapath would have saved, in joules:
+/// `lanes_gated` lane-cycles (the `sparsity.pe.lanes_gated` counter) at
+/// one MAC-op each.
+pub fn gated_mac_energy_j(node: ProcessNode, lanes_gated: u64) -> f64 {
+    mac_op_energy_j(node) * lanes_gated as f64
+}
+
+/// DRAM transfer energy a zero-eliding controller would have saved, in
+/// joules: `elidable_bits` (from `neurocube_dram::zerorun::elidable_bits`
+/// or `zero_words × word_bits`) at the interface's access energy.
+pub fn elided_transfer_energy_j(elidable_bits: u64, energy_pj_per_bit: f64) -> f64 {
+    elidable_bits as f64 * energy_pj_per_bit * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_op_energy_is_power_over_frequency() {
+        // 28 nm: 3.02e-4 W at 18.75 MHz per instance -> ~16.1 pJ/op.
+        let e28 = mac_op_energy_j(ProcessNode::Cmos28);
+        assert!((e28 - 3.02e-4 / 18.75e6).abs() < 1e-18);
+        // 15 nm: 9.17e-3 W at 320 MHz -> ~28.7 pJ/op (the aggressive
+        // 5 GHz design point spends more energy per op than the slow
+        // 28 nm one — frequency outruns the node shrink).
+        let e15 = mac_op_energy_j(ProcessNode::FinFet15);
+        assert!((e15 - 9.17e-3 / 320.0e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gated_energy_scales_linearly_with_gated_lanes() {
+        let one = gated_mac_energy_j(ProcessNode::FinFet15, 1);
+        let many = gated_mac_energy_j(ProcessNode::FinFet15, 1000);
+        assert!((many / one - 1000.0).abs() < 1e-6);
+        assert_eq!(gated_mac_energy_j(ProcessNode::FinFet15, 0), 0.0);
+    }
+
+    #[test]
+    fn elided_transfer_matches_channel_energy_model() {
+        // 32 bits at HMC-internal 3.7 pJ/bit — the same constant the
+        // channel charges per transferred word.
+        let e = elided_transfer_energy_j(32, 3.7);
+        assert!((e - 32.0 * 3.7e-12).abs() < 1e-24);
+    }
+}

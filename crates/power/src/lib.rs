@@ -17,8 +17,10 @@
 //! [`efficiency`] assembles Table III (GOPs/s, compute power, GOPs/s/W
 //! across published platforms plus this reproduction's measured numbers),
 //! [`energy`] turns a measured simulator run into joules per inference and
-//! GOPs/J, and [`area`] reproduces the Fig. 16 logic-die floorplan
-//! accounting.
+//! GOPs/J, [`area`] reproduces the Fig. 16 logic-die floorplan accounting,
+//! and [`gating`] prices what operand-gated MACs and zero-eliding vault
+//! controllers would save given the sparsity classification counters
+//! (DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@
 pub mod area;
 pub mod efficiency;
 pub mod energy;
+pub mod gating;
 pub mod hmc;
 pub mod table2;
 pub mod thermal;

@@ -34,6 +34,7 @@ pub use batch::BatchRunner;
 pub use clocked::{Clocked, CycleLoop, JumpRecord, Watchdog, EVENT_LOOP_LEASH};
 pub use env::{
     env_f64, env_flag, env_str, env_u64, serve_audit_rate, serve_load, serve_max_batch,
-    serve_max_delay, serve_pool, serve_scenario, serve_seed,
+    serve_max_delay, serve_pool, serve_scenario, serve_seed, simd_default, sparsity_default,
+    stage_par_default,
 };
 pub use stats::{Histogram, ScopedStats, StatSource, StatsRegistry};

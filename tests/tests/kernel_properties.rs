@@ -120,7 +120,10 @@ fn batch_sweep_is_bitwise_identical_to_serial() {
         (SystemConfig::paper(true), spec.clone(), 1),
         (SystemConfig::paper(false), spec.clone(), 2),
         (SystemConfig::fully_connected_noc(true), spec.clone(), 3),
-        (SystemConfig::paper(true), spec, 4),
+        // Deliberately identical to job 0 — same seed, not just same
+        // config: the `sparsity.*` counters classify real operand values,
+        // so only a bit-identical job is registry-identical.
+        (SystemConfig::paper(true), spec, 1),
     ];
     let batch = run_sweep(&jobs);
     for (i, (cfg, spec, seed)) in jobs.iter().enumerate() {

@@ -24,8 +24,8 @@ use common::{diff_case, DiffCase};
 use neurocube::{Neurocube, SystemConfig};
 use neurocube_fault::FaultConfig;
 use neurocube_fixed::{
-    accumulate_narrow_lanes, accumulate_wide_lanes, wide_result_bits, AccumulatorWidth, MacUnit,
-    Q88,
+    accumulate_narrow_lanes, accumulate_narrow_masked, accumulate_wide_lanes,
+    accumulate_wide_masked, wide_result_bits, AccumulatorWidth, LaneSrc, MacUnit, Q88,
 };
 use neurocube_sim::StatsRegistry;
 use proptest::prelude::*;
@@ -149,6 +149,129 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Sparsity fast paths: zero-operand skipping is observationally invisible.
+// ---------------------------------------------------------------------------
+
+/// Like [`run_variant`], but with the PE zero-operand fast paths pinned
+/// and the operand stream seeded with real zeros: every third weight and
+/// every other input pixel are zeroed, so the zero-lane classification
+/// and skip paths genuinely fire on every case.
+fn run_sparsity_variant(
+    case: &DiffCase,
+    simd: bool,
+    sparsity: bool,
+    fault: Option<FaultConfig>,
+) -> Observables {
+    let cfg = SystemConfig::paper(case.dup);
+    let mut params = case.net.init_params(case.seed, 0.25);
+    for layer in &mut params {
+        for (i, w) in layer.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *w = Q88::ZERO;
+            }
+        }
+    }
+    let mut cube = Neurocube::new(cfg);
+    cube.set_simd(Some(simd));
+    cube.set_sparsity(Some(sparsity));
+    cube.set_fault_config(fault);
+    let loaded = cube.load(case.net.clone(), params);
+    let s = case.net.input_shape();
+    let data = (0..s.len())
+        .map(|i| {
+            if i % 2 == 0 {
+                Q88::ZERO
+            } else {
+                Q88::from_f64(((i % 64) as f64 - 32.0) / 32.0)
+            }
+        })
+        .collect();
+    let input = neurocube_nn::Tensor::from_vec(s.channels, s.height, s.width, data);
+    let (output, report) = cube.run_inference(&loaded, &input);
+    Observables {
+        layer_cycles: report.layers.iter().map(|l| l.cycles).collect(),
+        final_cycle: cube.now(),
+        output: output.as_slice().to_vec(),
+        stats: cube.stats_registry(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    /// Sparsity on vs off is bitwise identical in every observable —
+    /// full registry included — on random nets whose operand streams are
+    /// dense with real zeros, across both datapaths. Zero-skipping is a
+    /// host fast path, not a model change (DESIGN.md §13).
+    #[test]
+    fn sparsity_fast_paths_are_bitwise_invisible(case in diff_case()) {
+        let on = run_sparsity_variant(&case, true, true, None);
+        let off = run_sparsity_variant(&case, true, false, None);
+        let scalar = run_sparsity_variant(&case, false, true, None);
+        assert_identical(&on, &off, &format!(
+            "sparsity on vs off (SoA), dup={}, seed={}", case.dup, case.seed
+        ))?;
+        assert_identical(&on, &scalar, &format!(
+            "sparsity SoA vs scalar, dup={}, seed={}", case.dup, case.seed
+        ))?;
+    }
+
+    /// The invisibility survives fault injection: with a lens attached
+    /// the fast paths stand down (per-lane upset order is part of the
+    /// observable world), and classification still agrees bitwise.
+    #[test]
+    fn sparsity_fast_paths_survive_fault_injection(
+        case in diff_case(),
+        rate_exp in 4u32..7,
+        fault_seed in 0u64..1 << 32,
+    ) {
+        let fcfg = FaultConfig::uniform(fault_seed, 10f64.powi(-(rate_exp as i32)));
+        let on = run_sparsity_variant(&case, true, true, Some(fcfg.clone()));
+        let off = run_sparsity_variant(&case, true, false, Some(fcfg.clone()));
+        let scalar = run_sparsity_variant(&case, false, true, Some(fcfg));
+        assert_identical(&on, &off, &format!(
+            "sparsity on vs off under faults, dup={}, seeds={}/{}",
+            case.dup, case.seed, fault_seed
+        ))?;
+        assert_identical(&on, &scalar, &format!(
+            "sparsity SoA vs scalar under faults, dup={}, seeds={}/{}",
+            case.dup, case.seed, fault_seed
+        ))?;
+    }
+}
+
+/// Deterministic anchor: the zeroed workload actually classifies gated
+/// lanes (a sweep that never fires the skip paths would prove nothing),
+/// and the classification is identical whether or not skipping is on.
+#[test]
+fn sparsity_classification_is_not_vacuous() {
+    let case = DiffCase {
+        net: neurocube_nn::workloads::mnist_mlp(64),
+        dup: true,
+        seed: 11,
+    };
+    let on = run_sparsity_variant(&case, true, true, None);
+    let off = run_sparsity_variant(&case, true, false, None);
+    let gated = on.stats.counter("sparsity.pe.lanes_gated");
+    assert!(
+        gated > 0,
+        "zeroed weights/input fired no gated lanes; the sparsity suite is vacuous"
+    );
+    assert_eq!(
+        off.stats.counter("sparsity.pe.lanes_gated"),
+        gated,
+        "classification differs between skip and dense modes"
+    );
+    let mac_ops: u64 = (0..16)
+        .map(|i| on.stats.counter(&format!("pe{i}.mac_ops")))
+        .sum();
+    assert!(
+        gated < mac_ops,
+        "every MAC lane gated — the workload degenerated to all-zero"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Kernel-level boundary pinning: lane kernels vs MacUnit, step for step.
 // ---------------------------------------------------------------------------
 
@@ -261,6 +384,65 @@ proptest! {
             prop_assert_eq!(
                 mac.result().to_bits(), wide_result_bits(acc[lane]),
                 "active lane {} diverged from its scalar unit", lane
+            );
+        }
+    }
+
+    /// Zero-weight lane purity: a lane whose weight operand is zero never
+    /// perturbs any accumulator bit, no matter what its state operand
+    /// holds — so skipping such lanes (the masked kernels) is bitwise
+    /// identical to grinding through them (the dense kernels), at both
+    /// accumulator widths and from any starting accumulator value.
+    #[test]
+    fn zero_weight_lanes_never_perturb_accumulator_bits(
+        weights in proptest::collection::vec(boundary_operand(), 16),
+        states in proptest::collection::vec(boundary_operand(), 16),
+        start in proptest::collection::vec(any::<i32>(), 16),
+        zero_mask in any::<u16>(),
+        steps in 1usize..6,
+    ) {
+        let mut w = weights.clone();
+        for m in 0..16 {
+            if zero_mask >> m & 1 == 1 {
+                w[m] = 0;
+            }
+        }
+        let live: u64 = u64::from(!zero_mask);
+        let mut dense: Vec<i32> = start.clone();
+        let mut masked: Vec<i32> = start.clone();
+        for _ in 0..steps {
+            accumulate_wide_lanes(&mut dense, &w, &states);
+            accumulate_wide_masked(
+                &mut masked,
+                LaneSrc::Lanes(&w),
+                LaneSrc::Lanes(&states),
+                live,
+            );
+        }
+        prop_assert_eq!(&dense, &masked, "wide: skipping zero-weight lanes changed bits");
+        for m in (0..16).filter(|m| zero_mask >> m & 1 == 1) {
+            prop_assert_eq!(
+                dense[m], start[m],
+                "wide: zero-weight lane {} perturbed its accumulator", m
+            );
+        }
+        let start16: Vec<i16> = start.iter().map(|&v| v as i16).collect();
+        let mut dense16 = start16.clone();
+        let mut masked16 = start16.clone();
+        for _ in 0..steps {
+            accumulate_narrow_lanes(&mut dense16, &w, &states);
+            accumulate_narrow_masked(
+                &mut masked16,
+                LaneSrc::Lanes(&w),
+                LaneSrc::Lanes(&states),
+                live,
+            );
+        }
+        prop_assert_eq!(&dense16, &masked16, "narrow: skipping zero-weight lanes changed bits");
+        for m in (0..16).filter(|m| zero_mask >> m & 1 == 1) {
+            prop_assert_eq!(
+                dense16[m], start16[m],
+                "narrow: zero-weight lane {} perturbed its accumulator", m
             );
         }
     }
